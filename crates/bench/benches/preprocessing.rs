@@ -1,0 +1,32 @@
+//! Criterion benchmark of HyMM's only preprocessing step — degree sorting —
+//! the measurement behind Table II's "sorting cost" column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hymm_graph::datasets::Dataset;
+use hymm_graph::normalize::gcn_normalize;
+use hymm_graph::sort::degree_sort;
+
+fn bench_degree_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degree_sort");
+    group.sample_size(10);
+    for dataset in [Dataset::Cora, Dataset::AmazonPhoto] {
+        let w = dataset.synthesize_scaled(4_000);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset.abbrev()),
+            &w.adjacency,
+            |b, adj| b.iter(|| degree_sort(adj).expect("square")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_normalisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcn_normalize");
+    group.sample_size(10);
+    let w = Dataset::AmazonPhoto.synthesize_scaled(4_000);
+    group.bench_function("AP_4k", |b| b.iter(|| gcn_normalize(&w.adjacency)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree_sort, bench_normalisation);
+criterion_main!(benches);

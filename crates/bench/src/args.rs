@@ -1,0 +1,104 @@
+//! Minimal command-line conventions shared by every experiment binary.
+
+use hymm_graph::datasets::Dataset;
+
+/// Parsed experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Cap each dataset at this many nodes (`None` = full Table II scale).
+    pub scale: Option<usize>,
+    /// Datasets to run (defaults to all seven).
+    pub datasets: Vec<Dataset>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { scale: None, datasets: Dataset::ALL.to_vec() }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--scale N` and `--datasets CR,AP,...` from an iterator of
+    /// arguments (typically `std::env::args().skip(1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments — these binaries
+    /// are developer tools, not library API.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a node count");
+                    out.scale = Some(v.parse().expect("--scale needs an integer"));
+                }
+                "--datasets" => {
+                    let v = it.next().expect("--datasets needs a CR,AP,... list");
+                    out.datasets = v
+                        .split(',')
+                        .map(|abbr| {
+                            Dataset::ALL
+                                .into_iter()
+                                .find(|d| d.abbrev().eq_ignore_ascii_case(abbr.trim()))
+                                .unwrap_or_else(|| panic!("unknown dataset {abbr:?}"))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> BenchArgs {
+        BenchArgs::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> BenchArgs {
+        BenchArgs::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_full_scale_all_datasets() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, None);
+        assert_eq!(a.datasets.len(), 7);
+    }
+
+    #[test]
+    fn parses_scale() {
+        assert_eq!(parse(&["--scale", "500"]).scale, Some(500));
+    }
+
+    #[test]
+    fn parses_dataset_filter() {
+        let a = parse(&["--datasets", "cr,AP"]);
+        assert_eq!(a.datasets, vec![Dataset::Cora, Dataset::AmazonPhoto]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn rejects_unknown_dataset() {
+        let _ = parse(&["--datasets", "XX"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flag() {
+        let _ = parse(&["--frobnicate"]);
+    }
+}

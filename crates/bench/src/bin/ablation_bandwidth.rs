@@ -1,0 +1,67 @@
+//! Extension study: off-chip bandwidth sensitivity.
+//!
+//! The paper assumes a single 64 GB/s DRAM channel (§IV). This sweep varies
+//! channel count and per-channel bandwidth to show where each dataflow's
+//! bottleneck moves — the OP baseline is traffic-bound and scales with
+//! bandwidth, HyMM is compute-bound much earlier.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin ablation_bandwidth -- [--scale N] [--datasets AP]
+//! ```
+
+use hymm_bench::table::TextTable;
+use hymm_bench::BenchArgs;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_gcn::{run_inference, GcnModel};
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    // Default (all seven datasets) means "no explicit choice": pick the
+    // paper's peak-effect dataset. An explicit --datasets list is honoured
+    // (first entry).
+    if args.datasets.len() == hymm_graph::datasets::Dataset::ALL.len() {
+        args.datasets = vec![hymm_graph::datasets::Dataset::AmazonPhoto];
+    }
+    if args.datasets.len() > 1 {
+        eprintln!(
+            "[ablation] multiple datasets given; using the first ({})",
+            args.datasets[0].abbrev()
+        );
+    }
+    let dataset = args.datasets[0];
+    let w = match args.scale {
+        Some(n) => dataset.synthesize_scaled(n),
+        None => dataset.synthesize(),
+    };
+    let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+    println!("Bandwidth sweep on {} (1 GHz clock: 64 B/cycle = 64 GB/s)", dataset.name());
+    let mut t = TextTable::new(vec![
+        "channels x B/cyc", "GB/s", "OP cycles", "RWP cycles", "HyMM cycles", "HyMM util",
+    ]);
+    for (channels, bpc) in [(1usize, 32u64), (1, 64), (2, 64), (4, 64)] {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.dram_channels = channels;
+        cfg.mem.dram_bytes_per_cycle = bpc;
+        eprintln!("[ablation] {channels} x {bpc} B/cyc ...");
+        let mut cycles = Vec::new();
+        let mut hy_util = 0.0;
+        for df in Dataflow::ALL {
+            let r = run_inference(&cfg, df, &w.adjacency, &w.features, &model)
+                .expect("shapes consistent")
+                .report;
+            if df == Dataflow::Hybrid {
+                hy_util = r.alu_utilization();
+            }
+            cycles.push(r.cycles);
+        }
+        t.row(vec![
+            format!("{channels} x {bpc}"),
+            (channels as u64 * bpc).to_string(),
+            cycles[0].to_string(),
+            cycles[1].to_string(),
+            cycles[2].to_string(),
+            format!("{:.1}%", hy_util * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,81 @@
+//! Ablation: DMB capacity, MSHR count, eviction policy and LSQ forwarding —
+//! the design choices DESIGN.md calls out, swept one at a time around the
+//! paper's Table III configuration.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin ablation_buffers -- [--scale N] [--datasets AP]
+//! ```
+
+use hymm_bench::table::{mb, TextTable};
+use hymm_bench::BenchArgs;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_core::stats::SimReport;
+use hymm_gcn::{run_inference, GcnModel};
+use hymm_graph::datasets::Workload;
+
+fn simulate(cfg: &AcceleratorConfig, w: &Workload) -> SimReport {
+    let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+    run_inference(cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+        .expect("shapes consistent")
+        .report
+}
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    // Default (all seven datasets) means "no explicit choice": pick the
+    // paper's peak-effect dataset. An explicit --datasets list is honoured
+    // (first entry).
+    if args.datasets.len() == hymm_graph::datasets::Dataset::ALL.len() {
+        // default to AP only: the paper's peak-effect dataset
+        args.datasets = vec![hymm_graph::datasets::Dataset::AmazonPhoto];
+    }
+    if args.datasets.len() > 1 {
+        eprintln!(
+            "[ablation] multiple datasets given; using the first ({})",
+            args.datasets[0].abbrev()
+        );
+    }
+    let dataset = args.datasets[0];
+    let w = match args.scale {
+        Some(n) => dataset.synthesize_scaled(n),
+        None => dataset.synthesize(),
+    };
+    println!("Ablations on {} (HyMM dataflow)", dataset.name());
+
+    let mut t = TextTable::new(vec!["knob", "setting", "cycles", "DMB hit", "DRAM (MB)"]);
+    let mut record = |knob: &str, setting: String, r: &SimReport| {
+        t.row(vec![
+            knob.to_string(),
+            setting,
+            r.cycles.to_string(),
+            format!("{:.1}%", r.dmb_hit_rate() * 100.0),
+            mb(r.dram_bytes()),
+        ]);
+    };
+
+    for kb in [64usize, 128, 256, 512] {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.dmb_bytes = kb * 1024;
+        eprintln!("[ablation] DMB {kb} KB ...");
+        record("DMB capacity", format!("{kb} KB"), &simulate(&cfg, &w));
+    }
+    for mshr in [4usize, 16, 32, 64] {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.mshr_count = mshr;
+        eprintln!("[ablation] MSHR {mshr} ...");
+        record("MSHR count", mshr.to_string(), &simulate(&cfg, &w));
+    }
+    for class in [true, false] {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.class_eviction = class;
+        eprintln!("[ablation] class eviction {class} ...");
+        let label = if class { "class-ordered (paper)" } else { "plain LRU" };
+        record("eviction", label.to_string(), &simulate(&cfg, &w));
+    }
+    for fwd in [true, false] {
+        let cfg = AcceleratorConfig { lsq_forwarding: fwd, ..AcceleratorConfig::default() };
+        eprintln!("[ablation] forwarding {fwd} ...");
+        record("LSQ forwarding", fwd.to_string(), &simulate(&cfg, &w));
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,46 @@
+//! Extension study: all four dataflow families of the paper's Table I
+//! (OP / CWP / RWP / HyMM) on one dataset, with the energy-model estimate.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin ablation_dataflows -- [--scale N] [--datasets CR,AP]
+//! ```
+
+use hymm_bench::table::{mb, TextTable};
+use hymm_bench::BenchArgs;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_core::energy::EnergyModel;
+use hymm_gcn::{run_inference, GcnModel};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let config = AcceleratorConfig::default();
+    let energy = EnergyModel::default();
+    let mut t = TextTable::new(vec![
+        "Dataset", "Dataflow", "cycles", "ALU util", "DRAM (MB)", "energy (uJ)",
+    ]);
+    for &dataset in &args.datasets {
+        eprintln!("[ablation] {} ...", dataset.name());
+        let w = match args.scale {
+            Some(n) => dataset.synthesize_scaled(n),
+            None => dataset.synthesize(),
+        };
+        let model =
+            GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+        for df in Dataflow::EXTENDED {
+            let r = run_inference(&config, df, &w.adjacency, &w.features, &model)
+                .expect("shapes consistent")
+                .report;
+            let e = energy.estimate(&r);
+            t.row(vec![
+                dataset.abbrev().to_string(),
+                df.label().to_string(),
+                r.cycles.to_string(),
+                format!("{:.1}%", r.alu_utilization() * 100.0),
+                mb(r.dram_bytes()),
+                format!("{:.1}", e.total_uj()),
+            ]);
+        }
+    }
+    println!("Extension: all four Table I dataflow families + energy estimate");
+    println!("{}", t.render());
+}

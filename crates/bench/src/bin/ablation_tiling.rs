@@ -1,0 +1,52 @@
+//! Ablation: the hybrid tiling threshold (paper §IV-E fixes 20%).
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin ablation_tiling -- [--scale N] [--datasets AC]
+//! ```
+
+use hymm_bench::table::{mb, TextTable};
+use hymm_bench::BenchArgs;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_gcn::{run_inference, GcnModel};
+
+fn main() {
+    let mut args = BenchArgs::from_env();
+    // Default (all seven datasets) means "no explicit choice": pick the
+    // paper's peak-effect dataset. An explicit --datasets list is honoured
+    // (first entry).
+    if args.datasets.len() == hymm_graph::datasets::Dataset::ALL.len() {
+        args.datasets = vec![hymm_graph::datasets::Dataset::AmazonComputers];
+    }
+    if args.datasets.len() > 1 {
+        eprintln!(
+            "[ablation] multiple datasets given; using the first ({})",
+            args.datasets[0].abbrev()
+        );
+    }
+    let dataset = args.datasets[0];
+    let w = match args.scale {
+        Some(n) => dataset.synthesize_scaled(n),
+        None => dataset.synthesize(),
+    };
+    let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+    println!("Tiling-threshold sweep on {} (HyMM)", dataset.name());
+    let mut t = TextTable::new(vec!["fraction", "cycles", "ALU util", "DRAM (MB)"]);
+    for percent in [0u32, 5, 10, 15, 20, 30, 50, 75, 100] {
+        let cfg = AcceleratorConfig {
+            tiling_fraction: percent as f64 / 100.0,
+            ..AcceleratorConfig::default()
+        };
+        eprintln!("[ablation] fraction {percent}% ...");
+        let r = run_inference(&cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent")
+            .report;
+        t.row(vec![
+            format!("{percent}%"),
+            r.cycles.to_string(),
+            format!("{:.1}%", r.alu_utilization() * 100.0),
+            mb(r.dram_bytes()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the paper selects 20%, clamped to what the DMB can hold)");
+}

@@ -1,0 +1,35 @@
+//! Runs the complete experiment suite — every table and figure from one
+//! shared simulation pass — and prints them in paper order.
+use hymm_bench::{export, figures, runner, BenchArgs};
+use hymm_core::config::AcceleratorConfig;
+
+fn main() {
+    // extra flag: --csv <dir> exports machine-readable per-figure data
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir = None;
+    if let Some(i) = raw.iter().position(|a| a == "--csv") {
+        raw.remove(i);
+        csv_dir = Some(std::path::PathBuf::from(raw.remove(i)));
+    }
+    let args = BenchArgs::parse(raw);
+    let results = runner::run_suite(&args);
+    if let Some(dir) = &csv_dir {
+        export::write_csvs(&results, dir).expect("csv export");
+        eprintln!("[hymm-bench] wrote CSV files to {}", dir.display());
+    }
+    let sections = [
+        figures::table1(),
+        figures::table2(&results),
+        figures::table3(&AcceleratorConfig::default()),
+        figures::fig2(&results),
+        figures::fig6(&results),
+        figures::fig7(&results),
+        figures::fig8(&results),
+        figures::fig9(&results),
+        figures::fig10(&results),
+        figures::fig11(&results),
+    ];
+    for s in sections {
+        println!("{s}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 2.
+use hymm_bench::{figures, runner, BenchArgs};
+fn main() {
+    let results = runner::run_suite(&BenchArgs::from_env());
+    println!("{}", figures::fig2(&results));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 9.
+use hymm_bench::{figures, runner, BenchArgs};
+fn main() {
+    let results = runner::run_suite(&BenchArgs::from_env());
+    println!("{}", figures::fig9(&results));
+}

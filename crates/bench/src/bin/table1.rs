@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (qualitative dataflow comparison).
+fn main() {
+    println!("{}", hymm_bench::figures::table1());
+}

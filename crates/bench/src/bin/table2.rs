@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table II (dataset statistics + sorting cost).
+use hymm_bench::{figures, runner, BenchArgs};
+fn main() {
+    let results = runner::run_suite(&BenchArgs::from_env());
+    println!("{}", figures::table2(&results));
+}

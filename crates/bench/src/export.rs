@@ -1,0 +1,135 @@
+//! CSV export of the experiment results, for plotting the paper's figures
+//! with external tools.
+//!
+//! `all_experiments --csv <dir>` writes one file per figure with one row per
+//! (dataset, series) point, mirroring the text tables of [`crate::figures`].
+
+use crate::runner::DatasetResults;
+use hymm_mem::MatrixKind;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+fn write_file(dir: &Path, name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut f = fs::File::create(dir.join(name))?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+/// Writes `fig2.csv` … `fig11.csv` and `table2.csv` into `dir` (created if
+/// missing).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the files.
+pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+
+    let mut table2 = Vec::new();
+    let mut fig2 = Vec::new();
+    let mut fig6 = Vec::new();
+    let mut fig7 = Vec::new();
+    let mut fig8 = Vec::new();
+    let mut fig9 = Vec::new();
+    let mut fig10 = Vec::new();
+    let mut fig11 = Vec::new();
+
+    for r in results {
+        let ds = r.spec.dataset.abbrev();
+        table2.push(format!(
+            "{ds},{},{},{:.4},{:.4},{},{},{:.3}",
+            r.spec.nodes,
+            r.spec.edges,
+            r.spec.adjacency_sparsity,
+            r.spec.feature_sparsity,
+            r.spec.feature_len,
+            r.spec.layer_dim,
+            r.sort_cost_ms
+        ));
+        for (frac, share) in r.degrees.cumulative_curve(20) {
+            fig2.push(format!("{ds},{frac:.2},{share:.6}"));
+        }
+        fig6.push(format!(
+            "{ds},{},{},{:.6}",
+            r.storage.plain_bytes,
+            r.storage.tiled_bytes,
+            r.storage.overhead()
+        ));
+        let op = r.run("OP").report.cycles as f64;
+        for label in ["OP", "RWP", "HyMM"] {
+            let rep = &r.run(label).report;
+            fig7.push(format!("{ds},{label},{},{:.4}", rep.cycles, op / rep.cycles as f64));
+            fig8.push(format!("{ds},{label},{:.6}", rep.alu_utilization()));
+            fig9.push(format!("{ds},{label},{:.6}", rep.dmb_hit_rate()));
+            let k = |kind: MatrixKind| rep.dram.kind(kind).total_bytes();
+            fig11.push(format!(
+                "{ds},{label},{},{},{},{},{},{}",
+                k(MatrixKind::SparseA),
+                k(MatrixKind::SparseX),
+                k(MatrixKind::Weight),
+                k(MatrixKind::Combination),
+                k(MatrixKind::Output),
+                rep.dram_bytes()
+            ));
+        }
+        for label in ["OP", "HyMM-noacc", "HyMM"] {
+            fig10.push(format!(
+                "{ds},{label},{}",
+                r.run(label).report.partials.peak_bytes
+            ));
+        }
+    }
+
+    write_file(
+        dir,
+        "table2.csv",
+        "dataset,nodes,edges,adj_sparsity,feat_sparsity,feat_len,layer_dim,sort_cost_ms",
+        &table2,
+    )?;
+    write_file(dir, "fig2.csv", "dataset,node_fraction,edge_share", &fig2)?;
+    write_file(dir, "fig6.csv", "dataset,plain_bytes,tiled_bytes,overhead", &fig6)?;
+    write_file(dir, "fig7.csv", "dataset,dataflow,cycles,speedup_vs_op", &fig7)?;
+    write_file(dir, "fig8.csv", "dataset,dataflow,alu_utilization", &fig8)?;
+    write_file(dir, "fig9.csv", "dataset,dataflow,dmb_hit_rate", &fig9)?;
+    write_file(dir, "fig10.csv", "dataset,series,peak_partial_bytes", &fig10)?;
+    write_file(
+        dir,
+        "fig11.csv",
+        "dataset,dataflow,a_bytes,x_bytes,w_bytes,xw_bytes,axw_bytes,total_bytes",
+        &fig11,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_dataset;
+    use hymm_graph::datasets::Dataset;
+
+    #[test]
+    fn writes_all_csv_files() {
+        let results = vec![run_dataset(Dataset::Cora, Some(150))];
+        let dir = std::env::temp_dir().join("hymm_csv_test");
+        let _ = fs::remove_dir_all(&dir);
+        write_csvs(&results, &dir).expect("csv export succeeds");
+        for name in [
+            "table2.csv",
+            "fig2.csv",
+            "fig6.csv",
+            "fig7.csv",
+            "fig8.csv",
+            "fig9.csv",
+            "fig10.csv",
+            "fig11.csv",
+        ] {
+            let content = fs::read_to_string(dir.join(name)).expect("file exists");
+            assert!(content.lines().count() >= 2, "{name} has no data rows");
+            assert!(content.contains("CR"), "{name} missing dataset rows");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment regenerators for every table and figure of the HyMM paper.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; they all share
+//! the [`runner`] (dataset synthesis + simulation, with caching across
+//! figures in `all_experiments`), the [`table`] text formatter and the
+//! [`args`] command-line conventions:
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin fig7 -- [--scale N] [--datasets CR,AP]
+//! ```
+//!
+//! `--scale N` caps every dataset at `N` nodes (average degree, sparsities
+//! and dimensions preserved) for quick runs; the default is the paper's
+//! full-size Table II datasets. `--datasets` filters by the paper's
+//! two-letter abbreviations.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — qualitative dataflow comparison |
+//! | `table2` | Table II — dataset statistics + sorting cost |
+//! | `table3` | Table III — hardware parameters and area |
+//! | `fig2` | Fig. 2 — degree distribution / region split |
+//! | `fig6` | Fig. 6 — tiled-format storage overhead |
+//! | `fig7` | Fig. 7 — speedup of RWP / OP / HyMM |
+//! | `fig8` | Fig. 8 — ALU utilisation |
+//! | `fig9` | Fig. 9 — DMB hit rate |
+//! | `fig10` | Fig. 10 — partial-output memory footprint |
+//! | `fig11` | Fig. 11 — DRAM access breakdown |
+//! | `all_experiments` | everything above, one shared simulation pass |
+
+pub mod args;
+pub mod export;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use args::BenchArgs;
+pub use runner::{run_suite, DataflowRun, DatasetResults};

@@ -1,0 +1,195 @@
+//! Shared simulation runner: synthesise each dataset once, run every
+//! dataflow variant on it, and hand the reports to the figure printers.
+
+use crate::args::BenchArgs;
+use hymm_core::config::{AcceleratorConfig, Dataflow, MergePolicy};
+use hymm_core::stats::SimReport;
+use hymm_gcn::{run_inference, GcnModel};
+use hymm_graph::datasets::{Dataset, DatasetSpec};
+use hymm_graph::degree::DegreeDistribution;
+use hymm_graph::sort::degree_sort;
+use hymm_sparse::storage::{StorageLayout, StorageReport};
+use hymm_sparse::tiling::{TiledMatrix, TilingConfig};
+
+/// One dataflow variant's simulation result on one dataset.
+#[derive(Debug, Clone)]
+pub struct DataflowRun {
+    /// Display label (`OP`, `RWP`, `HyMM`, `HyMM-noacc`).
+    pub label: &'static str,
+    /// Aggregate report over the two GCN layers.
+    pub report: SimReport,
+}
+
+/// Everything the figures need about one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetResults {
+    /// Which dataset (possibly scaled).
+    pub spec: DatasetSpec,
+    /// Degree-distribution summary of the synthesised graph (Fig. 2).
+    pub degrees: DegreeDistribution,
+    /// Host-side degree-sorting cost in ms (Table II).
+    pub sort_cost_ms: f64,
+    /// Tiled-format storage accounting (Fig. 6).
+    pub storage: StorageReport,
+    /// Tiling threshold used by the hybrid dataflow.
+    pub tiling_threshold: usize,
+    /// `GRID x GRID` non-zero density map of the degree-sorted adjacency
+    /// matrix (paper Fig. 2b), row-major, normalised per-matrix.
+    pub density_grid: Vec<f64>,
+    /// Simulation runs: OP baseline, RWP baseline, HyMM, and HyMM without
+    /// the near-memory accumulator (Fig. 10's ablation).
+    pub runs: Vec<DataflowRun>,
+}
+
+impl DatasetResults {
+    /// Looks up one run by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was not simulated.
+    pub fn run(&self, label: &str) -> &DataflowRun {
+        self.runs
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("no run labelled {label:?}"))
+    }
+}
+
+/// Cells per side of the Fig. 2b density map.
+pub const DENSITY_GRID: usize = 16;
+
+/// Computes a `grid x grid` map of non-zero counts over a square matrix,
+/// normalised so the densest cell is 1.0.
+pub fn density_grid(adj: &hymm_sparse::Coo, grid: usize) -> Vec<f64> {
+    let n = adj.rows().max(1);
+    let mut counts = vec![0u64; grid * grid];
+    for (r, c, _) in adj.iter() {
+        let gr = (r * grid / n).min(grid - 1);
+        let gc = (c * grid / n).min(grid - 1);
+        counts[gr * grid + gc] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / max).collect()
+}
+
+/// Runs the full suite for one dataset: synthesis, preprocessing analytics,
+/// and all four simulation variants.
+pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
+    let spec = match scale {
+        Some(n) => dataset.spec().scaled(n),
+        None => dataset.spec(),
+    };
+    let workload = spec.synthesize();
+    let degrees = DegreeDistribution::measure(&workload.adjacency);
+
+    // Preprocessing analytics (Table II sorting cost, Fig. 6 storage).
+    let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
+    let config = AcceleratorConfig::default();
+    let tiling = TilingConfig {
+        threshold_fraction: config.tiling_fraction,
+        dmb_capacity_rows: Some(config.dmb_capacity_rows(spec.layer_dim)),
+    };
+    let tiled = TiledMatrix::new(&sorted.adjacency, &tiling).expect("sorted matrix is square");
+    let storage = tiled.storage_report(&StorageLayout::default());
+    let tiling_threshold = tiled.threshold();
+    let density_grid = density_grid(&sorted.adjacency, DENSITY_GRID);
+
+    let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
+
+    let mut runs = Vec::new();
+    for df in Dataflow::ALL {
+        let outcome = run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+            .expect("workload shapes are consistent");
+        runs.push(DataflowRun { label: df.label(), report: outcome.report });
+    }
+    // HyMM with the near-memory accumulator disabled (materialised region-1
+    // partials) — the "without accumulator" series of Fig. 10.
+    let mut noacc = config.clone();
+    noacc.hybrid_merge = MergePolicy::Materialize;
+    let outcome =
+        run_inference(&noacc, Dataflow::Hybrid, &workload.adjacency, &workload.features, &model)
+            .expect("workload shapes are consistent");
+    runs.push(DataflowRun { label: "HyMM-noacc", report: outcome.report });
+
+    DatasetResults {
+        spec,
+        degrees,
+        sort_cost_ms: sorted.sort_cost_ms,
+        storage,
+        tiling_threshold,
+        density_grid,
+        runs,
+    }
+}
+
+/// Runs the suite for every requested dataset, printing progress to stderr.
+pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
+    args.datasets
+        .iter()
+        .map(|&d| {
+            eprintln!("[hymm-bench] simulating {} ...", d.name());
+            run_dataset(d, args.scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_has_all_variants() {
+        let r = run_dataset(Dataset::Cora, Some(200));
+        assert_eq!(r.runs.len(), 4);
+        for label in ["OP", "RWP", "HyMM", "HyMM-noacc"] {
+            assert!(r.run(label).report.cycles > 0, "{label} did not run");
+        }
+        assert!(r.sort_cost_ms >= 0.0);
+        assert!(r.storage.tiled_bytes > r.storage.plain_bytes);
+        assert!(r.tiling_threshold > 0);
+    }
+
+    #[test]
+    fn hybrid_beats_outer_on_small_cora() {
+        let r = run_dataset(Dataset::Cora, Some(400));
+        assert!(r.run("HyMM").report.cycles < r.run("OP").report.cycles);
+    }
+}
+
+#[cfg(test)]
+mod density_tests {
+    use super::*;
+    use hymm_sparse::Coo;
+
+    #[test]
+    fn density_grid_normalises_to_one() {
+        let adj = Coo::from_triplets(8, 8, [(0, 0, 1.0), (0, 1, 1.0), (7, 7, 1.0)]).unwrap();
+        let g = density_grid(&adj, 4);
+        assert_eq!(g.len(), 16);
+        let max = g.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        // top-left cell holds 2 of 3 entries
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[15] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_grid_empty_matrix_is_zero() {
+        let adj = Coo::new(4, 4).unwrap();
+        let g = density_grid(&adj, 4);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sorted_power_law_is_top_left_heavy() {
+        use hymm_graph::generator::preferential_attachment;
+        use hymm_graph::sort::degree_sort;
+        let adj = preferential_attachment(400, 2_000, 3);
+        let sorted = degree_sort(&adj).unwrap();
+        let g = density_grid(&sorted.adjacency, 4);
+        // the top-left cell must be the global maximum
+        assert!((g[0] - 1.0).abs() < 1e-12, "top-left is not densest: {g:?}");
+        // and denser than the bottom-right sparse remainder
+        assert!(g[0] > 10.0 * g[15].max(1e-9));
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text aligned table formatting for experiment output.
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use hymm_bench::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["dataset", "cycles"]);
+/// t.row(vec!["CR".into(), "123".into()]);
+/// let s = t.render();
+/// assert!(s.contains("dataset"));
+/// assert!(s.contains("CR"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<&str>) -> TextTable {
+        TextTable { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count as a human-readable MB string.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn speedup(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(mb(2_500_000), "2.50");
+        assert_eq!(speedup(4.776), "4.78x");
+        assert_eq!(pct(0.913), "91.3%");
+    }
+}

@@ -1,0 +1,141 @@
+//! Analytical area model (paper Table III).
+//!
+//! The paper estimates component areas with Synopsys Design Compiler on the
+//! ASAP 7 nm PDK plus CACTI for the memories, then scales to TSMC 40 nm to
+//! compare against GCNAX and GROW. Neither toolchain is redistributable, so
+//! this module uses a **parametric linear model calibrated to the paper's
+//! published numbers**: per-MAC logic area and per-KB SRAM area are derived
+//! from Table III at the default configuration, which both reproduces the
+//! table exactly and extrapolates sensibly for configuration sweeps.
+
+use crate::config::AcceleratorConfig;
+
+/// Area of one component at both process nodes, in mm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentArea {
+    /// Component name as printed in Table III.
+    pub name: &'static str,
+    /// Configuration description.
+    pub configuration: String,
+    /// Area in mm² at 7 nm.
+    pub area_7nm: f64,
+    /// Area in mm² at 40 nm.
+    pub area_40nm: f64,
+}
+
+/// The full Table III: per-component and total areas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// One row per component.
+    pub components: Vec<ComponentArea>,
+}
+
+impl AreaReport {
+    /// Total area at 7 nm in mm².
+    pub fn total_7nm(&self) -> f64 {
+        self.components.iter().map(|c| c.area_7nm).sum()
+    }
+
+    /// Total area at 40 nm in mm².
+    pub fn total_40nm(&self) -> f64 {
+        self.components.iter().map(|c| c.area_40nm).sum()
+    }
+}
+
+// Calibration constants derived from Table III at the default config.
+const PE_MM2_PER_MAC_7NM: f64 = 0.006 / 16.0;
+const PE_MM2_PER_MAC_40NM: f64 = 0.21 / 16.0;
+const DMB_MM2_PER_KB_7NM: f64 = 0.077 / 256.0;
+const DMB_MM2_PER_KB_40NM: f64 = 2.39 / 256.0;
+const SMQ_MM2_PER_KB_7NM: f64 = 0.008 / 16.0;
+const SMQ_MM2_PER_KB_40NM: f64 = 0.254 / 16.0;
+const LSQ_ENTRY_BYTES: f64 = 68.0;
+const LSQ_MM2_PER_KB_7NM: f64 = 0.009 / (128.0 * LSQ_ENTRY_BYTES / 1024.0);
+const LSQ_MM2_PER_KB_40NM: f64 = 0.292 / (128.0 * LSQ_ENTRY_BYTES / 1024.0);
+const OTHERS_MM2_7NM: f64 = 0.004;
+const OTHERS_MM2_40NM: f64 = 0.129;
+
+/// Estimates the silicon area of an accelerator configuration.
+pub fn estimate_area(config: &AcceleratorConfig) -> AreaReport {
+    let macs = config.num_pes as f64;
+    let dmb_kb = config.mem.dmb_bytes as f64 / 1024.0;
+    let smq_kb = (config.mem.smq_ptr_bytes + config.mem.smq_idx_bytes) as f64 / 1024.0;
+    let lsq_kb = config.mem.lsq_entries as f64 * LSQ_ENTRY_BYTES / 1024.0;
+
+    AreaReport {
+        components: vec![
+            ComponentArea {
+                name: "PE Array",
+                configuration: format!("{} MAC", config.num_pes),
+                area_7nm: macs * PE_MM2_PER_MAC_7NM,
+                area_40nm: macs * PE_MM2_PER_MAC_40NM,
+            },
+            ComponentArea {
+                name: "DMB",
+                configuration: format!("{} KB", dmb_kb as u64),
+                area_7nm: dmb_kb * DMB_MM2_PER_KB_7NM,
+                area_40nm: dmb_kb * DMB_MM2_PER_KB_40NM,
+            },
+            ComponentArea {
+                name: "SMQ",
+                configuration: format!("{} KB", smq_kb as u64),
+                area_7nm: smq_kb * SMQ_MM2_PER_KB_7NM,
+                area_40nm: smq_kb * SMQ_MM2_PER_KB_40NM,
+            },
+            ComponentArea {
+                name: "LSQ",
+                configuration: format!("{} Entries, 68B/Entry", config.mem.lsq_entries),
+                area_7nm: lsq_kb * LSQ_MM2_PER_KB_7NM,
+                area_40nm: lsq_kb * LSQ_MM2_PER_KB_40NM,
+            },
+            ComponentArea {
+                name: "Others",
+                configuration: "-".to_string(),
+                area_7nm: OTHERS_MM2_7NM,
+                area_40nm: OTHERS_MM2_40NM,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_table_three() {
+        let report = estimate_area(&AcceleratorConfig::default());
+        let by_name = |n: &str| {
+            report.components.iter().find(|c| c.name == n).expect("component present")
+        };
+        assert!((by_name("PE Array").area_7nm - 0.006).abs() < 1e-9);
+        assert!((by_name("DMB").area_7nm - 0.077).abs() < 1e-9);
+        assert!((by_name("SMQ").area_7nm - 0.008).abs() < 1e-9);
+        assert!((by_name("LSQ").area_7nm - 0.009).abs() < 1e-9);
+        assert!((by_name("DMB").area_40nm - 2.39).abs() < 1e-9);
+        // Paper totals: 0.106 mm² (7nm, rounded up from 0.104) and 3.215+
+        // component rounding at 40nm (0.21+2.39+0.254+0.292+0.129=3.275;
+        // the paper prints 3.215 with its own rounding). Check we are in
+        // that band.
+        assert!((report.total_7nm() - 0.104).abs() < 0.005);
+        assert!((report.total_40nm() - 3.275).abs() < 0.1);
+    }
+
+    #[test]
+    fn area_scales_with_configuration() {
+        let small = estimate_area(&AcceleratorConfig::default());
+        let mut cfg = AcceleratorConfig { num_pes: 32, ..AcceleratorConfig::default() };
+        cfg.mem.dmb_bytes = 512 * 1024;
+        let big = estimate_area(&cfg);
+        assert!(big.total_7nm() > small.total_7nm());
+        assert!((big.components[0].area_7nm / small.components[0].area_7nm - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forty_nm_is_larger_than_seven() {
+        let r = estimate_area(&AcceleratorConfig::default());
+        for c in &r.components {
+            assert!(c.area_40nm > c.area_7nm, "{} scaling inverted", c.name);
+        }
+    }
+}

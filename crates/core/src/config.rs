@@ -1,0 +1,146 @@
+//! Accelerator configuration.
+
+use hymm_mem::MemConfig;
+
+/// Which SpDeMM dataflow the accelerator runs (paper §V: "The RWP dataflow
+/// represents GROW, and the OP architecture represents GCNAX").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Pure row-wise product on the unsorted graph (GROW-style baseline).
+    RowWise,
+    /// Pure outer product on the unsorted graph (GCNAX-style baseline).
+    Outer,
+    /// HyMM: degree sorting + region tiling, OP on region 1, RWP on
+    /// regions 2/3, near-memory accumulator.
+    Hybrid,
+    /// Pure column-wise product (AWB-GCN-style; Table I's fourth family —
+    /// an extension, not part of the paper's evaluation).
+    ColumnWise,
+}
+
+impl Dataflow {
+    /// All dataflows in the paper's comparison order.
+    pub const ALL: [Dataflow; 3] = [Dataflow::Outer, Dataflow::RowWise, Dataflow::Hybrid];
+
+    /// The paper's three dataflows plus the column-wise-product extension.
+    pub const EXTENDED: [Dataflow; 4] =
+        [Dataflow::Outer, Dataflow::ColumnWise, Dataflow::RowWise, Dataflow::Hybrid];
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataflow::RowWise => "RWP",
+            Dataflow::Outer => "OP",
+            Dataflow::Hybrid => "HyMM",
+            Dataflow::ColumnWise => "CWP",
+        }
+    }
+}
+
+/// How partial outputs produced by the outer product are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergePolicy {
+    /// HyMM's near-memory accumulator beside the DMB: a write hit merges in
+    /// place without occupying a PE (paper §IV-D "Write with accumulation").
+    NearMemory,
+    /// Conventional read-modify-write through the PE adder: each merge
+    /// costs a buffer read, a PE add and a write back (baseline OP engines).
+    PeReadModifyWrite,
+    /// No merging on the fly: partial products are materialised to a log
+    /// and merged in a separate pass (traditional outer-product
+    /// implementations, the "without accumulator" series of Fig. 10).
+    Materialize,
+}
+
+/// Full accelerator configuration, defaulting to the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Memory subsystem parameters.
+    pub mem: MemConfig,
+    /// Number of MAC lanes in the PE array (16 in Table III). One
+    /// scalar-vector operation uses all lanes for one cycle per 64-byte
+    /// chunk.
+    pub num_pes: usize,
+    /// Merge policy for the hybrid dataflow's OP phase.
+    pub hybrid_merge: MergePolicy,
+    /// Merge policy for the pure-OP baseline.
+    pub baseline_merge: MergePolicy,
+    /// Maximum loads outstanding ahead of the PE (memory-level-parallelism
+    /// window; bounded by the LSQ in hardware).
+    pub mlp_window: usize,
+    /// Output-row tile size for the OP engine, in rows. `None` derives it
+    /// from the DMB capacity (half the buffer for outputs, as GCNAX-style
+    /// loop tiling does).
+    pub op_tile_rows: Option<usize>,
+    /// Tiling threshold as a fraction of nodes for the hybrid dataflow
+    /// (20 % in the paper, clamped to what the DMB can hold).
+    pub tiling_fraction: f64,
+    /// Whether the LSQ forwards combination-phase stores to
+    /// aggregation-phase loads (paper §IV-B). Disable for ablation.
+    pub lsq_forwarding: bool,
+    /// Useful fraction of MAC lanes per cycle for the column-wise-product
+    /// extension (models AWB-GCN's row imbalance before rebalancing).
+    pub cwp_lane_efficiency: f64,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            mem: MemConfig::default(),
+            num_pes: 16,
+            hybrid_merge: MergePolicy::NearMemory,
+            baseline_merge: MergePolicy::Materialize,
+            mlp_window: 64,
+            op_tile_rows: None,
+            tiling_fraction: 0.20,
+            lsq_forwarding: true,
+            cwp_lane_efficiency: 0.8,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Effective OP output-tile size in rows.
+    pub fn op_tile_rows(&self) -> usize {
+        self.op_tile_rows.unwrap_or_else(|| (self.mem.dmb_lines() / 2).max(1))
+    }
+
+    /// Rows of a `dim`-wide dense matrix the DMB can hold (used to clamp
+    /// the hybrid tiling threshold, paper §IV-E).
+    pub fn dmb_capacity_rows(&self, dim: usize) -> usize {
+        (self.mem.dmb_lines() / self.mem.lines_per_row(dim)).max(1)
+    }
+
+    /// Output rows per CWP tile: one output-column slice (4 B per row) must
+    /// fit in half the DMB.
+    pub fn cwp_tile_rows(&self) -> usize {
+        (self.mem.dmb_bytes / 8).max(self.mem.elems_per_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.num_pes, 16);
+        assert_eq!(c.tiling_fraction, 0.20);
+        assert_eq!(c.hybrid_merge, MergePolicy::NearMemory);
+        assert_eq!(c.op_tile_rows(), 2048);
+    }
+
+    #[test]
+    fn dmb_capacity_rows_for_layer_dim() {
+        let c = AcceleratorConfig::default();
+        assert_eq!(c.dmb_capacity_rows(16), 4096);
+        assert_eq!(c.dmb_capacity_rows(32), 2048);
+    }
+
+    #[test]
+    fn dataflow_labels() {
+        assert_eq!(Dataflow::Hybrid.label(), "HyMM");
+        assert_eq!(Dataflow::ALL.len(), 3);
+    }
+}

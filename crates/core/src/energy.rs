@@ -1,0 +1,146 @@
+//! Energy model (extension beyond the paper).
+//!
+//! The paper evaluates performance and area only, but its baselines (GCNAX,
+//! GROW) report energy, so a reproduction intended for comparison work needs
+//! one. This is an **event-count model**: every counter the simulator
+//! already collects (MACs, buffer accesses, DRAM bytes) is multiplied by a
+//! per-event energy constant. Defaults are order-of-magnitude figures for a
+//! 40 nm node, the process the paper scales its area to: ~1 pJ per 32-bit
+//! MAC, ~6 pJ per 64-byte SRAM access, ~20 pJ per byte of DRAM traffic.
+//! All constants are public so studies can recalibrate.
+
+use crate::stats::SimReport;
+
+/// Per-event energy constants in picojoules.
+///
+/// # Example
+///
+/// ```
+/// use hymm_core::energy::EnergyModel;
+/// use hymm_core::stats::SimReport;
+///
+/// let mut report = SimReport::empty();
+/// report.cycles = 1_000;
+/// report.mac_cycles = 500;
+/// let estimate = EnergyModel::default().estimate(&report);
+/// assert!(estimate.total_uj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per 16-lane MAC operation (one 64-byte vector op).
+    pub pj_per_mac_op: f64,
+    /// Energy per partial-output merge addition.
+    pub pj_per_merge_op: f64,
+    /// Energy per DMB access (64-byte read or write, hit or fill).
+    pub pj_per_dmb_access: f64,
+    /// Energy per LSQ operation.
+    pub pj_per_lsq_op: f64,
+    /// Energy per byte moved to/from DRAM.
+    pub pj_per_dram_byte: f64,
+    /// Static leakage + clock power per cycle.
+    pub pj_per_cycle_static: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pj_per_mac_op: 16.0,   // 16 lanes x ~1 pJ per 32-bit FMA @40nm
+            pj_per_merge_op: 16.0, // adder pass over one 64-byte line
+            pj_per_dmb_access: 6.0,
+            pj_per_lsq_op: 1.0,
+            pj_per_dram_byte: 20.0,
+            pj_per_cycle_static: 5.0,
+        }
+    }
+}
+
+/// Energy estimate broken down by component, in microjoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// PE array dynamic energy (MACs + merges).
+    pub pe_uj: f64,
+    /// On-chip buffer dynamic energy (DMB + LSQ).
+    pub buffer_uj: f64,
+    /// Off-chip DRAM energy.
+    pub dram_uj: f64,
+    /// Static energy over the run's cycles.
+    pub static_uj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.pe_uj + self.buffer_uj + self.dram_uj + self.static_uj
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy of a simulated run from its report.
+    pub fn estimate(&self, report: &SimReport) -> EnergyReport {
+        let hits = report.dmb_hits;
+        let dmb_accesses =
+            hits.read_hits + hits.read_misses + hits.write_hits + hits.write_misses;
+        let lsq_ops = report.lsq.loads + report.lsq.stores;
+        let pj_to_uj = 1e-6;
+        EnergyReport {
+            pe_uj: (report.mac_cycles as f64 * self.pj_per_mac_op
+                + report.merge_cycles as f64 * self.pj_per_merge_op)
+                * pj_to_uj,
+            buffer_uj: (dmb_accesses as f64 * self.pj_per_dmb_access
+                + lsq_ops as f64 * self.pj_per_lsq_op)
+                * pj_to_uj,
+            dram_uj: report.dram_bytes() as f64 * self.pj_per_dram_byte * pj_to_uj,
+            static_uj: report.cycles as f64 * self.pj_per_cycle_static * pj_to_uj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimReport;
+
+    fn report() -> SimReport {
+        let mut r = SimReport::empty();
+        r.cycles = 1_000;
+        r.mac_cycles = 500;
+        r.merge_cycles = 100;
+        r.dmb_hits.read_hits = 200;
+        r.dmb_hits.read_misses = 50;
+        r.lsq.loads = 250;
+        r.lsq.stores = 100;
+        r.dram.record_read(hymm_mem::MatrixKind::Combination, 6_400);
+        r
+    }
+
+    #[test]
+    fn components_add_up() {
+        let e = EnergyModel::default().estimate(&report());
+        let total = e.pe_uj + e.buffer_uj + e.dram_uj + e.static_uj;
+        assert!((e.total_uj() - total).abs() < 1e-12);
+        assert!(e.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn dram_dominates_for_traffic_heavy_runs() {
+        let mut r = report();
+        r.dram.record_read(hymm_mem::MatrixKind::Output, 100_000_000);
+        let e = EnergyModel::default().estimate(&r);
+        assert!(e.dram_uj > e.pe_uj + e.buffer_uj);
+    }
+
+    #[test]
+    fn zero_report_zero_energy() {
+        let e = EnergyModel::default().estimate(&SimReport::empty());
+        assert_eq!(e.total_uj(), 0.0);
+    }
+
+    #[test]
+    fn custom_constants_scale_linearly() {
+        let base = EnergyModel::default().estimate(&report());
+        let mut model = EnergyModel::default();
+        model.pj_per_dram_byte *= 2.0;
+        let doubled = model.estimate(&report());
+        assert!((doubled.dram_uj / base.dram_uj - 2.0).abs() < 1e-9);
+    }
+}

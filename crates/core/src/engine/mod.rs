@@ -1,0 +1,26 @@
+//! Timed SpDeMM engines.
+//!
+//! [`cwp`] implements AWB-GCN's column-wise product as an extension beyond
+//! the paper's evaluated dataflows.
+//!
+//! Each engine walks one sparse operand in its dataflow's order, charging
+//! every pointer/index/value fetch (through the SMQ), every dense-line load
+//! and store (through LSQ → DMB → DRAM) and every PE operation, while also
+//! computing the real numeric result. [`rwp`] implements the row-wise
+//! product, [`op`] the outer product with output-row tiling and a pluggable
+//! partial-merge policy, and [`hybrid`] sequences them over the three
+//! regions of a degree-sorted adjacency matrix exactly as HyMM does
+//! (OP first, then RWP — paper §III).
+
+pub mod cwp;
+pub mod hybrid;
+pub mod op;
+pub mod rwp;
+
+use hymm_mem::{LineAddr, MatrixKind};
+
+/// Line address of chunk `chunk` of dense row `row` in a matrix whose rows
+/// span `lines_per_row` lines.
+pub(crate) fn row_line(kind: MatrixKind, row: usize, lines_per_row: usize, chunk: usize) -> LineAddr {
+    LineAddr::new(kind, (row * lines_per_row + chunk) as u64)
+}

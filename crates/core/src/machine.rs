@@ -1,0 +1,199 @@
+//! The assembled accelerator: memory subsystem + PE array + run cursor.
+//!
+//! A [`Machine`] owns one instance of every hardware component for the
+//! duration of a simulated GCN layer. Engines (see [`crate::engine`]) borrow
+//! it mutably, advance time through it, and leave their counters behind; the
+//! front end ([`crate::sim`]) snapshots the counters into a
+//! [`crate::stats::SimReport`] at the end.
+
+use crate::config::AcceleratorConfig;
+use crate::pe::PeArray;
+use crate::stats::{PartialStats, PhaseReport, SimReport};
+use hymm_mem::dram::AccessPattern;
+use hymm_mem::{Dmb, Dram, Lsq, MatrixKind};
+
+/// One assembled accelerator instance.
+#[derive(Debug)]
+pub struct Machine {
+    /// Off-chip memory channel.
+    pub dram: Dram,
+    /// Unified dense matrix buffer.
+    pub dmb: Dmb,
+    /// Load/store queue.
+    pub lsq: Lsq,
+    /// PE array.
+    pub pe: PeArray,
+    /// The configuration the machine was built from.
+    pub config: AcceleratorConfig,
+    /// Partial-output footprint counters (engines update these).
+    pub partials: PartialStats,
+    /// Completed phases.
+    pub phases: Vec<PhaseReport>,
+    /// DMB hit counters at the end of the previous phase.
+    hit_snapshot: hymm_mem::stats::HitStats,
+    /// DRAM bytes at the end of the previous phase.
+    dram_snapshot: u64,
+}
+
+impl Machine {
+    /// Builds an idle machine from a configuration.
+    pub fn new(config: &AcceleratorConfig) -> Machine {
+        Machine {
+            dram: Dram::new(&config.mem),
+            dmb: Dmb::new(&config.mem),
+            lsq: Lsq::new(&config.mem),
+            pe: PeArray::new(config.num_pes),
+            config: config.clone(),
+            partials: PartialStats::default(),
+            phases: Vec::new(),
+            hit_snapshot: hymm_mem::stats::HitStats::default(),
+            dram_snapshot: 0,
+        }
+    }
+
+    /// Loads one line through LSQ → DMB → DRAM; returns the cycle at which
+    /// the data is available. Honours store-to-load forwarding when the
+    /// configuration enables it. `pattern` describes how a resulting DRAM
+    /// fill lands on the channel.
+    pub fn load_line(
+        &mut self,
+        now: u64,
+        addr: hymm_mem::LineAddr,
+        pattern: AccessPattern,
+    ) -> u64 {
+        use hymm_mem::lsq::LoadPath;
+        if self.config.lsq_forwarding {
+            match self.lsq.load(now, addr) {
+                LoadPath::Forwarded { ready } => ready,
+                LoadPath::Issue { at } => {
+                    let outcome = self.dmb.read(at, addr, &mut self.dram, pattern);
+                    self.lsq.complete_load(addr, outcome.ready);
+                    outcome.ready
+                }
+            }
+        } else {
+            self.dmb.read(now, addr, &mut self.dram, pattern).ready
+        }
+    }
+
+    /// Stores one line through LSQ → DMB; `allocate` selects write-allocate
+    /// versus streaming write-through. Returns the cycle at which the store
+    /// is accepted.
+    pub fn store_line(
+        &mut self,
+        now: u64,
+        addr: hymm_mem::LineAddr,
+        allocate: bool,
+        pattern: AccessPattern,
+    ) -> u64 {
+        let drained = if self.config.lsq_forwarding {
+            self.lsq.store(now, addr, now)
+        } else {
+            now
+        };
+        self.dmb.write(drained, addr, &mut self.dram, allocate, pattern).ready
+    }
+
+    /// Records a finished phase, attributing the DMB hit and DRAM traffic
+    /// counters accumulated since the previous phase boundary to it.
+    pub fn record_phase(&mut self, name: &str, start: u64, end: u64, nnz: u64) {
+        let hits_now = self.dmb.hit_stats();
+        let dram_now = self.dram.stats().total().total_bytes();
+        let delta = hymm_mem::stats::HitStats {
+            read_hits: hits_now.read_hits - self.hit_snapshot.read_hits,
+            read_misses: hits_now.read_misses - self.hit_snapshot.read_misses,
+            write_hits: hits_now.write_hits - self.hit_snapshot.write_hits,
+            write_misses: hits_now.write_misses - self.hit_snapshot.write_misses,
+        };
+        self.phases.push(PhaseReport {
+            name: name.to_string(),
+            start_cycle: start,
+            end_cycle: end,
+            nnz,
+            dmb_hits: delta,
+            dram_bytes: dram_now - self.dram_snapshot,
+        });
+        self.hit_snapshot = hits_now;
+        self.dram_snapshot = dram_now;
+    }
+
+    /// Flushes dirty output lines and snapshots every counter into a
+    /// report; `total_cycles` is the caller's end-of-execution cycle.
+    pub fn into_report(mut self, total_cycles: u64) -> SimReport {
+        // Final writeback of any dirty output still resident.
+        let flushed = self.dmb.flush_kind(total_cycles, MatrixKind::Output, &mut self.dram);
+        SimReport {
+            cycles: flushed.max(total_cycles),
+            mac_cycles: self.pe.mac_cycles(),
+            merge_cycles: self.pe.merge_cycles(),
+            dram: self.dram.stats().clone(),
+            dmb_hits: self.dmb.hit_stats(),
+            dmb_evictions: self.dmb.evictions(),
+            dmb_dirty_evictions: self.dmb.dirty_evictions(),
+            accumulator_merges: self.dmb.accumulator_merges(),
+            lsq: self.lsq.stats(),
+            partials: self.partials,
+            phases: self.phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymm_mem::LineAddr;
+
+    fn machine() -> Machine {
+        Machine::new(&AcceleratorConfig::default())
+    }
+
+    #[test]
+    fn load_line_misses_then_hits() {
+        let mut m = machine();
+        let addr = LineAddr::new(MatrixKind::Combination, 7);
+        let first = m.load_line(0, addr, AccessPattern::Random);
+        assert!(first > 100); // DRAM round trip
+        let second = m.load_line(first, addr, AccessPattern::Random);
+        assert!(second < first + 10); // buffer hit
+    }
+
+    #[test]
+    fn store_then_load_forwards() {
+        let mut m = machine();
+        let addr = LineAddr::new(MatrixKind::Combination, 3);
+        m.store_line(0, addr, true, AccessPattern::Sequential);
+        let ready = m.load_line(1, addr, AccessPattern::Random);
+        assert!(ready <= 4, "forwarded load should be fast, got {ready}");
+        assert_eq!(m.lsq.stats().forwards, 1);
+    }
+
+    #[test]
+    fn forwarding_can_be_disabled() {
+        let cfg =
+            AcceleratorConfig { lsq_forwarding: false, ..AcceleratorConfig::default() };
+        let mut m = Machine::new(&cfg);
+        let addr = LineAddr::new(MatrixKind::Combination, 3);
+        m.store_line(0, addr, true, AccessPattern::Sequential);
+        let _ = m.load_line(1, addr, AccessPattern::Random);
+        assert_eq!(m.lsq.stats().forwards, 0);
+    }
+
+    #[test]
+    fn report_flushes_outputs() {
+        let mut m = machine();
+        let addr = LineAddr::new(MatrixKind::Output, 0);
+        m.store_line(0, addr, true, AccessPattern::Sequential);
+        let report = m.into_report(100);
+        assert_eq!(report.dram.kind(MatrixKind::Output).writes, 1);
+        assert!(report.cycles >= 100);
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let mut m = machine();
+        m.record_phase("combination", 0, 10, 4);
+        let report = m.into_report(10);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].cycles(), 10);
+    }
+}

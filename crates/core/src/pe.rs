@@ -1,0 +1,133 @@
+//! The processing-engine (PE) array.
+//!
+//! HyMM's 16 PEs perform scalar-vector multiply-accumulate: a broadcast
+//! sparse scalar times a 64-byte dense vector, one 16-lane operation per
+//! cycle (paper §IV-C). Each PE holds a stationary buffer — output rows stay
+//! stationary in RWP mode, input rows in OP mode — which this timing model
+//! reflects by charging no buffer traffic for stationary operands.
+//!
+//! The array distinguishes **useful** MAC work from **merge** work (partial
+//! output read-modify-write adds): both occupy the array, but only useful
+//! MACs count towards the paper's Fig. 8 ALU-utilisation metric, whose text
+//! attributes the OP baseline's low utilisation to "wasted cycles caused by
+//! merging partial outputs and waiting for off-chip memory access".
+
+/// The PE array timing model.
+///
+/// # Example
+///
+/// ```
+/// use hymm_core::pe::PeArray;
+///
+/// let mut pe = PeArray::new(16);
+/// let done = pe.execute_mac(10, 1); // operands ready at cycle 10
+/// assert_eq!(done, 11);
+/// assert_eq!(pe.mac_cycles(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeArray {
+    lanes: usize,
+    busy_until: u64,
+    mac_cycles: u64,
+    merge_cycles: u64,
+    mac_ops: u64,
+    merge_ops: u64,
+}
+
+impl PeArray {
+    /// Creates an idle array with `lanes` MAC lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize) -> PeArray {
+        assert!(lanes > 0, "PE array needs at least one lane");
+        PeArray { lanes, busy_until: 0, mac_cycles: 0, merge_cycles: 0, mac_ops: 0, merge_ops: 0 }
+    }
+
+    /// Executes `chunks` scalar-vector MAC operations whose operands are
+    /// ready at `ready`; returns the completion cycle.
+    pub fn execute_mac(&mut self, ready: u64, chunks: u64) -> u64 {
+        let start = self.busy_until.max(ready);
+        self.busy_until = start + chunks;
+        self.mac_cycles += chunks;
+        self.mac_ops += chunks;
+        self.busy_until
+    }
+
+    /// Executes `chunks` partial-output merge additions (read-modify-write
+    /// through the PE adder); returns the completion cycle.
+    pub fn execute_merge(&mut self, ready: u64, chunks: u64) -> u64 {
+        let start = self.busy_until.max(ready);
+        self.busy_until = start + chunks;
+        self.merge_cycles += chunks;
+        self.merge_ops += chunks;
+        self.busy_until
+    }
+
+    /// Cycle up to which the array is busy.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Number of MAC lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles spent on useful MAC work.
+    pub fn mac_cycles(&self) -> u64 {
+        self.mac_cycles
+    }
+
+    /// Cycles spent merging partial outputs.
+    pub fn merge_cycles(&self) -> u64 {
+        self.merge_cycles
+    }
+
+    /// Useful MAC operations executed (one per 16-wide chunk).
+    pub fn mac_ops(&self) -> u64 {
+        self.mac_ops
+    }
+
+    /// Merge operations executed.
+    pub fn merge_ops(&self) -> u64 {
+        self.merge_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_back_to_back_ops() {
+        let mut pe = PeArray::new(16);
+        assert_eq!(pe.execute_mac(0, 1), 1);
+        assert_eq!(pe.execute_mac(0, 1), 2); // array busy, queues behind
+        assert_eq!(pe.mac_cycles(), 2);
+    }
+
+    #[test]
+    fn waits_for_operands() {
+        let mut pe = PeArray::new(16);
+        assert_eq!(pe.execute_mac(100, 2), 102);
+        assert_eq!(pe.busy_until(), 102);
+    }
+
+    #[test]
+    fn merge_and_mac_tracked_separately() {
+        let mut pe = PeArray::new(16);
+        pe.execute_mac(0, 3);
+        pe.execute_merge(0, 2);
+        assert_eq!(pe.mac_cycles(), 3);
+        assert_eq!(pe.merge_cycles(), 2);
+        assert_eq!(pe.busy_until(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn rejects_zero_lanes() {
+        let _ = PeArray::new(0);
+    }
+}

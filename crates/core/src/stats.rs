@@ -1,0 +1,194 @@
+//! Simulation reports.
+//!
+//! One [`SimReport`] per simulated layer collects everything the paper's
+//! evaluation section plots: total cycles (Fig. 7 speedups), ALU utilisation
+//! (Fig. 8), DMB hit rates (Fig. 9), partial-output footprint (Fig. 10) and
+//! the per-matrix DRAM access breakdown (Fig. 11).
+
+use hymm_mem::lsq::LsqStats;
+use hymm_mem::stats::HitStats;
+use hymm_mem::TrafficStats;
+
+/// Partial-output footprint accounting (paper Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialStats {
+    /// Partial-output line writes issued by the OP engine.
+    pub writes: u64,
+    /// Peak bytes of partial-output state alive at once (merged lines for
+    /// accumulator configurations, materialised log otherwise).
+    pub peak_bytes: u64,
+    /// Partial lines that had to be merged through DRAM (spilled before
+    /// their final merge).
+    pub dram_merges: u64,
+}
+
+impl PartialStats {
+    /// Accumulates another counter set.
+    pub fn merge(&mut self, other: &PartialStats) {
+        self.writes += other.writes;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.dram_merges += other.dram_merges;
+    }
+}
+
+/// Timing and counters of one execution phase (combination, or one
+/// aggregation region pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Human-readable phase name, e.g. `"combination"` or `"aggregation/op"`.
+    pub name: String,
+    /// First cycle of the phase.
+    pub start_cycle: u64,
+    /// Last cycle of the phase.
+    pub end_cycle: u64,
+    /// Non-zero entries processed.
+    pub nnz: u64,
+    /// DMB hit/miss counters accumulated during this phase only.
+    pub dmb_hits: HitStats,
+    /// DRAM bytes moved during this phase only.
+    pub dram_bytes: u64,
+}
+
+impl PhaseReport {
+    /// Cycles spent in this phase.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+}
+
+/// The complete report of one simulated GCN layer (or a whole inference if
+/// merged with [`SimReport::merge`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Useful MAC cycles in the PE array.
+    pub mac_cycles: u64,
+    /// Partial-output merge cycles executed in the PE array (zero when the
+    /// near-memory accumulator does the merging).
+    pub merge_cycles: u64,
+    /// DRAM traffic broken down by matrix kind (Fig. 11).
+    pub dram: TrafficStats,
+    /// DMB hit/miss counters (Fig. 9).
+    pub dmb_hits: HitStats,
+    /// DMB evictions.
+    pub dmb_evictions: u64,
+    /// DMB evictions that wrote dirty data back.
+    pub dmb_dirty_evictions: u64,
+    /// Near-memory accumulator merges.
+    pub accumulator_merges: u64,
+    /// LSQ counters (forwards, stalls).
+    pub lsq: LsqStats,
+    /// Partial-output footprint (Fig. 10).
+    pub partials: PartialStats,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl SimReport {
+    /// An all-zero report.
+    pub fn empty() -> SimReport {
+        SimReport {
+            cycles: 0,
+            mac_cycles: 0,
+            merge_cycles: 0,
+            dram: TrafficStats::new(),
+            dmb_hits: HitStats::default(),
+            dmb_evictions: 0,
+            dmb_dirty_evictions: 0,
+            accumulator_merges: 0,
+            lsq: LsqStats::default(),
+            partials: PartialStats::default(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Fraction of total cycles the PE array spends on useful MACs — the
+    /// paper's Fig. 8 ALU-utilisation metric. In `[0, 1]`.
+    pub fn alu_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mac_cycles as f64 / self.cycles as f64
+    }
+
+    /// Overall DMB hit rate in `[0, 1]` (Fig. 9).
+    pub fn dmb_hit_rate(&self) -> f64 {
+        self.dmb_hits.hit_rate()
+    }
+
+    /// Total DRAM bytes moved (Fig. 11 totals).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram.total().total_bytes()
+    }
+
+    /// Accumulates a subsequent layer's report into this one (cycles add,
+    /// peak footprints take the max).
+    pub fn merge(&mut self, other: &SimReport) {
+        self.cycles += other.cycles;
+        self.mac_cycles += other.mac_cycles;
+        self.merge_cycles += other.merge_cycles;
+        self.dram.merge(&other.dram);
+        self.dmb_hits.merge(&other.dmb_hits);
+        self.dmb_evictions += other.dmb_evictions;
+        self.dmb_dirty_evictions += other.dmb_dirty_evictions;
+        self.accumulator_merges += other.accumulator_merges;
+        self.lsq.loads += other.lsq.loads;
+        self.lsq.stores += other.lsq.stores;
+        self.lsq.forwards += other.lsq.forwards;
+        self.lsq.capacity_stalls += other.lsq.capacity_stalls;
+        self.partials.merge(&other.partials);
+        self.phases.extend(other.phases.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let mut r = SimReport::empty();
+        assert_eq!(r.alu_utilization(), 0.0);
+        r.cycles = 100;
+        r.mac_cycles = 40;
+        assert!((r.alu_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_cycles() {
+        let p = PhaseReport {
+            name: "x".into(),
+            start_cycle: 10,
+            end_cycle: 25,
+            nnz: 3,
+            dmb_hits: HitStats::default(),
+            dram_bytes: 0,
+        };
+        assert_eq!(p.cycles(), 15);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimReport::empty();
+        a.cycles = 10;
+        a.partials.peak_bytes = 100;
+        let mut b = SimReport::empty();
+        b.cycles = 5;
+        b.mac_cycles = 3;
+        b.partials.peak_bytes = 50;
+        b.phases.push(PhaseReport {
+            name: "p".into(),
+            start_cycle: 0,
+            end_cycle: 5,
+            nnz: 1,
+            dmb_hits: HitStats::default(),
+            dram_bytes: 0,
+        });
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.mac_cycles, 3);
+        assert_eq!(a.partials.peak_bytes, 100); // max, not sum
+        assert_eq!(a.phases.len(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! GCN model layer: multi-layer combination-first inference on the HyMM
+//! simulator.
+//!
+//! A GCN inference (paper Eq. 1) is `H^(l+1) = σ(Â X^(l) W^(l))` repeated
+//! over layers. This crate drives the `hymm-core` simulator through a whole
+//! inference:
+//!
+//! - [`model`] — layer/model description ([`model::GcnModel`]) with the
+//!   paper's two-layer, 16-hidden-dimension shape as the default;
+//! - [`inference`] — the driver: normalises the adjacency matrix once, runs
+//!   every layer under a chosen dataflow, applies ReLU between layers,
+//!   re-sparsifies the hidden activations (they are the next layer's sparse
+//!   `X`), and accumulates one [`hymm_core::SimReport`] per layer;
+//! - `reference` ([`reference::dense_inference`]) — an obviously-correct dense executor used to verify
+//!   every simulated inference numerically.
+
+pub mod inference;
+pub mod model;
+pub mod reference;
+
+pub use inference::{run_inference, InferenceOutcome};
+pub use model::{GcnModel, LayerSpec};

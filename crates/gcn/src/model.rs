@@ -1,0 +1,123 @@
+//! GCN model descriptions.
+
+use hymm_graph::features::dense_weights;
+use hymm_sparse::Dense;
+
+/// One GCN layer: input dimension → output dimension plus whether the
+/// activation is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output feature dimension.
+    pub out_dim: usize,
+    /// Apply ReLU after this layer (the paper's σ; typically every layer
+    /// except the last).
+    pub relu: bool,
+}
+
+/// A GCN model: an ordered list of layers with concrete weights.
+///
+/// # Example
+///
+/// ```
+/// use hymm_gcn::GcnModel;
+///
+/// let model = GcnModel::two_layer(1433, 16, 7, 42);
+/// assert_eq!(model.layers().len(), 2);
+/// assert_eq!(model.weights()[0].rows(), 1433);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    layers: Vec<LayerSpec>,
+    weights: Vec<Dense>,
+}
+
+impl GcnModel {
+    /// Builds a model from explicit layer specs, generating deterministic
+    /// weights from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn new(layers: Vec<LayerSpec>, seed: u64) -> GcnModel {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim, w[1].in_dim,
+                "layer output dim must match next layer input dim"
+            );
+        }
+        let weights = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| dense_weights(l.in_dim, l.out_dim, seed.wrapping_add(i as u64)))
+            .collect();
+        GcnModel { layers, weights }
+    }
+
+    /// The canonical two-layer GCN of the paper's evaluation:
+    /// `feature_len → hidden` with ReLU, then `hidden → classes`.
+    pub fn two_layer(feature_len: usize, hidden: usize, classes: usize, seed: u64) -> GcnModel {
+        GcnModel::new(
+            vec![
+                LayerSpec { in_dim: feature_len, out_dim: hidden, relu: true },
+                LayerSpec { in_dim: hidden, out_dim: classes, relu: false },
+            ],
+            seed,
+        )
+    }
+
+    /// Layer specifications.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Per-layer weight matrices.
+    pub fn weights(&self) -> &[Dense] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_layer_shapes() {
+        let m = GcnModel::two_layer(100, 16, 7, 0);
+        assert_eq!(m.weights()[0].rows(), 100);
+        assert_eq!(m.weights()[0].cols(), 16);
+        assert_eq!(m.weights()[1].rows(), 16);
+        assert_eq!(m.weights()[1].cols(), 7);
+        assert!(m.layers()[0].relu);
+        assert!(!m.layers()[1].relu);
+    }
+
+    #[test]
+    fn deterministic_weights() {
+        let a = GcnModel::two_layer(10, 4, 2, 5);
+        let b = GcnModel::two_layer(10, 4, 2, 5);
+        assert_eq!(a.weights()[0], b.weights()[0]);
+        let c = GcnModel::two_layer(10, 4, 2, 6);
+        assert_ne!(a.weights()[0], c.weights()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match next layer")]
+    fn rejects_dimension_mismatch() {
+        let _ = GcnModel::new(
+            vec![
+                LayerSpec { in_dim: 8, out_dim: 4, relu: true },
+                LayerSpec { in_dim: 5, out_dim: 2, relu: false },
+            ],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_empty_model() {
+        let _ = GcnModel::new(vec![], 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The seven evaluation datasets of the paper's Table II, synthesised.
+//!
+//! | Dataset | nodes | edges | adj. sparsity | feat. sparsity | feat. len | layer dim |
+//! |---|---|---|---|---|---|---|
+//! | Cora (CR) | 2,708 | 10,556 | 99.86 % | 98.73 % | 1,433 | 16 |
+//! | Amazon-Photo (AP) | 7,650 | 238,162 | 99.59 % | 65.26 % | 745 | 16 |
+//! | Amazon-Computers (AC) | 13,752 | 491,722 | 99.74 % | 65.16 % | 767 | 16 |
+//! | Computer-Science (CS) | 18,333 | 163,788 | 99.95 % | 99.12 % | 6,805 | 16 |
+//! | Physics (PH) | 34,493 | 495,924 | 99.96 % | 99.61 % | 8,415 | 16 |
+//! | Flickr (FR) | 89,250 | 899,756 | 99.99 % | 53.61 % | 500 | 16 |
+//! | Yelp (YP) | 716,847 | 13,954,819 | 99.99 % | 99.99 % | 300 | 16 |
+//!
+//! Each dataset is instantiated as a seeded power-law graph matching the
+//! node/edge counts plus a sparse feature matrix matching the feature
+//! sparsity and length (see the crate-level substitution note).
+
+use crate::features::sparse_features;
+use crate::generator::preferential_attachment;
+use hymm_sparse::Coo;
+
+/// The seven named datasets of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Cora citation graph (CR).
+    Cora,
+    /// Amazon-Photo co-purchase graph (AP).
+    AmazonPhoto,
+    /// Amazon-Computers co-purchase graph (AC).
+    AmazonComputers,
+    /// Coauthor Computer-Science graph (CS).
+    ComputerScience,
+    /// Coauthor Physics graph (PH).
+    Physics,
+    /// Flickr image-relationship graph (FR).
+    Flickr,
+    /// Yelp review graph (YP).
+    Yelp,
+}
+
+impl Dataset {
+    /// All datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Cora,
+        Dataset::AmazonPhoto,
+        Dataset::AmazonComputers,
+        Dataset::ComputerScience,
+        Dataset::Physics,
+        Dataset::Flickr,
+        Dataset::Yelp,
+    ];
+
+    /// The two-letter abbreviation used in the paper's figures.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Dataset::Cora => "CR",
+            Dataset::AmazonPhoto => "AP",
+            Dataset::AmazonComputers => "AC",
+            Dataset::ComputerScience => "CS",
+            Dataset::Physics => "PH",
+            Dataset::Flickr => "FR",
+            Dataset::Yelp => "YP",
+        }
+    }
+
+    /// Full dataset name as printed in Table II.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Cora => "Cora",
+            Dataset::AmazonPhoto => "Amazon-Photo",
+            Dataset::AmazonComputers => "Amazon-Computers",
+            Dataset::ComputerScience => "Computer-Science",
+            Dataset::Physics => "Physics",
+            Dataset::Flickr => "Flickr",
+            Dataset::Yelp => "Yelp",
+        }
+    }
+
+    /// Table II statistics for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::Cora => DatasetSpec {
+                dataset: *self,
+                nodes: 2_708,
+                edges: 10_556,
+                adjacency_sparsity: 0.9986,
+                feature_sparsity: 0.9873,
+                feature_len: 1_433,
+                layer_dim: 16,
+            },
+            Dataset::AmazonPhoto => DatasetSpec {
+                dataset: *self,
+                nodes: 7_650,
+                edges: 238_162,
+                adjacency_sparsity: 0.9959,
+                feature_sparsity: 0.6526,
+                feature_len: 745,
+                layer_dim: 16,
+            },
+            Dataset::AmazonComputers => DatasetSpec {
+                dataset: *self,
+                nodes: 13_752,
+                edges: 491_722,
+                adjacency_sparsity: 0.9974,
+                feature_sparsity: 0.6516,
+                feature_len: 767,
+                layer_dim: 16,
+            },
+            Dataset::ComputerScience => DatasetSpec {
+                dataset: *self,
+                nodes: 18_333,
+                edges: 163_788,
+                adjacency_sparsity: 0.9995,
+                feature_sparsity: 0.9912,
+                feature_len: 6_805,
+                layer_dim: 16,
+            },
+            Dataset::Physics => DatasetSpec {
+                dataset: *self,
+                nodes: 34_493,
+                edges: 495_924,
+                adjacency_sparsity: 0.9996,
+                feature_sparsity: 0.9961,
+                feature_len: 8_415,
+                layer_dim: 16,
+            },
+            Dataset::Flickr => DatasetSpec {
+                dataset: *self,
+                nodes: 89_250,
+                edges: 899_756,
+                adjacency_sparsity: 0.9999,
+                feature_sparsity: 0.5361,
+                feature_len: 500,
+                layer_dim: 16,
+            },
+            Dataset::Yelp => DatasetSpec {
+                dataset: *self,
+                nodes: 716_847,
+                edges: 13_954_819,
+                adjacency_sparsity: 0.9999,
+                feature_sparsity: 0.9999,
+                feature_len: 300,
+                layer_dim: 16,
+            },
+        }
+    }
+
+    /// Synthesises the full-size workload (deterministic per dataset).
+    pub fn synthesize(&self) -> Workload {
+        self.spec().synthesize()
+    }
+
+    /// Synthesises a workload scaled down to at most `max_nodes` nodes,
+    /// preserving the average degree, the sparsities and the feature length.
+    /// Useful for unit tests and quick examples.
+    pub fn synthesize_scaled(&self, max_nodes: usize) -> Workload {
+        self.spec().scaled(max_nodes).synthesize()
+    }
+}
+
+/// The Table II statistics of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which dataset this describes.
+    pub dataset: Dataset,
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Number of stored adjacency non-zeros ("# of edges" in Table II; PyG
+    /// stores undirected edges as two directed entries).
+    pub edges: usize,
+    /// Fraction of the adjacency matrix that is zero.
+    pub adjacency_sparsity: f64,
+    /// Fraction of the feature matrix that is zero.
+    pub feature_sparsity: f64,
+    /// Input feature vector length.
+    pub feature_len: usize,
+    /// Hidden-layer dimension (16 for every dataset in the paper).
+    pub layer_dim: usize,
+}
+
+impl DatasetSpec {
+    /// Returns a spec scaled down to at most `max_nodes` nodes with the
+    /// average degree, sparsities and dimensions preserved.
+    pub fn scaled(&self, max_nodes: usize) -> DatasetSpec {
+        if self.nodes <= max_nodes {
+            return *self;
+        }
+        let ratio = max_nodes as f64 / self.nodes as f64;
+        let mut edges = (self.edges as f64 * ratio).round() as usize;
+        // keep at least a spanning-tree's worth of edge entries
+        edges = edges.max(2 * (max_nodes - 1));
+        DatasetSpec { nodes: max_nodes, edges, ..*self }
+    }
+
+    /// Deterministic seed derived from the dataset identity and size, so
+    /// scaled and full workloads differ but are each reproducible.
+    fn seed(&self) -> u64 {
+        let tag = match self.dataset {
+            Dataset::Cora => 1,
+            Dataset::AmazonPhoto => 2,
+            Dataset::AmazonComputers => 3,
+            Dataset::ComputerScience => 4,
+            Dataset::Physics => 5,
+            Dataset::Flickr => 6,
+            Dataset::Yelp => 7,
+        };
+        (tag as u64) << 32 | self.nodes as u64
+    }
+
+    /// Synthesises the workload: a power-law adjacency matrix with
+    /// `edges` stored non-zeros and a sparse feature matrix.
+    pub fn synthesize(&self) -> Workload {
+        // `edges` counts stored nnz (directed entries); the generator counts
+        // undirected edges, each contributing two entries.
+        let undirected = self.edges / 2;
+        let adjacency = preferential_attachment(self.nodes, undirected, self.seed());
+        let features = sparse_features(
+            self.nodes,
+            self.feature_len,
+            self.feature_sparsity,
+            self.seed() ^ 0xfeed,
+        );
+        Workload { spec: *self, adjacency, features }
+    }
+}
+
+/// A synthesised GCN workload: graph plus input features.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The (possibly scaled) specification this workload realises.
+    pub spec: DatasetSpec,
+    /// Unnormalised, unsorted adjacency matrix (symmetric, unit weights).
+    pub adjacency: Coo,
+    /// Sparse input feature matrix `X` (`nodes x feature_len`).
+    pub features: Coo,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeDistribution;
+
+    #[test]
+    fn specs_match_table_two() {
+        let s = Dataset::Cora.spec();
+        assert_eq!(s.nodes, 2708);
+        assert_eq!(s.edges, 10556);
+        assert_eq!(s.feature_len, 1433);
+        let y = Dataset::Yelp.spec();
+        assert_eq!(y.nodes, 716_847);
+        assert_eq!(y.edges, 13_954_819);
+        for d in Dataset::ALL {
+            assert_eq!(d.spec().layer_dim, 16);
+        }
+    }
+
+    #[test]
+    fn abbrevs_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Dataset::ALL {
+            assert!(seen.insert(d.abbrev()));
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_mean_degree() {
+        let full = Dataset::AmazonPhoto.spec();
+        let small = full.scaled(1000);
+        let full_deg = full.edges as f64 / full.nodes as f64;
+        let small_deg = small.edges as f64 / small.nodes as f64;
+        assert!((full_deg - small_deg).abs() / full_deg < 0.05);
+    }
+
+    #[test]
+    fn scaled_noop_when_small_enough() {
+        let s = Dataset::Cora.spec();
+        assert_eq!(s.scaled(10_000), s);
+    }
+
+    #[test]
+    fn synthesized_cora_matches_spec() {
+        let w = Dataset::Cora.synthesize();
+        assert_eq!(w.adjacency.rows(), 2708);
+        // stored nnz within 1% of Table II's edge count
+        let err = (w.adjacency.nnz() as f64 - 10_556.0).abs() / 10_556.0;
+        assert!(err < 0.01, "edge count off by {err}");
+        // adjacency sparsity close to spec
+        assert!((w.adjacency.sparsity() - 0.9986).abs() < 0.001);
+    }
+
+    #[test]
+    fn synthesized_graph_is_power_law() {
+        let w = Dataset::Cora.synthesize();
+        let d = DegreeDistribution::measure(&w.adjacency);
+        let share = d.top_fraction_edge_share(0.20);
+        assert!(share > 0.45, "top-20% edge share {share} too flat for a power-law graph");
+    }
+
+    #[test]
+    fn feature_sparsity_respected() {
+        let w = Dataset::Cora.synthesize_scaled(500);
+        let density = 1.0 - w.features.sparsity();
+        assert!((density - (1.0 - 0.9873)).abs() < 0.005);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Dataset::AmazonPhoto.synthesize_scaled(300);
+        let b = Dataset::AmazonPhoto.synthesize_scaled(300);
+        assert_eq!(a.adjacency, b.adjacency);
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn different_datasets_different_graphs() {
+        let a = Dataset::Cora.synthesize_scaled(300);
+        let b = Dataset::Physics.synthesize_scaled(300);
+        assert_ne!(a.adjacency, b.adjacency);
+    }
+}

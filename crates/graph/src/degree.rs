@@ -1,0 +1,176 @@
+//! Degree-distribution analytics.
+//!
+//! Reproduces the measurement behind the paper's Fig. 2a: the cumulative
+//! edge share owned by the top-x % highest-degree nodes ("the top 20 % of
+//! high-degree nodes account for more than 70 % of the total edge count").
+
+use hymm_sparse::Coo;
+
+/// Summary of a graph's degree distribution.
+///
+/// # Example
+///
+/// ```
+/// use hymm_graph::degree::DegreeDistribution;
+/// use hymm_sparse::Coo;
+///
+/// # fn main() -> Result<(), hymm_sparse::SparseError> {
+/// // star graph: hub 0 owns every edge endpoint
+/// let mut adj = Coo::new(5, 5)?;
+/// for i in 1..5 {
+///     adj.push(0, i, 1.0)?;
+///     adj.push(i, 0, 1.0)?;
+/// }
+/// let dist = DegreeDistribution::measure(&adj);
+/// assert!(dist.top_fraction_edge_share(0.2) >= 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeDistribution {
+    /// Degrees sorted descending.
+    sorted_degrees: Vec<usize>,
+    /// Sum of all degrees (= nnz of the adjacency matrix).
+    total: usize,
+}
+
+impl DegreeDistribution {
+    /// Measures the out-degree (row non-zero) distribution of an adjacency
+    /// matrix. For symmetric graphs this equals the degree distribution.
+    pub fn measure(adj: &Coo) -> DegreeDistribution {
+        let mut deg = adj.row_degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let total = deg.iter().sum();
+        DegreeDistribution { sorted_degrees: deg, total }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.sorted_degrees.len()
+    }
+
+    /// Total degree mass (number of stored adjacency non-zeros).
+    pub fn total_edges(&self) -> usize {
+        self.total
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.sorted_degrees.first().copied().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.sorted_degrees.is_empty() {
+            return 0.0;
+        }
+        self.total as f64 / self.sorted_degrees.len() as f64
+    }
+
+    /// Fraction of total edges owned by the `fraction` highest-degree nodes
+    /// (`fraction` in `[0, 1]`). This is the paper's Fig. 2a metric.
+    pub fn top_fraction_edge_share(&self, fraction: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.nodes() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+        let k = k.min(self.nodes());
+        let top: usize = self.sorted_degrees[..k].iter().sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The full cumulative curve sampled at `points` evenly spaced node
+    /// fractions, as `(node_fraction, edge_share)` pairs — the data series of
+    /// Fig. 2a.
+    pub fn cumulative_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (1..=points)
+            .map(|i| {
+                let f = i as f64 / points as f64;
+                (f, self.top_fraction_edge_share(f))
+            })
+            .collect()
+    }
+
+    /// Gini coefficient of the degree distribution — a scalar skewness
+    /// measure (0 = perfectly flat, →1 = all edges on one node) used by the
+    /// ablation benches to characterise generated workloads.
+    pub fn gini(&self) -> f64 {
+        let n = self.sorted_degrees.len();
+        if n == 0 || self.total == 0 {
+            return 0.0;
+        }
+        // sorted descending; Gini over sorted ascending values.
+        let mut acc = 0.0f64;
+        for (i, &d) in self.sorted_degrees.iter().rev().enumerate() {
+            acc += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64;
+        }
+        acc / (n as f64 * self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{erdos_renyi, preferential_attachment};
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        let mut adj = Coo::new(10, 10).unwrap();
+        for i in 1..10 {
+            adj.push(0, i, 1.0).unwrap();
+            adj.push(i, 0, 1.0).unwrap();
+        }
+        let d = DegreeDistribution::measure(&adj);
+        assert_eq!(d.max_degree(), 9);
+        assert!(d.top_fraction_edge_share(0.1) >= 0.5);
+        assert!(d.gini() > 0.3);
+    }
+
+    #[test]
+    fn regular_graph_is_flat() {
+        // 6-cycle
+        let mut adj = Coo::new(6, 6).unwrap();
+        for i in 0..6 {
+            adj.push(i, (i + 1) % 6, 1.0).unwrap();
+            adj.push((i + 1) % 6, i, 1.0).unwrap();
+        }
+        let d = DegreeDistribution::measure(&adj);
+        assert!((d.top_fraction_edge_share(0.5) - 0.5).abs() < 1e-9);
+        assert!(d.gini().abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let g = preferential_attachment(300, 1200, 5);
+        let d = DegreeDistribution::measure(&g);
+        let curve = d.cumulative_curve(10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pa_more_skewed_than_er() {
+        let pa = DegreeDistribution::measure(&preferential_attachment(400, 2000, 2));
+        let er = DegreeDistribution::measure(&erdos_renyi(400, 2000, 2));
+        assert!(pa.gini() > er.gini());
+        assert!(pa.top_fraction_edge_share(0.2) > er.top_fraction_edge_share(0.2));
+    }
+
+    #[test]
+    fn mean_degree_matches() {
+        let g = erdos_renyi(100, 400, 1);
+        let d = DegreeDistribution::measure(&g);
+        assert!((d.mean_degree() - 8.0).abs() < 1e-9); // 800 nnz / 100 nodes
+    }
+
+    #[test]
+    fn empty_graph_degenerates_gracefully() {
+        let adj = Coo::new(4, 4).unwrap();
+        let d = DegreeDistribution::measure(&adj);
+        assert_eq!(d.total_edges(), 0);
+        assert_eq!(d.top_fraction_edge_share(0.5), 0.0);
+        assert_eq!(d.gini(), 0.0);
+    }
+}

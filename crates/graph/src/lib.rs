@@ -1,0 +1,45 @@
+//! Graph-workload substrate for the HyMM reproduction.
+//!
+//! The paper evaluates on seven PyG graph datasets (Table II). Those exact
+//! datasets are not redistributable here, so this crate **synthesises**
+//! workloads that reproduce the properties the accelerator actually reacts
+//! to: node count, edge count, adjacency sparsity, feature sparsity, feature
+//! length, hidden-layer dimension, and — crucially — the power-law degree
+//! distribution that motivates HyMM's hybrid dataflow (paper Fig. 2: the top
+//! 20 % of nodes own more than 70 % of the edges).
+//!
+//! Modules:
+//!
+//! - [`generator`] — seeded preferential-attachment (power-law) and
+//!   Erdős–Rényi graph generators;
+//! - [`datasets`] — the seven named dataset specifications and their
+//!   synthetic instantiation;
+//! - [`features`] — sparse feature-matrix synthesis;
+//! - [`normalize`] — the GCN adjacency normalisation `D^-1/2 (A+I) D^-1/2`;
+//! - [`degree`] — degree-distribution analytics (paper Fig. 2);
+//! - [`sort`] — degree sorting with wall-clock cost measurement (Table II's
+//!   "sorting cost" column);
+//! - [`io`] — MatrixMarket and edge-list loaders so the simulator can run on
+//!   real graphs instead of the synthetic stand-ins.
+//!
+//! # Example
+//!
+//! ```
+//! use hymm_graph::datasets::Dataset;
+//!
+//! let spec = Dataset::Cora.spec();
+//! assert_eq!(spec.nodes, 2708);
+//! let workload = Dataset::Cora.synthesize_scaled(64); // small for the doctest
+//! assert!(workload.adjacency.nnz() > 0);
+//! ```
+
+pub mod datasets;
+pub mod degree;
+pub mod features;
+pub mod generator;
+pub mod io;
+pub mod normalize;
+pub mod sort;
+
+pub use datasets::{Dataset, DatasetSpec, Workload};
+pub use degree::DegreeDistribution;

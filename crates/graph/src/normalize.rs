@@ -1,0 +1,144 @@
+//! GCN adjacency normalisation.
+//!
+//! A GCN layer computes `H' = σ(Â X W)` where `Â = D̃^-1/2 (A + I) D̃^-1/2`
+//! is the symmetrically normalised adjacency matrix with self-loops (Kipf &
+//! Welling; the paper's Eq. 1 notes "the aggregated features are normalized
+//! (i.e. Â) since nodes exhibit different edge counts"). Normalisation
+//! changes values but not structure (beyond the added diagonal), so the
+//! accelerator's memory behaviour is driven by the same non-zero pattern.
+
+use hymm_sparse::Coo;
+
+/// Computes `Â = D̃^-1/2 (A + I) D̃^-1/2` from a (possibly weighted)
+/// adjacency matrix, where `D̃` is the degree matrix of `A + I`.
+///
+/// Duplicate triplets in the input are coalesced (summed) first. The result
+/// has exactly the input's structural non-zeros plus a full diagonal.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square.
+pub fn gcn_normalize(adj: &Coo) -> Coo {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+    let n = adj.rows();
+
+    // Coalesce duplicates.
+    let mut entries: Vec<(usize, usize, f32)> = adj.iter().collect();
+    entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let mut coalesced: Vec<(usize, usize, f32)> = Vec::with_capacity(entries.len() + n);
+    for (r, c, v) in entries {
+        match coalesced.last_mut() {
+            Some(last) if last.0 == r && last.1 == c => last.2 += v,
+            _ => coalesced.push((r, c, v)),
+        }
+    }
+
+    // Add self-loops (merge with any existing diagonal entries).
+    let mut has_diag = vec![false; n];
+    for &mut (r, c, ref mut v) in &mut coalesced {
+        if r == c {
+            has_diag[r] = true;
+            *v += 1.0;
+        }
+    }
+    for (i, had) in has_diag.iter().enumerate() {
+        if !had {
+            coalesced.push((i, i, 1.0));
+        }
+    }
+
+    // Weighted degree of A + I.
+    let mut degree = vec![0.0f64; n];
+    for &(r, _, v) in &coalesced {
+        degree[r] += v as f64;
+    }
+    let inv_sqrt: Vec<f64> =
+        degree.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+
+    let mut out = Coo::new(n, n).expect("square non-empty");
+    for (r, c, v) in coalesced {
+        let nv = (v as f64 * inv_sqrt[r] * inv_sqrt[c]) as f32;
+        out.push(r, c, nv).expect("in bounds");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymm_sparse::Csr;
+
+    #[test]
+    fn adds_self_loops() {
+        let adj = Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let norm = gcn_normalize(&adj);
+        let m = Csr::from_coo(&norm);
+        for i in 0..3 {
+            assert!(m.get(i, i) > 0.0, "missing self-loop at {i}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_unit_diagonal() {
+        let adj = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let norm = gcn_normalize(&adj);
+        let m = Csr::from_coo(&norm);
+        // node degrees with self-loop: 2 and 2 → off-diagonal = 1/2
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rows_of_regular_graph_sum_to_one() {
+        // 4-cycle: every node has degree 2, so with self-loops D̃ = 3I and
+        // each row of Â sums to 3 * (1/3) = 1.
+        let adj = Coo::from_triplets(
+            4,
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (3, 0, 1.0),
+                (0, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let m = Csr::from_coo(&gcn_normalize(&adj));
+        for r in 0..4 {
+            let (_, vals) = m.row(r);
+            let sum: f32 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn result_is_symmetric_for_symmetric_input() {
+        let adj =
+            Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+                .unwrap();
+        let m = Csr::from_coo(&gcn_normalize(&adj));
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((m.get(r, c) - m.get(c, r)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn structure_is_input_plus_diagonal() {
+        let adj = Coo::from_triplets(3, 3, [(0, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let norm = gcn_normalize(&adj);
+        assert_eq!(norm.nnz(), 2 + 3);
+    }
+
+    #[test]
+    fn existing_diagonal_is_merged_not_duplicated() {
+        let adj = Coo::from_triplets(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let norm = gcn_normalize(&adj);
+        assert_eq!(norm.nnz(), 4); // (0,0), (0,1), (1,0), (1,1)
+    }
+}

@@ -1,0 +1,129 @@
+//! Line addressing by matrix kind.
+//!
+//! The accelerator works on five logical matrices per GCN layer. Every
+//! memory request is tagged with its [`MatrixKind`] so that the DRAM traffic
+//! breakdown of the paper's Fig. 11 and the class-priority eviction of the
+//! DMB (§IV-D: "data is evicted to the off-chip memory in the order of W and
+//! then XW, ensuring that partial outputs are retained") fall out of the
+//! model naturally.
+
+/// The logical matrix a memory line belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatrixKind {
+    /// The sparse adjacency matrix `A` (pointer/index/value streams).
+    SparseA,
+    /// The sparse feature matrix `X` (pointer/index/value streams).
+    SparseX,
+    /// The dense weight matrix `W`.
+    Weight,
+    /// The combination result `XW` — input to aggregation.
+    Combination,
+    /// The aggregation output `AXW` (including partial outputs).
+    Output,
+}
+
+impl MatrixKind {
+    /// All kinds, in a stable order used for stats tables.
+    pub const ALL: [MatrixKind; 5] = [
+        MatrixKind::SparseA,
+        MatrixKind::SparseX,
+        MatrixKind::Weight,
+        MatrixKind::Combination,
+        MatrixKind::Output,
+    ];
+
+    /// Dense index used by per-kind counter arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            MatrixKind::SparseA => 0,
+            MatrixKind::SparseX => 1,
+            MatrixKind::Weight => 2,
+            MatrixKind::Combination => 3,
+            MatrixKind::Output => 4,
+        }
+    }
+
+    /// Eviction priority class in the unified buffer: lower values are
+    /// evicted first. The paper's order is `W`, then `XW`, with `AXW`
+    /// partial outputs retained as long as possible.
+    pub fn evict_class(&self) -> u8 {
+        match self {
+            // Sparse streams are not cached in the DMB (they live in the
+            // SMQ), but give them a defined class anyway.
+            MatrixKind::SparseA | MatrixKind::SparseX => 0,
+            MatrixKind::Weight => 0,
+            MatrixKind::Combination => 1,
+            MatrixKind::Output => 2,
+        }
+    }
+
+    /// Short label used in printed experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatrixKind::SparseA => "A",
+            MatrixKind::SparseX => "X",
+            MatrixKind::Weight => "W",
+            MatrixKind::Combination => "XW",
+            MatrixKind::Output => "AXW",
+        }
+    }
+}
+
+/// A 64-byte line address: a matrix kind plus a line index within that
+/// matrix. For the GCN layer dimension of 16 × f32 one dense matrix row is
+/// exactly one line; wider rows span consecutive line indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineAddr {
+    /// The matrix this line belongs to.
+    pub kind: MatrixKind,
+    /// Line index within the matrix.
+    pub index: u64,
+}
+
+impl LineAddr {
+    /// Convenience constructor.
+    pub fn new(kind: MatrixKind, index: u64) -> LineAddr {
+        LineAddr { kind, index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for k in MatrixKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn eviction_order_matches_paper() {
+        assert!(MatrixKind::Weight.evict_class() < MatrixKind::Combination.evict_class());
+        assert!(MatrixKind::Combination.evict_class() < MatrixKind::Output.evict_class());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = MatrixKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn line_addr_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = LineAddr::new(MatrixKind::Weight, 3);
+        let b = LineAddr::new(MatrixKind::Weight, 3);
+        let c = LineAddr::new(MatrixKind::Output, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<LineAddr> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

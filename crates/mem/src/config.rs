@@ -1,0 +1,103 @@
+//! Memory-subsystem configuration.
+
+/// Configuration of the off-chip memory and all on-chip buffers, defaulting
+/// to the paper's Table III parameters at a 1 GHz accelerator clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Off-chip bandwidth in bytes per cycle. The paper assumes 64 GB/s; at
+    /// 1 GHz that is 64 B per cycle.
+    pub dram_bytes_per_cycle: u64,
+    /// Fixed off-chip access latency in cycles.
+    pub dram_latency: u64,
+    /// Extra channel-occupancy cycles charged per **random** (non-streaming)
+    /// DRAM request, modelling row-buffer misses: scattered 64-byte accesses
+    /// achieve only a fraction of the peak streaming bandwidth.
+    pub dram_random_penalty: u64,
+    /// Number of independent DRAM channels (extension; the paper assumes a
+    /// single 64 GB/s channel). Each channel provides `dram_bytes_per_cycle`
+    /// of bandwidth; requests are placed on the earliest-free channel.
+    pub dram_channels: usize,
+    /// Dense matrix buffer capacity in bytes (256 KB in Table III).
+    pub dmb_bytes: usize,
+    /// Line size in bytes (the 64-byte vector format of §IV).
+    pub line_bytes: usize,
+    /// Number of miss status holding registers in the DMB.
+    pub mshr_count: usize,
+    /// DMB hit latency in cycles.
+    pub dmb_hit_latency: u64,
+    /// Load/store queue entries (128 in Table III).
+    pub lsq_entries: usize,
+    /// SMQ pointer buffer capacity in bytes (4 KB in Table III).
+    pub smq_ptr_bytes: usize,
+    /// SMQ index buffer capacity in bytes (12 KB in Table III).
+    pub smq_idx_bytes: usize,
+    /// Lines of sparse stream the SMQ prefetches ahead of consumption
+    /// (bounded by the index buffer; kept small so the stream does not
+    /// monopolise DRAM bandwidth).
+    pub smq_prefetch_lines: usize,
+    /// Use HyMM's class-ordered eviction (W first, then XW, retain AXW —
+    /// paper §IV-D). When `false` the DMB falls back to plain global LRU,
+    /// the ablation baseline.
+    pub class_eviction: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            dram_bytes_per_cycle: 64,
+            dram_latency: 100,
+            dram_random_penalty: 2,
+            dram_channels: 1,
+            dmb_bytes: 256 * 1024,
+            line_bytes: 64,
+            mshr_count: 32,
+            dmb_hit_latency: 2,
+            lsq_entries: 128,
+            smq_ptr_bytes: 4 * 1024,
+            smq_idx_bytes: 12 * 1024,
+            smq_prefetch_lines: 32,
+            class_eviction: true,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Number of 64-byte lines the DMB can hold.
+    pub fn dmb_lines(&self) -> usize {
+        self.dmb_bytes / self.line_bytes
+    }
+
+    /// `f32` elements per line.
+    pub fn elems_per_line(&self) -> usize {
+        self.line_bytes / 4
+    }
+
+    /// Lines needed to hold one dense row of `dim` `f32` elements.
+    pub fn lines_per_row(&self, dim: usize) -> usize {
+        dim.div_ceil(self.elems_per_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_three() {
+        let c = MemConfig::default();
+        assert_eq!(c.dmb_bytes, 262_144);
+        assert_eq!(c.dmb_lines(), 4096);
+        assert_eq!(c.lsq_entries, 128);
+        assert_eq!(c.smq_ptr_bytes + c.smq_idx_bytes, 16 * 1024);
+        assert_eq!(c.dram_bytes_per_cycle, 64);
+    }
+
+    #[test]
+    fn lines_per_row_rounds_up() {
+        let c = MemConfig::default();
+        assert_eq!(c.elems_per_line(), 16);
+        assert_eq!(c.lines_per_row(16), 1);
+        assert_eq!(c.lines_per_row(17), 2);
+        assert_eq!(c.lines_per_row(1), 1);
+    }
+}

@@ -1,0 +1,557 @@
+//! The unified dense matrix buffer (DMB).
+//!
+//! Unlike prior GCN accelerators with separate per-matrix buffers, HyMM's
+//! DMB is a single 256 KB buffer shared by `W`, `XW` and `AXW` lines
+//! (paper §III/§IV-D). Capacity is managed with an LRU policy that evicts in
+//! **class order** — `W` first, then `XW`, retaining `AXW` partial outputs —
+//! so whichever dataflow is running automatically gets the space split the
+//! paper describes ("the unified buffer holds a substantial quantity of XW"
+//! during RWP, more output space during OP).
+//!
+//! The buffer has one read and one write port (one request each per cycle),
+//! a configurable number of MSHRs for outstanding read misses, and a
+//! near-memory accumulator used by the engines to merge partial outputs on
+//! write hits without occupying the PE adders.
+
+use crate::address::{LineAddr, MatrixKind};
+use crate::config::MemConfig;
+use crate::dram::{AccessPattern, Dram};
+use crate::stats::HitStats;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    dirty: bool,
+    /// Cycle at which the line's fill completes (0 for write-allocated).
+    ready_at: u64,
+    /// LRU timestamp; unique per touch.
+    lru: u64,
+}
+
+/// Outcome of a [`Dmb::read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Cycle at which the data is available to the requester.
+    pub ready: u64,
+    /// Whether the line was resident (including hit-under-fill).
+    pub hit: bool,
+}
+
+/// Outcome of a [`Dmb::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Cycle at which the write has been accepted by the buffer.
+    pub ready: u64,
+    /// Whether the target line was already resident — for partial-output
+    /// writes this is the "can merge in place" signal.
+    pub hit: bool,
+}
+
+/// The unified dense matrix buffer.
+///
+/// # Example
+///
+/// ```
+/// use hymm_mem::dram::{AccessPattern, Dram};
+/// use hymm_mem::{Dmb, LineAddr, MatrixKind, MemConfig};
+///
+/// let config = MemConfig::default();
+/// let mut dram = Dram::new(&config);
+/// let mut dmb = Dmb::new(&config);
+/// let addr = LineAddr::new(MatrixKind::Combination, 7);
+/// let miss = dmb.read(0, addr, &mut dram, AccessPattern::Random);
+/// assert!(!miss.hit);
+/// let hit = dmb.read(miss.ready, addr, &mut dram, AccessPattern::Random);
+/// assert!(hit.hit); // second access finds the line resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dmb {
+    capacity_lines: usize,
+    line_bytes: u64,
+    hit_latency: u64,
+    mshr_count: usize,
+    class_eviction: bool,
+    lines: HashMap<LineAddr, Line>,
+    /// Per-eviction-class LRU order: `lru tick -> addr`.
+    class_order: [BTreeMap<u64, LineAddr>; 3],
+    lru_tick: u64,
+    /// Outstanding fills: `addr -> completion cycle`.
+    mshrs: HashMap<LineAddr, u64>,
+    read_port_free: u64,
+    write_port_free: u64,
+    hits: HitStats,
+    evictions: u64,
+    dirty_evictions: u64,
+    mshr_merges: u64,
+    mshr_stalls: u64,
+    accumulator_merges: u64,
+}
+
+impl Dmb {
+    /// Creates an empty buffer from the memory configuration.
+    pub fn new(config: &MemConfig) -> Dmb {
+        Dmb {
+            capacity_lines: config.dmb_lines().max(1),
+            line_bytes: config.line_bytes as u64,
+            hit_latency: config.dmb_hit_latency,
+            mshr_count: config.mshr_count.max(1),
+            class_eviction: config.class_eviction,
+            lines: HashMap::new(),
+            class_order: [BTreeMap::new(), BTreeMap::new(), BTreeMap::new()],
+            lru_tick: 0,
+            mshrs: HashMap::new(),
+            read_port_free: 0,
+            write_port_free: 0,
+            hits: HitStats::default(),
+            evictions: 0,
+            dirty_evictions: 0,
+            mshr_merges: 0,
+            mshr_stalls: 0,
+            accumulator_merges: 0,
+        }
+    }
+
+    fn touch(&mut self, addr: LineAddr) {
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+        if let Some(line) = self.lines.get_mut(&addr) {
+            let class = addr.kind.evict_class() as usize;
+            self.class_order[class].remove(&line.lru);
+            line.lru = tick;
+            self.class_order[class].insert(tick, addr);
+        }
+    }
+
+    fn insert_line(&mut self, addr: LineAddr, dirty: bool, ready_at: u64, now: u64, dram: &mut Dram) {
+        while self.lines.len() >= self.capacity_lines {
+            if !self.evict_one(now, dram) {
+                break; // everything in flight; oversubscribe rather than deadlock
+            }
+        }
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+        self.lines.insert(addr, Line { dirty, ready_at, lru: tick });
+        self.class_order[addr.kind.evict_class() as usize].insert(tick, addr);
+    }
+
+    /// Evicts one line following class priority then LRU (or plain global
+    /// LRU when class eviction is disabled); returns false if no evictable
+    /// line exists (all in-flight).
+    fn evict_one(&mut self, now: u64, dram: &mut Dram) -> bool {
+        let victim_of = |order: &BTreeMap<u64, LineAddr>, mshrs: &HashMap<LineAddr, u64>| {
+            order.iter().map(|(&tick, &addr)| (tick, addr)).find(|(_, a)| !mshrs.contains_key(a))
+        };
+        if !self.class_eviction {
+            // Plain LRU: oldest tick across all classes.
+            let victim = (0..3)
+                .filter_map(|c| victim_of(&self.class_order[c], &self.mshrs))
+                .min_by_key(|&(tick, _)| tick)
+                .map(|(_, addr)| addr);
+            if let Some(addr) = victim {
+                let line = self.lines.remove(&addr).expect("victim is resident");
+                self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
+                self.evictions += 1;
+                if line.dirty {
+                    self.dirty_evictions += 1;
+                    dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
+                }
+                return true;
+            }
+            return false;
+        }
+        for class in 0..3 {
+            // Find oldest line in this class that is not an outstanding fill.
+            let victim = self.class_order[class]
+                .iter()
+                .map(|(_, &addr)| addr)
+                .find(|addr| !self.mshrs.contains_key(addr));
+            if let Some(addr) = victim {
+                let line = self.lines.remove(&addr).expect("victim is resident");
+                self.class_order[class].remove(&line.lru);
+                self.evictions += 1;
+                if line.dirty {
+                    self.dirty_evictions += 1;
+                    // Evicted victims scatter: charged as random traffic.
+                    dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reap_mshrs(&mut self, now: u64) {
+        self.mshrs.retain(|_, &mut ready| ready > now);
+    }
+
+    /// Presents a read request at cycle `now`; `pattern` describes how a
+    /// resulting DRAM fill would land on the channel (streaming engines pass
+    /// [`AccessPattern::Sequential`], scattered ones [`AccessPattern::Random`]).
+    pub fn read(
+        &mut self,
+        now: u64,
+        addr: LineAddr,
+        dram: &mut Dram,
+        pattern: AccessPattern,
+    ) -> ReadOutcome {
+        let start = now.max(self.read_port_free);
+        self.read_port_free = start + 1;
+        self.reap_mshrs(start);
+
+        if let Some(line) = self.lines.get(&addr) {
+            let ready = (start + self.hit_latency).max(line.ready_at);
+            self.hits.read_hits += 1;
+            self.touch(addr);
+            return ReadOutcome { ready, hit: true };
+        }
+        if let Some(&fill) = self.mshrs.get(&addr) {
+            // Secondary miss merged into the outstanding fill.
+            self.mshr_merges += 1;
+            self.hits.read_misses += 1;
+            return ReadOutcome { ready: fill.max(start + self.hit_latency), hit: false };
+        }
+        // Primary miss: allocate an MSHR, stalling if none is free.
+        let mut issue = start;
+        if self.mshrs.len() >= self.mshr_count {
+            let earliest = self.mshrs.values().copied().min().unwrap_or(issue);
+            self.mshr_stalls += 1;
+            issue = issue.max(earliest);
+            self.reap_mshrs(issue);
+        }
+        let ready = dram.read(issue, addr.kind, self.line_bytes, pattern);
+        self.mshrs.insert(addr, ready);
+        self.insert_line(addr, false, ready, issue, dram);
+        self.hits.read_misses += 1;
+        ReadOutcome { ready, hit: false }
+    }
+
+    /// Presents a write request at cycle `now`.
+    ///
+    /// With `allocate`, a missing line is write-allocated (full-line write —
+    /// no fetch); otherwise the write bypasses the buffer straight to DRAM
+    /// (used for streaming output rows the engine will never touch again).
+    pub fn write(
+        &mut self,
+        now: u64,
+        addr: LineAddr,
+        dram: &mut Dram,
+        allocate: bool,
+        pattern: AccessPattern,
+    ) -> WriteOutcome {
+        let start = now.max(self.write_port_free);
+        self.write_port_free = start + 1;
+        self.reap_mshrs(start);
+
+        if let Some(line) = self.lines.get_mut(&addr) {
+            line.dirty = true;
+            self.hits.write_hits += 1;
+            self.touch(addr);
+            return WriteOutcome { ready: start + self.hit_latency, hit: true };
+        }
+        self.hits.write_misses += 1;
+        if allocate {
+            self.insert_line(addr, true, start + self.hit_latency, start, dram);
+            WriteOutcome { ready: start + self.hit_latency, hit: false }
+        } else {
+            dram.write(start, addr.kind, self.line_bytes, pattern);
+            WriteOutcome { ready: start + 1, hit: false }
+        }
+    }
+
+    /// Records a near-memory accumulator merge (engines call this when a
+    /// partial-output write hit is merged in place).
+    pub fn record_accumulator_merge(&mut self) {
+        self.accumulator_merges += 1;
+    }
+
+    /// Writes back all dirty lines of `kind` and drops every line of that
+    /// kind; returns the cycle at which the last writeback is accepted.
+    pub fn flush_kind(&mut self, now: u64, kind: MatrixKind, dram: &mut Dram) -> u64 {
+        let addrs: Vec<LineAddr> =
+            self.lines.keys().filter(|a| a.kind == kind).copied().collect();
+        let mut done = now;
+        // Deterministic order: by line index.
+        let mut sorted = addrs;
+        sorted.sort_by_key(|a| a.index);
+        for addr in sorted {
+            let line = self.lines.remove(&addr).expect("listed line is resident");
+            self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
+            if line.dirty {
+                // Flushes walk line indices in order: streaming writeback.
+                done = done.max(dram.write(done, kind, self.line_bytes, AccessPattern::Sequential));
+            }
+        }
+        done
+    }
+
+    /// Drops every line of `kind` without writeback (dead data).
+    pub fn invalidate_kind(&mut self, kind: MatrixKind) {
+        let addrs: Vec<LineAddr> =
+            self.lines.keys().filter(|a| a.kind == kind).copied().collect();
+        for addr in addrs {
+            let line = self.lines.remove(&addr).expect("listed line is resident");
+            self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
+        }
+    }
+
+    /// Whether a line is currently resident.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.lines.contains_key(&addr)
+    }
+
+    /// Number of resident lines of `kind`.
+    pub fn resident_lines(&self, kind: MatrixKind) -> usize {
+        self.lines.keys().filter(|a| a.kind == kind).count()
+    }
+
+    /// Total resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    /// Hit/miss counters.
+    pub fn hit_stats(&self) -> HitStats {
+        self.hits
+    }
+
+    /// Total evictions (dirty or clean).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evictions that wrote data back to DRAM.
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
+    }
+
+    /// Secondary read misses merged into outstanding MSHRs.
+    pub fn mshr_merges(&self) -> u64 {
+        self.mshr_merges
+    }
+
+    /// Requests that stalled waiting for a free MSHR.
+    pub fn mshr_stalls(&self) -> u64 {
+        self.mshr_stalls
+    }
+
+    /// Near-memory accumulator merges recorded by the engines.
+    pub fn accumulator_merges(&self) -> u64 {
+        self.accumulator_merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(lines: usize) -> MemConfig {
+        MemConfig { dmb_bytes: lines * 64, ..MemConfig::default() }
+    }
+
+    fn addr(kind: MatrixKind, i: u64) -> LineAddr {
+        LineAddr::new(kind, i)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let miss = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        assert!(!miss.hit);
+        assert!(miss.ready >= 101);
+        let hit = dmb.read(miss.ready, a, &mut dram, AccessPattern::Random);
+        assert!(hit.hit);
+        assert_eq!(hit.ready, miss.ready + cfg.dmb_hit_latency);
+    }
+
+    #[test]
+    fn hit_under_fill_waits_for_data() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let miss = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        // Request again before the fill completes: counts as hit, but data
+        // is not available earlier than the fill.
+        let again = dmb.read(5, a, &mut dram, AccessPattern::Random);
+        assert!(again.hit);
+        assert!(again.ready >= miss.ready);
+    }
+
+    #[test]
+    fn secondary_miss_merges_into_mshr() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let _ = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        // Evict knowledge: the line is resident (in-flight), so a second read
+        // is a hit-under-fill, not a merge. Exercise the merge path via a
+        // different structure: invalidate the line but keep the MSHR.
+        dmb.invalidate_kind(MatrixKind::Combination);
+        let merged = dmb.read(1, a, &mut dram, AccessPattern::Random);
+        assert!(!merged.hit);
+        assert_eq!(dmb.mshr_merges(), 1);
+        assert_eq!(dram.stats().kind(MatrixKind::Combination).reads, 1, "no second DRAM read");
+        assert!(merged.ready >= 101);
+    }
+
+    #[test]
+    fn write_allocate_and_dirty_eviction() {
+        let cfg = small_config(2);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        for i in 0..3 {
+            dmb.write(0, addr(MatrixKind::Output, i), &mut dram, true, AccessPattern::Random);
+        }
+        assert_eq!(dmb.occupancy(), 2);
+        assert_eq!(dmb.evictions(), 1);
+        assert_eq!(dmb.dirty_evictions(), 1);
+        assert_eq!(dram.stats().kind(MatrixKind::Output).writes, 1);
+    }
+
+    #[test]
+    fn write_through_bypasses_buffer() {
+        let cfg = small_config(4);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let out = dmb.write(0, addr(MatrixKind::Output, 9), &mut dram, false, AccessPattern::Random);
+        assert!(!out.hit);
+        assert_eq!(dmb.occupancy(), 0);
+        assert_eq!(dram.stats().kind(MatrixKind::Output).write_bytes, 64);
+    }
+
+    #[test]
+    fn eviction_prefers_weight_class() {
+        let cfg = small_config(3);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        // Fill with one line of each class; Output is the LRU-oldest.
+        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(1, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(2, addr(MatrixKind::Weight, 0), &mut dram, true, AccessPattern::Random);
+        // Insert a fourth line: despite Output being oldest, W must go first.
+        dmb.write(3, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
+        assert!(dmb.contains(addr(MatrixKind::Output, 0)));
+        assert!(dmb.contains(addr(MatrixKind::Combination, 0)));
+        assert!(!dmb.contains(addr(MatrixKind::Weight, 0)));
+        // And the next one takes XW, still not the partial outputs.
+        dmb.write(4, addr(MatrixKind::Output, 2), &mut dram, true, AccessPattern::Random);
+        assert!(!dmb.contains(addr(MatrixKind::Combination, 0)));
+        assert!(dmb.contains(addr(MatrixKind::Output, 0)));
+    }
+
+    #[test]
+    fn lru_within_class() {
+        let cfg = small_config(2);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        dmb.write(0, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(1, addr(MatrixKind::Combination, 1), &mut dram, true, AccessPattern::Random);
+        // Touch line 0 so line 1 becomes LRU.
+        let _ = dmb.read(2, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
+        dmb.write(3, addr(MatrixKind::Combination, 2), &mut dram, true, AccessPattern::Random);
+        assert!(dmb.contains(addr(MatrixKind::Combination, 0)));
+        assert!(!dmb.contains(addr(MatrixKind::Combination, 1)));
+    }
+
+    #[test]
+    fn read_port_serialises() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        dmb.write(0, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(0, addr(MatrixKind::Combination, 1), &mut dram, true, AccessPattern::Random);
+        let a = dmb.read(10, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
+        let b = dmb.read(10, addr(MatrixKind::Combination, 1), &mut dram, AccessPattern::Random);
+        assert_eq!(a.ready + 1, b.ready); // one port, one cycle apart
+    }
+
+    #[test]
+    fn mshr_limit_stalls() {
+        let mut cfg = small_config(64);
+        cfg.mshr_count = 2;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let r0 = dmb.read(0, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
+        let _r1 = dmb.read(0, addr(MatrixKind::Combination, 1), &mut dram, AccessPattern::Random);
+        let r2 = dmb.read(0, addr(MatrixKind::Combination, 2), &mut dram, AccessPattern::Random);
+        assert_eq!(dmb.mshr_stalls(), 1);
+        assert!(r2.ready > r0.ready);
+    }
+
+    #[test]
+    fn flush_writes_dirty_lines_only() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(0, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
+        let fill = dmb.read(0, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random); // clean
+        let done = dmb.flush_kind(fill.ready, MatrixKind::Output, &mut dram);
+        assert!(done >= fill.ready);
+        assert_eq!(dram.stats().kind(MatrixKind::Output).writes, 2);
+        assert_eq!(dmb.resident_lines(MatrixKind::Output), 0);
+        assert_eq!(dmb.resident_lines(MatrixKind::Combination), 1);
+        // flushing the clean combination line produces no DRAM writes
+        dmb.flush_kind(done, MatrixKind::Combination, &mut dram);
+        assert_eq!(dram.stats().kind(MatrixKind::Combination).writes, 0);
+    }
+
+    #[test]
+    fn hit_stats_accumulate() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let m = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        let _ = dmb.read(m.ready, a, &mut dram, AccessPattern::Random);
+        dmb.write(m.ready, a, &mut dram, true, AccessPattern::Random);
+        let h = dmb.hit_stats();
+        assert_eq!(h.read_hits, 1);
+        assert_eq!(h.read_misses, 1);
+        assert_eq!(h.write_hits, 1);
+        assert!((h.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod eviction_policy_tests {
+    use super::*;
+    use crate::dram::AccessPattern;
+
+    fn addr(kind: MatrixKind, i: u64) -> LineAddr {
+        LineAddr::new(kind, i)
+    }
+
+    #[test]
+    fn plain_lru_evicts_oldest_regardless_of_class() {
+        let cfg = MemConfig {
+            dmb_bytes: 3 * 64,
+            class_eviction: false,
+            ..MemConfig::default()
+        };
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(1, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(2, addr(MatrixKind::Weight, 0), &mut dram, true, AccessPattern::Random);
+        // plain LRU: the Output line (oldest) goes first, not the Weight line
+        dmb.write(3, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
+        assert!(!dmb.contains(addr(MatrixKind::Output, 0)));
+        assert!(dmb.contains(addr(MatrixKind::Weight, 0)));
+    }
+
+    #[test]
+    fn class_eviction_still_default() {
+        let cfg = MemConfig::default();
+        assert!(cfg.class_eviction);
+    }
+}

@@ -1,0 +1,249 @@
+//! The load/store queue (LSQ).
+//!
+//! The 128-entry LSQ (paper Table III) sits between the SMQ/PEs and the DMB.
+//! Its two architectural jobs (paper §IV-B):
+//!
+//! 1. **Store-to-load forwarding** — combination-phase stores of `XW` rows
+//!    are forwarded to aggregation-phase loads of the same rows without a
+//!    round trip through the buffer or DRAM.
+//! 2. **Latency hiding** — entries admit new operations while older missed
+//!    loads are still outstanding; capacity is the memory-level-parallelism
+//!    window of the engines.
+//!
+//! The paper notes the LSQ "does not need to track the order of store
+//! instructions" because every output address is written exactly once per
+//! phase, which is why this model keeps a simple FIFO.
+
+use crate::address::LineAddr;
+use crate::config::MemConfig;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: LineAddr,
+    /// Cycle at which the entry's data is available (loads) or drained
+    /// (stores).
+    ready: u64,
+    is_store: bool,
+}
+
+/// Outcome of admitting a load into the LSQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPath {
+    /// The load's address matched a store entry; data is forwarded.
+    Forwarded {
+        /// Cycle at which the forwarded data is available.
+        ready: u64,
+    },
+    /// The load must be issued to the DMB at the given cycle; the caller
+    /// performs the access and then calls [`Lsq::complete_load`].
+    Issue {
+        /// Earliest cycle at which the buffer access may start (after any
+        /// capacity stall).
+        at: u64,
+    },
+}
+
+/// Counters exported by the LSQ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsqStats {
+    /// Loads admitted.
+    pub loads: u64,
+    /// Stores admitted.
+    pub stores: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub forwards: u64,
+    /// Admissions delayed by a full queue.
+    pub capacity_stalls: u64,
+}
+
+/// The load/store queue.
+///
+/// # Example
+///
+/// ```
+/// use hymm_mem::lsq::LoadPath;
+/// use hymm_mem::{LineAddr, Lsq, MatrixKind, MemConfig};
+///
+/// let mut lsq = Lsq::new(&MemConfig::default());
+/// let addr = LineAddr::new(MatrixKind::Combination, 3);
+/// lsq.store(0, addr, 10); // XW[3] produced at cycle 10
+/// match lsq.load(5, addr) {
+///     LoadPath::Forwarded { ready } => assert_eq!(ready, 11),
+///     LoadPath::Issue { .. } => unreachable!("store is still queued"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    capacity: usize,
+    entries: VecDeque<Entry>,
+    stats: LsqStats,
+}
+
+impl Lsq {
+    /// Creates an empty LSQ from the memory configuration.
+    pub fn new(config: &MemConfig) -> Lsq {
+        Lsq { capacity: config.lsq_entries.max(1), entries: VecDeque::new(), stats: LsqStats::default() }
+    }
+
+    /// Makes room for a new entry; returns the (possibly stalled) admission
+    /// cycle.
+    fn admit(&mut self, now: u64) -> u64 {
+        if self.entries.len() < self.capacity {
+            return now;
+        }
+        self.stats.capacity_stalls += 1;
+        // The oldest entry retires once its data is ready.
+        let oldest = self.entries.pop_front().expect("queue is full");
+        now.max(oldest.ready)
+    }
+
+    /// Admits a load of `addr` at cycle `now`.
+    ///
+    /// If a store to the same address is in flight, the data is forwarded in
+    /// one cycle. Otherwise the caller must perform the DMB access starting
+    /// at the returned cycle and report its completion via
+    /// [`Lsq::complete_load`].
+    pub fn load(&mut self, now: u64, addr: LineAddr) -> LoadPath {
+        let at = self.admit(now);
+        self.stats.loads += 1;
+        let forwarded = self
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.is_store && e.addr == addr)
+            .map(|e| e.ready);
+        if let Some(store_ready) = forwarded {
+            self.stats.forwards += 1;
+            let ready = at.max(store_ready) + 1;
+            self.entries.push_back(Entry { addr, ready, is_store: false });
+            LoadPath::Forwarded { ready }
+        } else {
+            LoadPath::Issue { at }
+        }
+    }
+
+    /// Records the completion cycle of a load previously returned as
+    /// [`LoadPath::Issue`].
+    pub fn complete_load(&mut self, addr: LineAddr, ready: u64) {
+        self.entries.push_back(Entry { addr, ready, is_store: false });
+    }
+
+    /// Admits a store of `addr` whose data is available at `data_ready`;
+    /// returns the cycle at which the store occupies its entry (the caller
+    /// then drains it to the DMB).
+    pub fn store(&mut self, now: u64, addr: LineAddr, data_ready: u64) -> u64 {
+        let at = self.admit(now);
+        self.stats.stores += 1;
+        let ready = at.max(data_ready);
+        self.entries.push_back(Entry { addr, ready, is_store: true });
+        ready
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LsqStats {
+        self.stats
+    }
+
+    /// Drops all entries (between GCN layers, when address spaces are
+    /// reused for new matrices).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::MatrixKind;
+
+    fn lsq(capacity: usize) -> Lsq {
+        let cfg = MemConfig { lsq_entries: capacity, ..MemConfig::default() };
+        Lsq::new(&cfg)
+    }
+
+    fn a(i: u64) -> LineAddr {
+        LineAddr::new(MatrixKind::Combination, i)
+    }
+
+    #[test]
+    fn load_with_no_store_issues() {
+        let mut q = lsq(4);
+        match q.load(5, a(0)) {
+            LoadPath::Issue { at } => assert_eq!(at, 5),
+            other => panic!("expected issue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mut q = lsq(4);
+        q.store(0, a(3), 10);
+        match q.load(2, a(3)) {
+            LoadPath::Forwarded { ready } => assert_eq!(ready, 11), // store data at 10, +1 forward
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert_eq!(q.stats().forwards, 1);
+    }
+
+    #[test]
+    fn forwarding_uses_youngest_store() {
+        let mut q = lsq(8);
+        q.store(0, a(3), 10);
+        q.store(0, a(3), 20);
+        match q.load(30, a(3)) {
+            LoadPath::Forwarded { ready } => assert_eq!(ready, 31),
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_forward_from_other_address() {
+        let mut q = lsq(4);
+        q.store(0, a(1), 10);
+        assert!(matches!(q.load(2, a(2)), LoadPath::Issue { .. }));
+    }
+
+    #[test]
+    fn capacity_stall_waits_for_oldest() {
+        let mut q = lsq(2);
+        q.store(0, a(0), 100);
+        q.store(0, a(1), 50);
+        // Queue full; oldest (ready at 100) must retire first.
+        let at = match q.load(10, a(9)) {
+            LoadPath::Issue { at } => at,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(at, 100);
+        assert_eq!(q.stats().capacity_stalls, 1);
+    }
+
+    #[test]
+    fn complete_load_records_entry() {
+        let mut q = lsq(2);
+        if let LoadPath::Issue { at } = q.load(0, a(0)) {
+            q.complete_load(a(0), at + 100);
+        }
+        assert_eq!(q.occupancy(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = lsq(2);
+        q.store(0, a(0), 1);
+        q.clear();
+        assert_eq!(q.occupancy(), 0);
+        // forwarding no longer possible
+        assert!(matches!(q.load(2, a(0)), LoadPath::Issue { .. }));
+    }
+}

@@ -1,0 +1,170 @@
+//! Traffic and hit-rate counters.
+
+use crate::address::MatrixKind;
+
+/// Read/write byte and request counters for one matrix kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Number of read requests.
+    pub reads: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Total request count in both directions.
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Per-matrix-kind traffic table (the paper's Fig. 11 data).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    per_kind: [Traffic; 5],
+}
+
+impl TrafficStats {
+    /// Creates an all-zero table.
+    pub fn new() -> TrafficStats {
+        TrafficStats::default()
+    }
+
+    /// Records a read of `bytes` for `kind`.
+    pub fn record_read(&mut self, kind: MatrixKind, bytes: u64) {
+        let t = &mut self.per_kind[kind.index()];
+        t.reads += 1;
+        t.read_bytes += bytes;
+    }
+
+    /// Records a write of `bytes` for `kind`.
+    pub fn record_write(&mut self, kind: MatrixKind, bytes: u64) {
+        let t = &mut self.per_kind[kind.index()];
+        t.writes += 1;
+        t.write_bytes += bytes;
+    }
+
+    /// Counters for one kind.
+    pub fn kind(&self, kind: MatrixKind) -> Traffic {
+        self.per_kind[kind.index()]
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> Traffic {
+        let mut acc = Traffic::default();
+        for t in &self.per_kind {
+            acc.reads += t.reads;
+            acc.read_bytes += t.read_bytes;
+            acc.writes += t.writes;
+            acc.write_bytes += t.write_bytes;
+        }
+        acc
+    }
+
+    /// Accumulates another table into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for k in MatrixKind::ALL {
+            let o = other.kind(k);
+            let t = &mut self.per_kind[k.index()];
+            t.reads += o.reads;
+            t.read_bytes += o.read_bytes;
+            t.writes += o.writes;
+            t.write_bytes += o.write_bytes;
+        }
+    }
+}
+
+/// Hit/miss counters for a buffer, split by reads and writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitStats {
+    /// Read requests that hit.
+    pub read_hits: u64,
+    /// Read requests that missed.
+    pub read_misses: u64,
+    /// Write requests that found their line resident.
+    pub write_hits: u64,
+    /// Write requests that allocated or bypassed.
+    pub write_misses: u64,
+}
+
+impl HitStats {
+    /// Overall hit rate across reads and writes, in `[0, 1]`; `1.0` for an
+    /// idle buffer.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.read_hits + self.write_hits;
+        let total = hits + self.read_misses + self.write_misses;
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Read-only hit rate, in `[0, 1]`.
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &HitStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut s = TrafficStats::new();
+        s.record_read(MatrixKind::Weight, 64);
+        s.record_read(MatrixKind::Weight, 64);
+        s.record_write(MatrixKind::Output, 64);
+        assert_eq!(s.kind(MatrixKind::Weight).reads, 2);
+        assert_eq!(s.kind(MatrixKind::Weight).read_bytes, 128);
+        assert_eq!(s.total().total_bytes(), 192);
+        assert_eq!(s.total().total_requests(), 3);
+    }
+
+    #[test]
+    fn merge_adds_tables() {
+        let mut a = TrafficStats::new();
+        a.record_read(MatrixKind::SparseA, 64);
+        let mut b = TrafficStats::new();
+        b.record_read(MatrixKind::SparseA, 64);
+        b.record_write(MatrixKind::Combination, 128);
+        a.merge(&b);
+        assert_eq!(a.kind(MatrixKind::SparseA).reads, 2);
+        assert_eq!(a.kind(MatrixKind::Combination).write_bytes, 128);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut h = HitStats::default();
+        assert_eq!(h.hit_rate(), 1.0);
+        h.read_hits = 3;
+        h.read_misses = 1;
+        assert!((h.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((h.read_hit_rate() - 0.75).abs() < 1e-12);
+        h.write_misses = 4;
+        assert!((h.hit_rate() - 3.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! CSR is the format consumed by the row-wise-product (RWP) engine: the
+//! accelerator streams one sparse row at a time, multiplying each non-zero
+//! with the corresponding dense-matrix row and accumulating into an
+//! output-stationary row (paper §II-B, Fig. 1a).
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Within each row, column indices are strictly increasing; duplicate
+/// coordinates from the source [`Coo`] are summed during conversion.
+///
+/// # Example
+///
+/// ```
+/// use hymm_sparse::{Coo, Csr};
+///
+/// # fn main() -> Result<(), hymm_sparse::SparseError> {
+/// let coo = Coo::from_triplets(2, 3, [(0, 2, 1.0), (0, 0, 3.0), (1, 1, 2.0)])?;
+/// let csr = Csr::from_coo(&coo);
+/// let (cols, vals) = csr.row(0);
+/// assert_eq!(cols, &[0, 2]);
+/// assert_eq!(vals, &[3.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from a [`Coo`], summing duplicate coordinates.
+    pub fn from_coo(coo: &Coo) -> Csr {
+        let mut triplets: Vec<(u32, u32, f32)> =
+            coo.iter().map(|(r, c, v)| (r as u32, c as u32, v)).collect();
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let rows = coo.rows();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut cur_row = 0u32;
+        for (r, c, v) in triplets {
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            // Sum duplicates: the previous entry belongs to the same (still
+            // open) row and has the same column index.
+            if *row_ptr.last().unwrap() < col_idx.len() && col_idx.last() == Some(&c) {
+                *values.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        while row_ptr.len() < rows + 1 {
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows, cols: coo.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Constructs a CSR matrix from raw component arrays, validating all
+    /// structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::MalformedFormat`] if `row_ptr` is not monotone,
+    /// does not have `rows + 1` entries, does not end at `values.len()`, if
+    /// column indices are out of bounds or not strictly increasing within a
+    /// row, or if `col_idx` and `values` lengths differ.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Csr, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::EmptyDimension);
+        }
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::MalformedFormat(format!(
+                "row_ptr has {} entries, expected {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedFormat(format!(
+                "col_idx has {} entries but values has {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != values.len() {
+            return Err(SparseError::MalformedFormat(
+                "row_ptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(SparseError::MalformedFormat(
+                    "row_ptr must be monotonically non-decreasing".to_string(),
+                ));
+            }
+        }
+        for r in 0..rows {
+            let seg = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in seg.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::MalformedFormat(format!(
+                        "column indices in row {r} not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = seg.last() {
+                if last as usize >= cols {
+                    return Err(SparseError::MalformedFormat(format!(
+                        "column index {last} out of bounds in row {r}"
+                    )));
+                }
+            }
+        }
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array (length `nnz`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Number of non-zeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Value at `(r, c)`, or `0.0` if the coordinate is structurally zero
+    /// or out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        if r >= self.rows || c >= self.cols {
+            return 0.0;
+        }
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored non-zeros in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Converts back to the triplet format.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::new(self.rows, self.cols).expect("dimensions already validated");
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("indices already validated");
+        }
+        coo
+    }
+
+    /// Non-zero count per row.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let coo = Coo::from_triplets(
+            3,
+            4,
+            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_sorts_rows() {
+        let coo = Coo::from_triplets(2, 3, [(1, 2, 1.0), (0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.row(0), (&[1u32][..], &[2.0f32][..]));
+        assert_eq!(m.row(1), (&[0u32, 2][..], &[3.0f32, 1.0][..]));
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let coo = Coo::from_triplets(1, 2, [(0, 1, 1.5), (0, 1, 2.5)]).unwrap();
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(9, 9), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn empty_rows_have_zero_nnz() {
+        let coo = Coo::from_triplets(4, 4, [(3, 3, 1.0)]).unwrap();
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.degrees(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn round_trip_through_coo() {
+        let m = sample();
+        let back = Csr::from_coo(&m.to_coo());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn from_raw_parts_accepts_valid() {
+        let m = Csr::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_bad_ptr_len() {
+        let err = Csr::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedFormat(_)));
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_non_monotone_ptr() {
+        let err =
+            Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedFormat(_)));
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_unsorted_cols() {
+        let err =
+            Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedFormat(_)));
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_col_out_of_bounds() {
+        let err = Csr::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedFormat(_)));
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let m = sample();
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(
+            got,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)]
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Row-major dense matrix.
+//!
+//! The dense operand of every SpDeMM in the paper — the weight matrix `W`,
+//! the combination result `XW`, and the aggregation output `AXW` — is a tall
+//! skinny matrix whose row width is the GCN layer dimension (16 in the
+//! paper's Table II). Rows therefore map one-to-one onto the accelerator's
+//! 64-byte vector lines.
+
+use crate::error::SparseError;
+
+/// A row-major dense `f32` matrix.
+///
+/// # Example
+///
+/// ```
+/// use hymm_sparse::Dense;
+///
+/// let m = Dense::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a zero-filled `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Dense {
+        assert!(rows > 0 && cols > 0, "dense matrix dimensions must be non-zero");
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Dense {
+        let mut m = Dense::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `data.len() != rows * cols`
+    /// and [`SparseError::EmptyDimension`] if either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Dense, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(SparseError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Dense { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "dense index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "dense index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Adds `scalar * src` into row `r` (the scalar-vector MAC the PE array
+    /// performs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.cols()` or `r` is out of bounds.
+    pub fn axpy_row(&mut self, r: usize, scalar: f32, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "vector width must equal matrix width");
+        for (dst, &s) in self.row_mut(r).iter_mut().zip(src) {
+            *dst += scalar * s;
+        }
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Dense) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch in max_abs_diff"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Returns `true` if every element differs from `other` by at most `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn approx_eq(&self, other: &Dense, tol: f32) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+
+    /// Dense-dense product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Dense) -> Result<Dense, SparseError> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Dense::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                out.axpy_row(r, a, rhs.row(k));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zeros_rejects_empty() {
+        let _ = Dense::zeros(0, 4);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Dense::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Dense::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = Dense::zeros(2, 2);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn axpy_row_accumulates() {
+        let mut m = Dense::zeros(1, 3);
+        m.axpy_row(0, 2.0, &[1.0, 2.0, 3.0]);
+        m.axpy_row(0, -1.0, &[0.0, 1.0, 0.0]);
+        assert_eq!(m.row(0), &[2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Dense::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_shape_mismatch() {
+        let a = Dense::zeros(2, 3);
+        let b = Dense::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Dense::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = Dense::from_vec(1, 2, vec![1.0, 2.0 + 1e-4]).unwrap();
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A row or column coordinate exceeded the matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending row coordinate.
+        row: usize,
+        /// Offending column coordinate.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// A matrix dimension was zero where a non-empty matrix is required.
+    EmptyDimension,
+    /// Two matrices had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Expected domain size.
+        expected_len: usize,
+        /// Actual vector length.
+        actual_len: usize,
+    },
+    /// Raw CSR/CSC component arrays were mutually inconsistent.
+    MalformedFormat(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "coordinate ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            SparseError::EmptyDimension => {
+                write!(f, "matrix dimensions must be non-zero")
+            }
+            SparseError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} is incompatible with {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::InvalidPermutation { expected_len, actual_len } => write!(
+                f,
+                "permutation of length {actual_len} is not a bijection on 0..{expected_len}"
+            ),
+            SparseError::MalformedFormat(msg) => {
+                write!(f, "malformed sparse format: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 2, rows: 4, cols: 4 };
+        assert_eq!(e.to_string(), "coordinate (5, 2) out of bounds for 4x4 matrix");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn display_permutation() {
+        let e = SparseError::InvalidPermutation { expected_len: 3, actual_len: 2 };
+        assert!(e.to_string().contains("0..3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Sparse-matrix substrate for the HyMM reproduction.
+//!
+//! HyMM (DATE 2025) is a GCN accelerator whose aggregation engine consumes a
+//! degree-sorted adjacency matrix split into three regions, with region 1
+//! stored in [CSC](Csc) form (outer-product dataflow) and regions 2/3 stored
+//! in [CSR](Csr) form (row-wise-product dataflow). This crate provides:
+//!
+//! - the three classic sparse formats ([`Coo`], [`Csr`], [`Csc`]) and a small
+//!   [`Dense`] matrix type, with lossless conversions between them;
+//! - symmetric row/column [permutations](permute) and degree
+//!   [sorting](permute::degree_sort_permutation);
+//! - the HyMM region [`tiling`] of a sorted adjacency matrix together
+//!   with its storage-overhead model (paper Fig. 6);
+//! - functional (untimed) reference implementations of the row-wise-product
+//!   and outer-product SpDeMM [dataflows](spdemm), used both as numerical
+//!   ground truth for the cycle-accurate simulator and as the baseline
+//!   algorithms the paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! use hymm_sparse::{Coo, Csr, Dense};
+//!
+//! # fn main() -> Result<(), hymm_sparse::SparseError> {
+//! let mut coo = Coo::new(2, 3)?;
+//! coo.push(0, 0, 1.0)?;
+//! coo.push(1, 2, 2.0)?;
+//! let csr = Csr::from_coo(&coo);
+//! let dense = Dense::from_fn(3, 2, |r, c| (r + c) as f32);
+//! let out = hymm_sparse::spdemm::row_wise_product(&csr, &dense);
+//! assert_eq!(out.get(1, 1), 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod permute;
+pub mod spdemm;
+pub mod storage;
+pub mod tiling;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::Dense;
+pub use error::SparseError;
+pub use permute::Permutation;
+pub use tiling::{Region, RegionId, TiledMatrix, TilingConfig};

@@ -1,0 +1,167 @@
+//! Functional (untimed) sparse-dense matrix multiplication dataflows.
+//!
+//! These are the two SpDeMM dataflows of the paper's Fig. 1, implemented as
+//! plain algorithms. They serve as numerical ground truth for the
+//! cycle-accurate engines in `hymm-core` and demonstrate the *order* in which
+//! each dataflow touches data — which is exactly what determines locality in
+//! the accelerator:
+//!
+//! - [`row_wise_product`] (RWP, Gustavson): for each sparse row, gather dense
+//!   rows indexed by the non-zero columns and accumulate into one
+//!   output-stationary row.
+//! - [`outer_product`] (OP, OuterSPACE-style): for each sparse column,
+//!   broadcast one dense row and scatter partial products into many output
+//!   rows.
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::error::SparseError;
+
+/// Row-wise product `sparse * dense`.
+///
+/// Follows the RWP dataflow: output rows are produced one at a time and each
+/// is complete when finished (no partial-output merging).
+///
+/// # Panics
+///
+/// Panics if `sparse.cols() != dense.rows()`. Use [`try_row_wise_product`]
+/// for a fallible variant.
+pub fn row_wise_product(sparse: &Csr, dense: &Dense) -> Dense {
+    try_row_wise_product(sparse, dense).expect("shape mismatch in row_wise_product")
+}
+
+/// Fallible variant of [`row_wise_product`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `sparse.cols() != dense.rows()`.
+pub fn try_row_wise_product(sparse: &Csr, dense: &Dense) -> Result<Dense, SparseError> {
+    if sparse.cols() != dense.rows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (sparse.rows(), sparse.cols()),
+            right: (dense.rows(), dense.cols()),
+        });
+    }
+    let mut out = Dense::zeros(sparse.rows(), dense.cols());
+    for r in 0..sparse.rows() {
+        let (cols, vals) = sparse.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            out.axpy_row(r, v, dense.row(c as usize));
+        }
+    }
+    Ok(out)
+}
+
+/// Outer product `sparse * dense`.
+///
+/// Follows the OP dataflow: for each sparse column `k`, every non-zero
+/// `(r, k)` scatters `value * dense.row(k)` into output row `r`. Output rows
+/// accumulate partial results across many columns, which is why the hardware
+/// version needs a merging accumulator.
+///
+/// # Panics
+///
+/// Panics if `sparse.rows()` (of the CSC's column space) mismatches; use
+/// [`try_outer_product`] for a fallible variant.
+pub fn outer_product(sparse: &Csc, dense: &Dense) -> Dense {
+    try_outer_product(sparse, dense).expect("shape mismatch in outer_product")
+}
+
+/// Fallible variant of [`outer_product`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `sparse.cols() != dense.rows()`.
+pub fn try_outer_product(sparse: &Csc, dense: &Dense) -> Result<Dense, SparseError> {
+    if sparse.cols() != dense.rows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (sparse.rows(), sparse.cols()),
+            right: (dense.rows(), dense.cols()),
+        });
+    }
+    let mut out = Dense::zeros(sparse.rows(), dense.cols());
+    for k in 0..sparse.cols() {
+        let (rows, vals) = sparse.col(k);
+        let drow = dense.row(k);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out.axpy_row(r as usize, v, drow);
+        }
+    }
+    Ok(out)
+}
+
+/// Reference dense product of a CSR matrix and a dense matrix computed by
+/// full densification — the slowest, most obviously correct baseline used in
+/// tests.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if shapes are incompatible.
+pub fn dense_reference(sparse: &Csr, dense: &Dense) -> Result<Dense, SparseError> {
+    let mut lhs = Dense::zeros(sparse.rows(), sparse.cols());
+    for (r, c, v) in sparse.iter() {
+        lhs.set(r, c, v);
+    }
+    lhs.matmul(dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn fixture() -> (Csr, Csc, Dense) {
+        let coo = Coo::from_triplets(
+            3,
+            4,
+            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, -1.0), (2, 0, 0.5), (2, 2, 4.0)],
+        )
+        .unwrap();
+        let csr = Csr::from_coo(&coo);
+        let csc = Csc::from_coo(&coo);
+        let dense = Dense::from_fn(4, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        (csr, csc, dense)
+    }
+
+    #[test]
+    fn rwp_matches_dense_reference() {
+        let (csr, _, dense) = fixture();
+        let got = row_wise_product(&csr, &dense);
+        let want = dense_reference(&csr, &dense).unwrap();
+        assert!(got.approx_eq(&want, 1e-6));
+    }
+
+    #[test]
+    fn op_matches_dense_reference() {
+        let (csr, csc, dense) = fixture();
+        let got = outer_product(&csc, &dense);
+        let want = dense_reference(&csr, &dense).unwrap();
+        assert!(got.approx_eq(&want, 1e-6));
+    }
+
+    #[test]
+    fn rwp_and_op_agree() {
+        let (csr, csc, dense) = fixture();
+        let a = row_wise_product(&csr, &dense);
+        let b = outer_product(&csc, &dense);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let (csr, csc, _) = fixture();
+        let wrong = Dense::zeros(3, 2);
+        assert!(try_row_wise_product(&csr, &wrong).is_err());
+        assert!(try_outer_product(&csc, &wrong).is_err());
+    }
+
+    #[test]
+    fn empty_sparse_gives_zero_output() {
+        let coo = Coo::new(2, 2).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let dense = Dense::from_fn(2, 2, |_, _| 1.0);
+        let out = row_wise_product(&csr, &dense);
+        assert_eq!(out.as_slice(), &[0.0; 4]);
+    }
+}

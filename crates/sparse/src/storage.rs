@@ -1,0 +1,112 @@
+//! Storage-footprint model for compressed sparse formats.
+//!
+//! The paper's Fig. 6 compares the off-chip storage of the plain CSR/CSC
+//! adjacency matrix against HyMM's three-region tiled layout; the tiled form
+//! pays for extra pointer arrays (one per region) and the paper reports a
+//! 10.2 % overhead on Cora that shrinks as graphs grow. This module models
+//! those byte counts.
+
+/// Byte widths of the three component streams of a compressed format.
+///
+/// Defaults follow the paper's hardware: 32-bit pointers, 32-bit indices and
+/// 32-bit single-precision values (Table III: "Each PE supports single
+/// precision and has a width of 32 bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageLayout {
+    /// Bytes per pointer-array entry.
+    pub ptr_bytes: usize,
+    /// Bytes per index entry.
+    pub idx_bytes: usize,
+    /// Bytes per stored value.
+    pub val_bytes: usize,
+}
+
+impl Default for StorageLayout {
+    fn default() -> Self {
+        StorageLayout { ptr_bytes: 4, idx_bytes: 4, val_bytes: 4 }
+    }
+}
+
+impl StorageLayout {
+    /// Total bytes of a compressed matrix with `major_dim` pointer segments
+    /// (rows for CSR, columns for CSC) and `nnz` stored entries.
+    ///
+    /// The pointer array has `major_dim + 1` entries; index and value arrays
+    /// have `nnz` entries each.
+    pub fn compressed_bytes(&self, major_dim: usize, nnz: usize) -> usize {
+        (major_dim + 1) * self.ptr_bytes + nnz * (self.idx_bytes + self.val_bytes)
+    }
+
+    /// Bytes of only the metadata (pointer + index) streams — the part the
+    /// SMQ fetches before values are consumed.
+    pub fn metadata_bytes(&self, major_dim: usize, nnz: usize) -> usize {
+        (major_dim + 1) * self.ptr_bytes + nnz * self.idx_bytes
+    }
+
+    /// Bytes of a dense `rows x cols` matrix of values.
+    pub fn dense_bytes(&self, rows: usize, cols: usize) -> usize {
+        rows * cols * self.val_bytes
+    }
+}
+
+/// Storage accounting for one matrix layout, produced by
+/// [`crate::tiling::TiledMatrix::storage_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Bytes of the untiled single-format baseline.
+    pub plain_bytes: usize,
+    /// Bytes of the HyMM three-region tiled layout.
+    pub tiled_bytes: usize,
+}
+
+impl StorageReport {
+    /// Relative overhead of the tiled layout: `(tiled - plain) / plain`.
+    pub fn overhead(&self) -> f64 {
+        if self.plain_bytes == 0 {
+            return 0.0;
+        }
+        (self.tiled_bytes as f64 - self.plain_bytes as f64) / self.plain_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressed_bytes_formula() {
+        let l = StorageLayout::default();
+        // 3 rows, 5 nnz: (3+1)*4 + 5*(4+4) = 16 + 40 = 56
+        assert_eq!(l.compressed_bytes(3, 5), 56);
+    }
+
+    #[test]
+    fn metadata_excludes_values() {
+        let l = StorageLayout::default();
+        assert_eq!(l.metadata_bytes(3, 5), 16 + 20);
+    }
+
+    #[test]
+    fn dense_bytes_formula() {
+        let l = StorageLayout::default();
+        assert_eq!(l.dense_bytes(10, 16), 640);
+    }
+
+    #[test]
+    fn overhead_computation() {
+        let r = StorageReport { plain_bytes: 100, tiled_bytes: 110 };
+        assert!((r.overhead() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_zero_plain_is_zero() {
+        let r = StorageReport { plain_bytes: 0, tiled_bytes: 10 };
+        assert_eq!(r.overhead(), 0.0);
+    }
+
+    #[test]
+    fn custom_widths() {
+        let l = StorageLayout { ptr_bytes: 8, idx_bytes: 2, val_bytes: 4 };
+        assert_eq!(l.compressed_bytes(1, 1), 16 + 6);
+    }
+}

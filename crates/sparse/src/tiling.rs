@@ -1,0 +1,366 @@
+//! HyMM's degree-based region tiling of a sorted adjacency matrix.
+//!
+//! After degree sorting, the adjacency matrix concentrates non-zeros towards
+//! the top-left. HyMM splits it into three regions (paper §III, Fig. 2b):
+//!
+//! ```text
+//!         columns 0..T          columns T..n
+//!        ┌──────────────────────────────────┐
+//! rows   │        region 1 (CSC, OP)        │  0..T   — high-degree rows
+//!        ├────────────────┬─────────────────┤
+//! rows   │ region 2       │ region 3        │  T..n
+//!        │ (CSR, RWP)     │ (CSR, RWP)      │
+//!        └────────────────┴─────────────────┘
+//!          high-degree cols   sparse rest
+//! ```
+//!
+//! `T` is the **tiling threshold**: at most 20 % of the node count, shrunk
+//! further if the dense-matrix buffer cannot hold that many 64-byte output
+//! rows (paper §IV-E).
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::storage::{StorageLayout, StorageReport};
+
+/// Identifies one of the three tiles of the sorted adjacency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionId {
+    /// High-degree rows (rows `0..T`, all columns), processed by the OP engine.
+    HighDegreeRows,
+    /// Remaining rows restricted to high-degree columns (`T..n` × `0..T`),
+    /// processed by the RWP engine with hot dense-input reuse.
+    HighDegreeCols,
+    /// The extremely sparse remainder (`T..n` × `T..n`), processed by RWP.
+    SparseRest,
+}
+
+impl RegionId {
+    /// All regions in HyMM's execution order (OP first, then RWP).
+    pub const EXECUTION_ORDER: [RegionId; 3] =
+        [RegionId::HighDegreeRows, RegionId::HighDegreeCols, RegionId::SparseRest];
+}
+
+/// Configuration of the tiling pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilingConfig {
+    /// Maximum fraction of nodes placed in the high-degree tile. The paper
+    /// fixes this at 20 %.
+    pub threshold_fraction: f64,
+    /// If set, the number of dense-matrix rows (output rows during OP, input
+    /// rows during RWP) that fit in the DMB; the threshold is clamped so the
+    /// hot working set stays resident (paper §IV-E "Tiling size").
+    pub dmb_capacity_rows: Option<usize>,
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        TilingConfig { threshold_fraction: 0.20, dmb_capacity_rows: None }
+    }
+}
+
+impl TilingConfig {
+    /// The tiling threshold `T` for a graph with `n` nodes.
+    pub fn threshold(&self, n: usize) -> usize {
+        let frac = self.threshold_fraction.clamp(0.0, 1.0);
+        let mut t = (n as f64 * frac).ceil() as usize;
+        if let Some(cap) = self.dmb_capacity_rows {
+            t = t.min(cap);
+        }
+        t.min(n)
+    }
+}
+
+/// One tile of the sorted adjacency matrix: which region it is, its stored
+/// format, and the row/column window it covers in sorted coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Which of the three regions this is.
+    pub id: RegionId,
+    /// Half-open row window in the sorted matrix.
+    pub row_range: (usize, usize),
+    /// Half-open column window in the sorted matrix.
+    pub col_range: (usize, usize),
+    /// The stored tile. Coordinates are *local* to the window.
+    pub format: RegionFormat,
+}
+
+/// Storage format of a [`Region`] — CSC for region 1, CSR for regions 2/3
+/// (paper Table I, "Compression format" row).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionFormat {
+    /// Compressed sparse column tile (outer-product engine input).
+    Csc(Csc),
+    /// Compressed sparse row tile (row-wise-product engine input).
+    Csr(Csr),
+}
+
+impl Region {
+    /// Non-zeros stored in this region.
+    pub fn nnz(&self) -> usize {
+        match &self.format {
+            RegionFormat::Csc(m) => m.nnz(),
+            RegionFormat::Csr(m) => m.nnz(),
+        }
+    }
+
+    /// Iterates over the region's non-zeros in **global** sorted coordinates.
+    pub fn iter_global(&self) -> Box<dyn Iterator<Item = (usize, usize, f32)> + '_> {
+        let (r0, c0) = (self.row_range.0, self.col_range.0);
+        match &self.format {
+            RegionFormat::Csc(m) => {
+                Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v)))
+            }
+            RegionFormat::Csr(m) => {
+                Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v)))
+            }
+        }
+    }
+}
+
+/// The three-region tiled representation of a degree-sorted adjacency matrix.
+///
+/// # Example
+///
+/// ```
+/// use hymm_sparse::{Coo, TiledMatrix, TilingConfig};
+///
+/// # fn main() -> Result<(), hymm_sparse::SparseError> {
+/// // 5-node chain, already "sorted" for the example.
+/// let adj = Coo::from_triplets(5, 5, (0..4).map(|i| (i, i + 1, 1.0)))?;
+/// let tiled = TiledMatrix::new(&adj, &TilingConfig::default())?;
+/// assert_eq!(tiled.total_nnz(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledMatrix {
+    n: usize,
+    threshold: usize,
+    regions: Vec<Region>,
+}
+
+impl TiledMatrix {
+    /// Tiles a square adjacency matrix that has **already been degree
+    /// sorted** (see [`crate::permute::degree_sort_permutation`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if the matrix is not square and
+    /// [`SparseError::EmptyDimension`] if it is empty.
+    pub fn new(sorted_adj: &Coo, config: &TilingConfig) -> Result<TiledMatrix, SparseError> {
+        if sorted_adj.rows() != sorted_adj.cols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (sorted_adj.rows(), sorted_adj.cols()),
+                right: (sorted_adj.cols(), sorted_adj.rows()),
+            });
+        }
+        let n = sorted_adj.rows();
+        let t = config.threshold(n);
+
+        let mut r1 = Coo::new(t.max(1), n)?;
+        let rest_rows = (n - t).max(1);
+        let mut r2 = Coo::new(rest_rows, t.max(1))?;
+        let mut r3 = Coo::new(rest_rows, (n - t).max(1))?;
+        for (r, c, v) in sorted_adj.iter() {
+            if r < t {
+                r1.push(r, c, v)?;
+            } else if c < t {
+                r2.push(r - t, c, v)?;
+            } else {
+                r3.push(r - t, c - t, v)?;
+            }
+        }
+
+        let regions = vec![
+            Region {
+                id: RegionId::HighDegreeRows,
+                row_range: (0, t),
+                col_range: (0, n),
+                format: RegionFormat::Csc(Csc::from_coo(&r1)),
+            },
+            Region {
+                id: RegionId::HighDegreeCols,
+                row_range: (t, n),
+                col_range: (0, t),
+                format: RegionFormat::Csr(Csr::from_coo(&r2)),
+            },
+            Region {
+                id: RegionId::SparseRest,
+                row_range: (t, n),
+                col_range: (t, n),
+                format: RegionFormat::Csr(Csr::from_coo(&r3)),
+            },
+        ];
+        Ok(TiledMatrix { n, threshold: t, regions })
+    }
+
+    /// Node count of the underlying graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tiling threshold `T` actually used.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The three regions in execution order (OP region first).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Looks up one region by id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        self.regions
+            .iter()
+            .find(|r| r.id == id)
+            .expect("all three regions are always present")
+    }
+
+    /// Total non-zeros across all regions.
+    pub fn total_nnz(&self) -> usize {
+        self.regions.iter().map(Region::nnz).sum()
+    }
+
+    /// Storage accounting versus a plain single-CSR layout (paper Fig. 6).
+    ///
+    /// The tiled layout pays one pointer array per region: region 1's CSC
+    /// carries `n + 1` column pointers while regions 2 and 3 each carry
+    /// `(n - T) + 1` row pointers.
+    pub fn storage_report(&self, layout: &StorageLayout) -> StorageReport {
+        let plain = layout.compressed_bytes(self.n, self.total_nnz());
+        let mut tiled = 0usize;
+        for region in &self.regions {
+            let major = match &region.format {
+                RegionFormat::Csc(m) => m.cols(),
+                RegionFormat::Csr(m) => m.rows(),
+            };
+            tiled += layout.compressed_bytes(major, region.nnz());
+        }
+        StorageReport { plain_bytes: plain, tiled_bytes: tiled }
+    }
+
+    /// Reconstructs the full sorted matrix (for verification).
+    pub fn to_coo(&self) -> Coo {
+        let mut out = Coo::new(self.n, self.n).expect("n validated at construction");
+        for region in &self.regions {
+            for (r, c, v) in region.iter_global() {
+                out.push(r, c, v).expect("region coordinates are in bounds");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    fn power_lawish() -> Coo {
+        // 10 nodes; node 0 and 1 are hubs.
+        let mut m = Coo::new(10, 10).unwrap();
+        for j in 1..10 {
+            m.push(0, j, 1.0).unwrap();
+            m.push(j, 0, 1.0).unwrap();
+        }
+        for j in 2..8 {
+            m.push(1, j, 1.0).unwrap();
+            m.push(j, 1, 1.0).unwrap();
+        }
+        m.push(8, 9, 1.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn threshold_respects_fraction() {
+        let c = TilingConfig { threshold_fraction: 0.2, dmb_capacity_rows: None };
+        assert_eq!(c.threshold(10), 2);
+        assert_eq!(c.threshold(2708), 542);
+    }
+
+    #[test]
+    fn threshold_clamped_by_dmb() {
+        let c = TilingConfig { threshold_fraction: 0.2, dmb_capacity_rows: Some(100) };
+        assert_eq!(c.threshold(10_000), 100);
+        assert_eq!(c.threshold(100), 20);
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let adj = power_lawish();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        assert_eq!(tiled.total_nnz(), adj.nnz());
+        // element-wise equality through densification
+        let orig = Csr::from_coo(&adj);
+        let back = Csr::from_coo(&tiled.to_coo());
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn regions_have_expected_windows() {
+        let adj = power_lawish();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        assert_eq!(tiled.threshold(), 2);
+        let r1 = tiled.region(RegionId::HighDegreeRows);
+        assert_eq!(r1.row_range, (0, 2));
+        assert_eq!(r1.col_range, (0, 10));
+        let r2 = tiled.region(RegionId::HighDegreeCols);
+        assert_eq!(r2.row_range, (2, 10));
+        assert_eq!(r2.col_range, (0, 2));
+        let r3 = tiled.region(RegionId::SparseRest);
+        assert_eq!(r3.row_range, (2, 10));
+        assert_eq!(r3.col_range, (2, 10));
+    }
+
+    #[test]
+    fn hub_rows_land_in_region_one() {
+        let adj = power_lawish();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        // hub row 0 carries 9 nnz (cols 1..9); hub row 1 carries 7
+        // (col 0 from the first loop plus cols 2..7).
+        assert_eq!(tiled.region(RegionId::HighDegreeRows).nnz(), 16);
+    }
+
+    #[test]
+    fn storage_overhead_positive_and_small() {
+        let adj = power_lawish();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        let rep = tiled.storage_report(&StorageLayout::default());
+        assert!(rep.tiled_bytes > rep.plain_bytes);
+        assert!(rep.overhead() < 1.0, "overhead {} should stay moderate", rep.overhead());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let adj = Coo::from_triplets(2, 3, [(0, 0, 1.0)]).unwrap();
+        assert!(TiledMatrix::new(&adj, &TilingConfig::default()).is_err());
+    }
+
+    #[test]
+    fn full_threshold_puts_everything_in_region_one() {
+        let adj = power_lawish();
+        let cfg = TilingConfig { threshold_fraction: 1.0, dmb_capacity_rows: None };
+        let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
+        assert_eq!(tiled.region(RegionId::HighDegreeRows).nnz(), adj.nnz());
+        assert_eq!(tiled.region(RegionId::HighDegreeCols).nnz(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_puts_everything_in_region_three() {
+        let adj = power_lawish();
+        let cfg = TilingConfig { threshold_fraction: 0.0, dmb_capacity_rows: None };
+        let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
+        assert_eq!(tiled.region(RegionId::SparseRest).nnz(), adj.nnz());
+    }
+
+    #[test]
+    fn execution_order_starts_with_op_region() {
+        assert_eq!(RegionId::EXECUTION_ORDER[0], RegionId::HighDegreeRows);
+        let adj = power_lawish();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        assert_eq!(tiled.regions()[0].id, RegionId::HighDegreeRows);
+    }
+}

@@ -1,0 +1,96 @@
+//! Crate-local property tests for the sparse formats: construction from raw
+//! parts, accessor consistency, and conversion stability.
+
+use hymm_sparse::{Coo, Csc, Csr, Dense};
+use proptest::prelude::*;
+
+/// Strategy: structurally valid CSR component arrays.
+fn valid_csr_parts() -> impl Strategy<Value = (usize, usize, Vec<usize>, Vec<u32>, Vec<f32>)> {
+    (1..12usize, 1..12usize).prop_flat_map(|(rows, cols)| {
+        // choose per-row sorted distinct column subsets
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..cols as u32, 0..cols.min(6)),
+            rows,
+        )
+        .prop_flat_map(move |row_cols| {
+            let nnz: usize = row_cols.iter().map(|s| s.len()).sum();
+            proptest::collection::vec(-3.0f32..3.0, nnz).prop_map(move |values| {
+                let mut row_ptr = Vec::with_capacity(rows + 1);
+                let mut col_idx = Vec::with_capacity(nnz);
+                row_ptr.push(0);
+                for set in &row_cols {
+                    col_idx.extend(set.iter().copied());
+                    row_ptr.push(col_idx.len());
+                }
+                (rows, cols, row_ptr, col_idx, values)
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn from_raw_parts_accepts_all_valid_inputs(
+        (rows, cols, row_ptr, col_idx, values) in valid_csr_parts()
+    ) {
+        let m = Csr::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+            .expect("constructed parts are valid");
+        prop_assert_eq!(m.rows(), rows);
+        prop_assert_eq!(m.cols(), cols);
+        // accessor consistency: iter() agrees with get()
+        for (r, c, v) in m.iter() {
+            prop_assert_eq!(m.get(r, c), v);
+        }
+        // degrees sum to nnz
+        prop_assert_eq!(m.degrees().iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn csr_raw_parts_round_trip_through_csc(
+        (rows, cols, row_ptr, col_idx, values) in valid_csr_parts()
+    ) {
+        let m = Csr::from_raw_parts(rows, cols, row_ptr, col_idx, values).expect("valid");
+        let back = Csc::from_csr(&m).to_csr();
+        // no duplicates in this strategy, so round trip is exact
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn sparsity_matches_nnz_for_distinct_coords(
+        (rows, cols, row_ptr, col_idx, values) in valid_csr_parts()
+    ) {
+        let m = Csr::from_raw_parts(rows, cols, row_ptr, col_idx, values).expect("valid");
+        let coo = m.to_coo();
+        let expect = 1.0 - m.nnz() as f64 / (rows as f64 * cols as f64);
+        prop_assert!((coo.sparsity() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_axpy_matches_scalar_loop(
+        scalar in -2.0f32..2.0,
+        src in proptest::collection::vec(-2.0f32..2.0, 8),
+        dst in proptest::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let mut m = Dense::from_vec(1, 8, dst.clone()).expect("length matches");
+        m.axpy_row(0, scalar, &src);
+        for i in 0..8 {
+            let want = dst[i] + scalar * src[i];
+            prop_assert!((m.get(0, i) - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn coo_push_order_does_not_change_csr(
+        mut triplets in proptest::collection::vec((0..8usize, 0..8usize, -2.0f32..2.0), 1..20)
+    ) {
+        // dedupe coordinates so summation order cannot matter
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
+        triplets.dedup_by_key(|&mut (r, c, _)| (r, c));
+        let forward = Coo::from_triplets(8, 8, triplets.clone()).expect("in bounds");
+        triplets.reverse();
+        let reverse = Coo::from_triplets(8, 8, triplets).expect("in bounds");
+        prop_assert_eq!(Csr::from_coo(&forward), Csr::from_coo(&reverse));
+    }
+}

@@ -1,0 +1,58 @@
+//! Compare the three SpDeMM dataflows on one dataset — a miniature of the
+//! paper's Fig. 7/8/9/11.
+//!
+//! ```text
+//! cargo run --release --example dataflow_comparison [-- <nodes>]
+//! ```
+//!
+//! Runs the OP baseline (GCNAX-style), the RWP baseline (GROW-style) and
+//! HyMM on a scaled Amazon-Photo workload and prints cycles, utilisation,
+//! hit rate and DRAM traffic side by side.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("node count must be an integer"))
+        .unwrap_or(3_000);
+
+    let workload = Dataset::AmazonPhoto.synthesize_scaled(nodes);
+    let spec = workload.spec;
+    println!(
+        "Amazon-Photo scaled to {} nodes / {} adjacency nnz (feature len {})",
+        spec.nodes,
+        workload.adjacency.nnz(),
+        spec.feature_len
+    );
+    println!();
+
+    let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
+    let config = AcceleratorConfig::default();
+
+    println!(
+        "{:<6} {:>14} {:>9} {:>9} {:>11} {:>9}",
+        "flow", "cycles", "ALU util", "DMB hit", "DRAM (MB)", "speedup"
+    );
+    let mut baseline_cycles = None;
+    for df in Dataflow::ALL {
+        let outcome =
+            run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+                .expect("operand shapes are consistent");
+        let r = &outcome.report;
+        let base = *baseline_cycles.get_or_insert(r.cycles);
+        println!(
+            "{:<6} {:>14} {:>8.1}% {:>8.1}% {:>11.2} {:>8.2}x",
+            df.label(),
+            r.cycles,
+            r.alu_utilization() * 100.0,
+            r.dmb_hit_rate() * 100.0,
+            r.dram_bytes() as f64 / 1e6,
+            base as f64 / r.cycles as f64,
+        );
+    }
+    println!();
+    println!("(speedup is relative to the OP baseline, as in the paper's Fig. 7)");
+}

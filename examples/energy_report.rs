@@ -1,0 +1,51 @@
+//! Energy comparison of the dataflows (extension beyond the paper).
+//!
+//! ```text
+//! cargo run --release --example energy_report [-- <nodes>]
+//! ```
+//!
+//! Applies the event-count energy model to all four Table I dataflow
+//! families on a scaled Amazon-Computers workload and prints the component
+//! breakdown: the OP baseline's DRAM-dominated energy versus HyMM's
+//! compute-dominated profile.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::core::energy::EnergyModel;
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("node count must be an integer"))
+        .unwrap_or(3_000);
+    let workload = Dataset::AmazonComputers.synthesize_scaled(nodes);
+    let spec = workload.spec;
+    let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
+    let config = AcceleratorConfig::default();
+    let energy = EnergyModel::default();
+
+    println!(
+        "Energy breakdown on Amazon-Computers scaled to {} nodes (uJ per inference)",
+        spec.nodes
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "flow", "PE", "buffers", "DRAM", "static", "total"
+    );
+    for df in Dataflow::EXTENDED {
+        let outcome =
+            run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+                .expect("operand shapes are consistent");
+        let e = energy.estimate(&outcome.report);
+        println!(
+            "{:<6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            df.label(),
+            e.pe_uj,
+            e.buffer_uj,
+            e.dram_uj,
+            e.static_uj,
+            e.total_uj()
+        );
+    }
+}

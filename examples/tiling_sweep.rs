@@ -1,0 +1,58 @@
+//! Ablation: sweep HyMM's tiling threshold.
+//!
+//! ```text
+//! cargo run --release --example tiling_sweep [-- <nodes>]
+//! ```
+//!
+//! The paper fixes the tiling threshold at 20% of the node count (§IV-E).
+//! This example sweeps the fraction from 0 (pure RWP) to 1 (pure OP over
+//! the whole sorted matrix) and shows how cycles and DRAM traffic respond —
+//! the design-space evidence behind the 20% choice.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("node count must be an integer"))
+        .unwrap_or(3_000);
+
+    let workload = Dataset::AmazonComputers.synthesize_scaled(nodes);
+    let spec = workload.spec;
+    let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
+
+    println!(
+        "Amazon-Computers scaled to {} nodes / {} nnz — tiling-threshold sweep",
+        spec.nodes,
+        workload.adjacency.nnz()
+    );
+    println!("{:>9} {:>14} {:>11} {:>9}", "fraction", "cycles", "DRAM (MB)", "ALU util");
+
+    let mut best = (0.0f64, u64::MAX);
+    for percent in [0, 5, 10, 20, 30, 40, 60, 80, 100] {
+        let fraction = percent as f64 / 100.0;
+        let config =
+            AcceleratorConfig { tiling_fraction: fraction, ..AcceleratorConfig::default() };
+        let outcome =
+            run_inference(&config, Dataflow::Hybrid, &workload.adjacency, &workload.features, &model)
+                .expect("operand shapes are consistent");
+        let r = &outcome.report;
+        println!(
+            "{:>8}% {:>14} {:>11.2} {:>8.1}%",
+            percent,
+            r.cycles,
+            r.dram_bytes() as f64 / 1e6,
+            r.alu_utilization() * 100.0
+        );
+        if r.cycles < best.1 {
+            best = (fraction, r.cycles);
+        }
+    }
+    println!();
+    println!(
+        "best fraction in this sweep: {:.0}% (the paper selects 20%, clamped to the DMB)",
+        best.0 * 100.0
+    );
+}

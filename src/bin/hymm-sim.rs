@@ -1,0 +1,258 @@
+//! `hymm-sim` — command-line front end to the HyMM cycle-accurate simulator.
+//!
+//! ```text
+//! cargo run --release --bin hymm-sim -- --dataset AP --dataflow hybrid --scale 4000
+//! cargo run --release --bin hymm-sim -- --edge-list graph.txt --dataflow rwp
+//! cargo run --release --bin hymm-sim -- --help
+//! ```
+//!
+//! Runs a two-layer GCN inference on a synthetic Table II dataset (scaled or
+//! full) or on a user-supplied edge-list/MatrixMarket graph, under any of
+//! the four dataflow families, and prints the full report: cycles, ALU
+//! utilisation, DMB hit rate, DRAM breakdown, phase timeline and energy
+//! estimate.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::core::energy::EnergyModel;
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+use hymm::graph::features::sparse_features;
+use hymm::graph::io;
+use hymm::sparse::Coo;
+use hymm_mem::MatrixKind;
+use std::process::exit;
+
+const USAGE: &str = "\
+hymm-sim: cycle-accurate HyMM accelerator simulation
+
+usage: hymm-sim [options]
+
+workload (choose one):
+  --dataset <CR|AP|AC|CS|PH|FR|YP>   synthetic Table II dataset [default: CR]
+  --edge-list <path>                 load a 0-based edge list (symmetrised)
+  --matrix-market <path>             load a MatrixMarket .mtx adjacency
+
+options:
+  --scale <N>          cap the synthetic dataset at N nodes
+  --dataflow <op|rwp|hymm|cwp>       dataflow to simulate [default: hymm]
+  --feature-len <N>    feature length for loaded graphs [default: 128]
+  --feature-sparsity <F>             zero fraction of X [default: 0.9]
+  --hidden <N>         hidden layer dimension [default: 16]
+  --dmb-kb <N>         dense matrix buffer capacity in KB [default: 256]
+  --mshrs <N>          MSHR count [default: 32]
+  --no-forwarding      disable LSQ store-to-load forwarding
+  --tiling <F>         hybrid tiling fraction [default: 0.20]
+  --seed <N>           workload seed [default: 42]
+  -h, --help           print this text
+";
+
+struct Options {
+    dataset: Dataset,
+    edge_list: Option<String>,
+    matrix_market: Option<String>,
+    scale: Option<usize>,
+    dataflow: Dataflow,
+    feature_len: usize,
+    feature_sparsity: f64,
+    hidden: usize,
+    dmb_kb: usize,
+    mshrs: usize,
+    forwarding: bool,
+    tiling: f64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dataset: Dataset::Cora,
+            edge_list: None,
+            matrix_market: None,
+            scale: None,
+            dataflow: Dataflow::Hybrid,
+            feature_len: 128,
+            feature_sparsity: 0.9,
+            hidden: 16,
+            dmb_kb: 256,
+            mshrs: 32,
+            forwarding: true,
+            tiling: 0.20,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opt = Options::default();
+    let mut args = std::env::args().skip(1);
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        exit(2)
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--dataset" => {
+                let v = value("--dataset");
+                opt.dataset = Dataset::ALL
+                    .into_iter()
+                    .find(|d| d.abbrev().eq_ignore_ascii_case(&v))
+                    .unwrap_or_else(|| fail(&format!("unknown dataset {v:?}")));
+            }
+            "--edge-list" => opt.edge_list = Some(value("--edge-list")),
+            "--matrix-market" => opt.matrix_market = Some(value("--matrix-market")),
+            "--scale" => {
+                let n: usize =
+                    value("--scale").parse().unwrap_or_else(|_| fail("bad --scale"));
+                if n < 2 {
+                    fail("--scale needs at least 2 nodes");
+                }
+                opt.scale = Some(n);
+            }
+            "--dataflow" => {
+                opt.dataflow = match value("--dataflow").to_ascii_lowercase().as_str() {
+                    "op" | "outer" => Dataflow::Outer,
+                    "rwp" | "row" => Dataflow::RowWise,
+                    "hymm" | "hybrid" => Dataflow::Hybrid,
+                    "cwp" | "column" => Dataflow::ColumnWise,
+                    other => fail(&format!("unknown dataflow {other:?}")),
+                }
+            }
+            "--feature-len" => {
+                opt.feature_len =
+                    value("--feature-len").parse().unwrap_or_else(|_| fail("bad --feature-len"))
+            }
+            "--feature-sparsity" => {
+                opt.feature_sparsity = value("--feature-sparsity")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --feature-sparsity"))
+            }
+            "--hidden" => {
+                opt.hidden = value("--hidden").parse().unwrap_or_else(|_| fail("bad --hidden"))
+            }
+            "--dmb-kb" => {
+                opt.dmb_kb = value("--dmb-kb").parse().unwrap_or_else(|_| fail("bad --dmb-kb"))
+            }
+            "--mshrs" => {
+                opt.mshrs = value("--mshrs").parse().unwrap_or_else(|_| fail("bad --mshrs"))
+            }
+            "--no-forwarding" => opt.forwarding = false,
+            "--tiling" => {
+                opt.tiling = value("--tiling").parse().unwrap_or_else(|_| fail("bad --tiling"))
+            }
+            "--seed" => {
+                opt.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed"))
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                exit(0)
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    opt
+}
+
+fn load_workload(opt: &Options) -> (Coo, Coo, usize) {
+    if let Some(path) = &opt.edge_list {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            exit(1)
+        });
+        let adj = io::read_edge_list(file, true).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        let n = adj.rows();
+        let x = sparse_features(n, opt.feature_len, opt.feature_sparsity, opt.seed);
+        (adj, x, opt.feature_len)
+    } else if let Some(path) = &opt.matrix_market {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            exit(1)
+        });
+        let adj = io::read_matrix_market(file).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        if adj.rows() != adj.cols() {
+            eprintln!("error: adjacency matrix must be square");
+            exit(1)
+        }
+        let n = adj.rows();
+        let x = sparse_features(n, opt.feature_len, opt.feature_sparsity, opt.seed);
+        (adj, x, opt.feature_len)
+    } else {
+        let w = match opt.scale {
+            Some(n) => opt.dataset.synthesize_scaled(n),
+            None => opt.dataset.synthesize(),
+        };
+        let f = w.spec.feature_len;
+        (w.adjacency, w.features, f)
+    }
+}
+
+fn main() {
+    let opt = parse_args();
+    let (adj, x, feature_len) = load_workload(&opt);
+
+    let mut config = AcceleratorConfig::default();
+    config.mem.dmb_bytes = opt.dmb_kb * 1024;
+    config.mem.mshr_count = opt.mshrs;
+    config.lsq_forwarding = opt.forwarding;
+    config.tiling_fraction = opt.tiling;
+
+    let model = GcnModel::two_layer(feature_len, opt.hidden, opt.hidden, opt.seed);
+    eprintln!(
+        "simulating {} dataflow on {} nodes / {} adjacency nnz ...",
+        opt.dataflow.label(),
+        adj.rows(),
+        adj.nnz()
+    );
+    let outcome = run_inference(&config, opt.dataflow, &adj, &x, &model).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    let r = &outcome.report;
+    println!("dataflow            : {}", opt.dataflow.label());
+    println!("cycles              : {}", r.cycles);
+    println!("ALU utilisation     : {:.2}%", r.alu_utilization() * 100.0);
+    println!("DMB hit rate        : {:.2}%", r.dmb_hit_rate() * 100.0);
+    println!("LSQ forwards        : {}", r.lsq.forwards);
+    println!("accumulator merges  : {}", r.accumulator_merges);
+    println!("partial peak bytes  : {}", r.partials.peak_bytes);
+    println!("DRAM traffic (MB)   : {:.3}", r.dram_bytes() as f64 / 1e6);
+    for kind in MatrixKind::ALL {
+        let t = r.dram.kind(kind);
+        if t.total_bytes() > 0 {
+            println!(
+                "  {:<4}              : {:.3} MB ({} reads, {} writes)",
+                kind.label(),
+                t.total_bytes() as f64 / 1e6,
+                t.reads,
+                t.writes
+            );
+        }
+    }
+    println!("phases:");
+    for p in &r.phases {
+        println!(
+            "  {:<28} {:>12} cycles  {:>10} nnz  hit {:>6.1}%",
+            p.name,
+            p.cycles(),
+            p.nnz,
+            p.dmb_hits.hit_rate() * 100.0
+        );
+    }
+    let e = EnergyModel::default().estimate(r);
+    println!(
+        "energy estimate     : {:.1} uJ (PE {:.1}, buffers {:.1}, DRAM {:.1}, static {:.1})",
+        e.total_uj(),
+        e.pe_uj,
+        e.buffer_uj,
+        e.dram_uj,
+        e.static_uj
+    );
+}

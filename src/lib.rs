@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the HyMM reproduction workspace.
+pub use hymm_core as core;
+pub use hymm_gcn as gcn;
+pub use hymm_graph as graph;
+pub use hymm_mem as mem;
+pub use hymm_sparse as sparse;

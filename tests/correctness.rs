@@ -1,0 +1,173 @@
+//! Cross-crate numerical correctness: every dataflow's cycle-accurate
+//! simulation must produce exactly the GCN inference a dense reference
+//! computes, on every dataset family.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::gcn::reference::dense_inference;
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+use hymm::graph::features::sparse_features;
+use hymm::graph::generator::{erdos_renyi, preferential_attachment};
+
+fn check_all_dataflows(
+    adj: &hymm::sparse::Coo,
+    x: &hymm::sparse::Coo,
+    model: &GcnModel,
+    tol: f32,
+    context: &str,
+) {
+    let want = dense_inference(adj, x, model);
+    let config = AcceleratorConfig::default();
+    for df in Dataflow::ALL {
+        let got = run_inference(&config, df, adj, x, model).expect("shapes consistent");
+        let diff = got.output.max_abs_diff(&want);
+        assert!(
+            diff < tol,
+            "{context}: {} diverges from dense reference by {diff}",
+            df.label()
+        );
+    }
+}
+
+#[test]
+fn scaled_table_two_datasets_are_numerically_exact() {
+    for dataset in [Dataset::Cora, Dataset::AmazonPhoto, Dataset::Flickr] {
+        let w = dataset.synthesize_scaled(300);
+        let model =
+            GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 1);
+        check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, dataset.name());
+    }
+}
+
+#[test]
+fn power_law_and_flat_graphs_agree_with_reference() {
+    let x = sparse_features(200, 24, 0.8, 3);
+    let model = GcnModel::two_layer(24, 16, 8, 5);
+    let pa = preferential_attachment(200, 800, 2);
+    check_all_dataflows(&pa, &x, &model, 1e-2, "power-law");
+    let er = erdos_renyi(200, 800, 2);
+    check_all_dataflows(&er, &x, &model, 1e-2, "erdos-renyi");
+}
+
+#[test]
+fn single_layer_model_runs() {
+    let w = Dataset::Cora.synthesize_scaled(150);
+    let model = GcnModel::new(
+        vec![hymm::gcn::LayerSpec { in_dim: w.spec.feature_len, out_dim: 16, relu: false }],
+        9,
+    );
+    check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, "single layer");
+}
+
+#[test]
+fn three_layer_model_runs() {
+    let w = Dataset::AmazonPhoto.synthesize_scaled(150);
+    let model = GcnModel::new(
+        vec![
+            hymm::gcn::LayerSpec { in_dim: w.spec.feature_len, out_dim: 32, relu: true },
+            hymm::gcn::LayerSpec { in_dim: 32, out_dim: 16, relu: true },
+            hymm::gcn::LayerSpec { in_dim: 16, out_dim: 4, relu: false },
+        ],
+        11,
+    );
+    check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, "three layers");
+}
+
+#[test]
+fn wide_hidden_dimension_spans_multiple_lines() {
+    // layer dim 48 = 3 lines per dense row: exercises multi-chunk paths.
+    let w = Dataset::Cora.synthesize_scaled(120);
+    let model = GcnModel::two_layer(w.spec.feature_len, 48, 48, 13);
+    check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, "wide hidden dim");
+}
+
+#[test]
+fn hybrid_with_extreme_tiling_fractions_is_still_exact() {
+    let w = Dataset::Cora.synthesize_scaled(200);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 17);
+    let want = dense_inference(&w.adjacency, &w.features, &model);
+    for fraction in [0.0, 0.01, 0.5, 1.0] {
+        let config =
+            AcceleratorConfig { tiling_fraction: fraction, ..AcceleratorConfig::default() };
+        let got =
+            run_inference(&config, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+                .expect("shapes consistent");
+        let diff = got.output.max_abs_diff(&want);
+        assert!(diff < 1e-2, "fraction {fraction}: diff {diff}");
+    }
+}
+
+#[test]
+fn all_merge_policies_are_exact() {
+    use hymm::core::config::MergePolicy;
+    let w = Dataset::AmazonPhoto.synthesize_scaled(200);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 19);
+    let want = dense_inference(&w.adjacency, &w.features, &model);
+    for policy in
+        [MergePolicy::NearMemory, MergePolicy::PeReadModifyWrite, MergePolicy::Materialize]
+    {
+        let config = AcceleratorConfig {
+            baseline_merge: policy,
+            hybrid_merge: policy,
+            ..AcceleratorConfig::default()
+        };
+        for df in [Dataflow::Outer, Dataflow::Hybrid] {
+            let got = run_inference(&config, df, &w.adjacency, &w.features, &model)
+                .expect("shapes consistent");
+            let diff = got.output.max_abs_diff(&want);
+            assert!(diff < 1e-2, "{policy:?}/{}: diff {diff}", df.label());
+        }
+    }
+}
+
+#[test]
+fn tiny_buffer_configuration_is_still_exact() {
+    // A 4 KB DMB with 2 MSHRs: heavy thrashing must not corrupt results
+    // (timing-only machinery is independent of the functional path).
+    let w = Dataset::Cora.synthesize_scaled(150);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 23);
+    let want = dense_inference(&w.adjacency, &w.features, &model);
+    let mut config = AcceleratorConfig::default();
+    config.mem = hymm_mem::MemConfig {
+        dmb_bytes: 4 * 1024,
+        mshr_count: 2,
+        lsq_entries: 8,
+        ..config.mem
+    };
+    for df in Dataflow::ALL {
+        let got = run_inference(&config, df, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent");
+        let diff = got.output.max_abs_diff(&want);
+        assert!(diff < 1e-2, "tiny buffers, {}: diff {diff}", df.label());
+    }
+}
+
+#[test]
+fn column_wise_extension_matches_reference() {
+    let w = Dataset::AmazonPhoto.synthesize_scaled(200);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 29);
+    let want = dense_inference(&w.adjacency, &w.features, &model);
+    let config = AcceleratorConfig::default();
+    for df in Dataflow::EXTENDED {
+        let got = run_inference(&config, df, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent");
+        let diff = got.output.max_abs_diff(&want);
+        assert!(diff < 1e-2, "{}: diff {diff}", df.label());
+    }
+}
+
+#[test]
+fn cwp_lane_efficiency_is_timing_only() {
+    let w = Dataset::Cora.synthesize_scaled(150);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 31);
+    let fast =
+        AcceleratorConfig { cwp_lane_efficiency: 1.0, ..AcceleratorConfig::default() };
+    let slow =
+        AcceleratorConfig { cwp_lane_efficiency: 0.25, ..AcceleratorConfig::default() };
+    let a = run_inference(&fast, Dataflow::ColumnWise, &w.adjacency, &w.features, &model)
+        .unwrap();
+    let b = run_inference(&slow, Dataflow::ColumnWise, &w.adjacency, &w.features, &model)
+        .unwrap();
+    assert_eq!(a.output.as_slice(), b.output.as_slice());
+    assert!(b.report.cycles >= a.report.cycles);
+}

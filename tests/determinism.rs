@@ -1,0 +1,48 @@
+//! Reproducibility: identical seeds must give bit-identical workloads,
+//! reports and results — the property every experiment in EXPERIMENTS.md
+//! relies on.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+
+#[test]
+fn workload_synthesis_is_reproducible() {
+    let a = Dataset::AmazonComputers.synthesize_scaled(500);
+    let b = Dataset::AmazonComputers.synthesize_scaled(500);
+    assert_eq!(a.adjacency, b.adjacency);
+    assert_eq!(a.features, b.features);
+}
+
+#[test]
+fn simulation_reports_are_reproducible() {
+    let w = Dataset::Cora.synthesize_scaled(400);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 42);
+    let config = AcceleratorConfig::default();
+    for df in Dataflow::ALL {
+        let r1 = run_inference(&config, df, &w.adjacency, &w.features, &model).unwrap();
+        let r2 = run_inference(&config, df, &w.adjacency, &w.features, &model).unwrap();
+        assert_eq!(r1.report, r2.report, "{} report not deterministic", df.label());
+        assert_eq!(
+            r1.output.as_slice(),
+            r2.output.as_slice(),
+            "{} output not deterministic",
+            df.label()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    use hymm::graph::generator::preferential_attachment;
+    assert_ne!(preferential_attachment(100, 300, 1), preferential_attachment(100, 300, 2));
+}
+
+#[test]
+fn scaled_and_full_specs_share_dimensions() {
+    let full = Dataset::Physics.spec();
+    let small = full.scaled(1_000);
+    assert_eq!(full.feature_len, small.feature_len);
+    assert_eq!(full.layer_dim, small.layer_dim);
+    assert_eq!(full.feature_sparsity, small.feature_sparsity);
+}

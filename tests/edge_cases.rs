@@ -1,0 +1,136 @@
+//! Boundary-condition integration tests: degenerate graphs and shapes the
+//! engines must survive without panicking or corrupting results.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::gcn::reference::dense_inference;
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::sparse::{Coo, Dense};
+
+fn check(adj: &Coo, x: &Coo, model: &GcnModel, context: &str) {
+    let want = dense_inference(adj, x, model);
+    for df in Dataflow::EXTENDED {
+        let got = run_inference(&AcceleratorConfig::default(), df, adj, x, model)
+            .unwrap_or_else(|e| panic!("{context}/{}: {e}", df.label()));
+        let diff = got.output.max_abs_diff(&want);
+        assert!(diff < 1e-2, "{context}/{}: diff {diff}", df.label());
+    }
+}
+
+#[test]
+fn two_node_graph() {
+    let adj = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+    let x = Coo::from_triplets(2, 3, [(0, 0, 1.0), (1, 2, -1.0)]).unwrap();
+    let model = GcnModel::two_layer(3, 16, 2, 1);
+    check(&adj, &x, &model, "two nodes");
+}
+
+#[test]
+fn edgeless_graph_propagates_self_loops_only() {
+    // no edges: Â = I after normalisation, so the GCN degenerates to an MLP
+    let adj = Coo::new(5, 5).unwrap();
+    let x = Coo::from_triplets(5, 4, (0..5).map(|i| (i, i % 4, 1.0 + i as f32))).unwrap();
+    let model = GcnModel::two_layer(4, 16, 3, 2);
+    check(&adj, &x, &model, "edgeless");
+}
+
+#[test]
+fn all_zero_features_give_zero_output() {
+    let adj = Coo::from_triplets(4, 4, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+    let x = Coo::new(4, 6).unwrap(); // structurally empty features
+    let model = GcnModel::two_layer(6, 16, 2, 3);
+    let out = run_inference(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &model)
+        .unwrap();
+    assert!(out.output.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn self_loops_in_input_are_merged() {
+    let adj =
+        Coo::from_triplets(3, 3, [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (2, 2, 0.5)]).unwrap();
+    let x = Coo::from_triplets(3, 2, [(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)]).unwrap();
+    let model = GcnModel::two_layer(2, 16, 2, 4);
+    check(&adj, &x, &model, "self loops");
+}
+
+#[test]
+fn star_graph_hub_dominates_region_one() {
+    // star: one hub, many leaves — the most extreme power law
+    let n = 60;
+    let mut adj = Coo::new(n, n).unwrap();
+    for i in 1..n {
+        adj.push(0, i, 1.0).unwrap();
+        adj.push(i, 0, 1.0).unwrap();
+    }
+    let x = Coo::from_triplets(n, 4, (0..n).map(|i| (i, i % 4, 0.5))).unwrap();
+    let model = GcnModel::two_layer(4, 16, 4, 5);
+    check(&adj, &x, &model, "star");
+}
+
+#[test]
+fn complete_graph_has_no_sparse_remainder() {
+    let n = 24;
+    let mut adj = Coo::new(n, n).unwrap();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                adj.push(i, j, 1.0).unwrap();
+            }
+        }
+    }
+    let x = Coo::from_triplets(n, 3, (0..n).map(|i| (i, i % 3, 1.0))).unwrap();
+    let model = GcnModel::two_layer(3, 16, 2, 6);
+    check(&adj, &x, &model, "complete");
+}
+
+#[test]
+fn disconnected_components_stay_independent() {
+    // two triangles with no inter-component edges
+    let mut adj = Coo::new(6, 6).unwrap();
+    for base in [0usize, 3] {
+        for d in 0..3usize {
+            let a = base + d;
+            let b = base + (d + 1) % 3;
+            adj.push(a, b, 1.0).unwrap();
+            adj.push(b, a, 1.0).unwrap();
+        }
+    }
+    // features only on the first component
+    let x = Coo::from_triplets(6, 2, [(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0)]).unwrap();
+    let model = GcnModel::new(
+        vec![hymm::gcn::LayerSpec { in_dim: 2, out_dim: 16, relu: false }],
+        7,
+    );
+    let out = run_inference(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &model)
+        .unwrap()
+        .output;
+    // second component has zero features and must produce zero outputs
+    for r in 3..6 {
+        assert!(out.row(r).iter().all(|&v| v == 0.0), "component leaked into row {r}");
+    }
+}
+
+#[test]
+fn non_square_adjacency_is_rejected_cleanly() {
+    let adj = Coo::from_triplets(2, 3, [(0, 1, 1.0)]).unwrap();
+    let x = Coo::from_triplets(2, 2, [(0, 0, 1.0)]).unwrap();
+    let w = Dense::zeros(2, 4);
+    let err = hymm::core::sim::run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &w,
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn hidden_dim_one_line_boundary() {
+    // hidden dims straddling the 16-element line boundary
+    let adj = Coo::from_triplets(8, 8, (0..7).map(|i| (i, i + 1, 1.0))).unwrap();
+    let x = Coo::from_triplets(8, 5, (0..8).map(|i| (i, i % 5, 1.0))).unwrap();
+    for hidden in [1usize, 15, 16, 17, 32] {
+        let model = GcnModel::two_layer(5, hidden, 2, 8);
+        check(&adj, &x, &model, &format!("hidden={hidden}"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Shape-level claims from the paper's evaluation, checked on scaled
+//! workloads large enough for the memory hierarchy to matter (working sets
+//! exceeding the 256 KB DMB) but small enough for CI.
+
+use hymm::core::config::{AcceleratorConfig, Dataflow};
+use hymm::core::stats::SimReport;
+use hymm::gcn::{run_inference, GcnModel};
+use hymm::graph::datasets::Dataset;
+use hymm_mem::MatrixKind;
+
+fn run(dataset: Dataset, nodes: usize, df: Dataflow) -> SimReport {
+    let w = dataset.synthesize_scaled(nodes);
+    let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+    run_inference(&AcceleratorConfig::default(), df, &w.adjacency, &w.features, &model)
+        .expect("shapes consistent")
+        .report
+}
+
+/// Paper Fig. 7: HyMM outperforms both baselines; OP is slowest.
+#[test]
+fn fig7_ordering_holds_beyond_dmb_capacity() {
+    // 6000 nodes x 16 dims = 6000 lines > 4096-line DMB.
+    let op = run(Dataset::AmazonPhoto, 6_000, Dataflow::Outer);
+    let rwp = run(Dataset::AmazonPhoto, 6_000, Dataflow::RowWise);
+    let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
+    assert!(hy.cycles < rwp.cycles, "HyMM {} !< RWP {}", hy.cycles, rwp.cycles);
+    assert!(rwp.cycles < op.cycles, "RWP {} !< OP {}", rwp.cycles, op.cycles);
+    // the headline factor class: HyMM several times faster than OP
+    assert!(
+        op.cycles as f64 / hy.cycles as f64 > 2.0,
+        "HyMM speedup over OP collapsed: {:.2}",
+        op.cycles as f64 / hy.cycles as f64
+    );
+}
+
+/// Paper Fig. 8: OP has the lowest ALU utilisation; HyMM the highest.
+#[test]
+fn fig8_utilisation_ordering() {
+    let op = run(Dataset::AmazonPhoto, 6_000, Dataflow::Outer);
+    let rwp = run(Dataset::AmazonPhoto, 6_000, Dataflow::RowWise);
+    let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
+    assert!(op.alu_utilization() < rwp.alu_utilization());
+    assert!(rwp.alu_utilization() <= hy.alu_utilization() + 1e-9);
+}
+
+/// Paper Fig. 9: HyMM's DMB hit rate beats both baselines.
+#[test]
+fn fig9_hybrid_hit_rate_is_highest() {
+    let op = run(Dataset::AmazonPhoto, 6_000, Dataflow::Outer);
+    let rwp = run(Dataset::AmazonPhoto, 6_000, Dataflow::RowWise);
+    let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
+    assert!(hy.dmb_hit_rate() >= rwp.dmb_hit_rate() - 1e-9);
+    assert!(hy.dmb_hit_rate() > op.dmb_hit_rate());
+}
+
+/// Paper Fig. 10: the near-memory accumulator cuts the partial-output
+/// footprint by a large factor.
+#[test]
+fn fig10_accumulator_shrinks_partial_footprint() {
+    use hymm::core::config::MergePolicy;
+    let w = Dataset::AmazonPhoto.synthesize_scaled(4_000);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 42);
+    let acc = run_inference(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &w.adjacency,
+        &w.features,
+        &model,
+    )
+    .unwrap()
+    .report;
+    let noacc_cfg = AcceleratorConfig {
+        hybrid_merge: MergePolicy::Materialize,
+        ..AcceleratorConfig::default()
+    };
+    let noacc =
+        run_inference(&noacc_cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+            .unwrap()
+            .report;
+    assert!(
+        (acc.partials.peak_bytes as f64) < 0.5 * noacc.partials.peak_bytes as f64,
+        "accumulator footprint {} vs materialised {}",
+        acc.partials.peak_bytes,
+        noacc.partials.peak_bytes
+    );
+}
+
+/// Paper Fig. 11: HyMM moves far fewer DRAM bytes than the OP baseline, and
+/// the OP baseline's extra traffic is partial-output (XW/AXW) dominated.
+#[test]
+fn fig11_dram_reduction_and_breakdown() {
+    let op = run(Dataset::AmazonPhoto, 6_000, Dataflow::Outer);
+    let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
+    let reduction = 1.0 - hy.dram_bytes() as f64 / op.dram_bytes() as f64;
+    assert!(reduction > 0.5, "DRAM reduction too small: {reduction:.2}");
+    // OP's dominant traffic is the materialised combination result
+    let op_xw = op.dram.kind(MatrixKind::Combination).total_bytes();
+    let op_a = op.dram.kind(MatrixKind::SparseA).total_bytes();
+    assert!(op_xw > op_a, "OP partial traffic should dominate sparse streams");
+}
+
+/// Paper §IV-B: the LSQ forwards partial-output stores to dependent loads
+/// (the paper's `&XW[3]` example — the OP engine's store→load dependency).
+#[test]
+fn lsq_forwarding_fires_and_helps() {
+    use hymm::core::config::MergePolicy;
+    let w = Dataset::Cora.synthesize_scaled(1_000);
+    let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 42);
+    // Read-modify-write merging is where the store→load dependency on a
+    // partial output row occurs back to back (hub rows are touched by many
+    // nearby columns).
+    let cfg = AcceleratorConfig {
+        baseline_merge: MergePolicy::PeReadModifyWrite,
+        ..AcceleratorConfig::default()
+    };
+    let on = run_inference(&cfg, Dataflow::Outer, &w.adjacency, &w.features, &model)
+        .unwrap()
+        .report;
+    assert!(on.lsq.forwards > 0, "forwarding never fired in the OP engine");
+    let mut off_cfg = cfg.clone();
+    off_cfg.lsq_forwarding = false;
+    let off = run_inference(&off_cfg, Dataflow::Outer, &w.adjacency, &w.features, &model)
+        .unwrap()
+        .report;
+    assert_eq!(off.lsq.forwards, 0);
+}
+
+/// Paper §III: executing OP before RWP retains partial outputs on chip —
+/// HyMM's region-1 pass should produce (almost) no DRAM merges.
+#[test]
+fn hybrid_op_region_merges_on_chip() {
+    let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
+    assert!(hy.accumulator_merges > 0, "near-memory accumulator never used");
+    assert_eq!(
+        hy.partials.dram_merges, 0,
+        "hybrid tiling should keep partials resident"
+    );
+    assert_eq!(hy.merge_cycles, 0, "hybrid must not merge through the PEs");
+}
