@@ -16,8 +16,7 @@ fn bench_dataflows(c: &mut Criterion) {
     group.sample_size(10);
     for dataset in [Dataset::Cora, Dataset::AmazonPhoto] {
         let w = dataset.synthesize_scaled(1_000);
-        let model =
-            GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+        let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
         let config = AcceleratorConfig::default();
         for df in Dataflow::ALL {
             group.bench_with_input(

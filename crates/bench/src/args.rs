@@ -9,17 +9,23 @@ pub struct BenchArgs {
     pub scale: Option<usize>,
     /// Datasets to run (defaults to all seven).
     pub datasets: Vec<Dataset>,
+    /// Worker threads for the suite runner (`0` = auto-detect, `1` = serial).
+    pub threads: usize,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: None, datasets: Dataset::ALL.to_vec() }
+        BenchArgs {
+            scale: None,
+            datasets: Dataset::ALL.to_vec(),
+            threads: 0,
+        }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--scale N` and `--datasets CR,AP,...` from an iterator of
-    /// arguments (typically `std::env::args().skip(1)`).
+    /// Parses `--scale N`, `--datasets CR,AP,...`, and `--threads N` from an
+    /// iterator of arguments (typically `std::env::args().skip(1)`).
     ///
     /// # Panics
     ///
@@ -46,9 +52,13 @@ impl BenchArgs {
                         })
                         .collect();
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a worker count");
+                    out.threads = v.parse().expect("--threads needs an integer");
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP]"
+                        "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -61,6 +71,16 @@ impl BenchArgs {
     /// Parses from the process arguments.
     pub fn from_env() -> BenchArgs {
         BenchArgs::parse(std::env::args().skip(1))
+    }
+
+    /// Resolved worker count: `--threads N`, with `0` (the default) mapped
+    /// to the host's available parallelism.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            crate::pool::default_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -82,6 +102,22 @@ mod tests {
     #[test]
     fn parses_scale() {
         assert_eq!(parse(&["--scale", "500"]).scale, Some(500));
+    }
+
+    #[test]
+    fn parses_threads() {
+        assert_eq!(parse(&["--threads", "4"]).threads, 4);
+    }
+
+    #[test]
+    fn threads_defaults_to_auto() {
+        assert_eq!(parse(&[]).threads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads needs an integer")]
+    fn rejects_non_numeric_threads() {
+        let _ = parse(&["--threads", "many"]);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! bandwidth, HyMM is compute-bound much earlier.
 //!
 //! ```text
-//! cargo run --release -p hymm-bench --bin ablation_bandwidth -- [--scale N] [--datasets AP]
+//! cargo run --release -p hymm-bench --bin ablation_bandwidth -- [--scale N] [--datasets AP] [--threads N]
 //! ```
 
+use hymm_bench::pool;
 use hymm_bench::table::TextTable;
 use hymm_bench::BenchArgs;
 use hymm_core::config::{AcceleratorConfig, Dataflow};
@@ -34,32 +35,51 @@ fn main() {
         None => dataset.synthesize(),
     };
     let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
-    println!("Bandwidth sweep on {} (1 GHz clock: 64 B/cycle = 64 GB/s)", dataset.name());
-    let mut t = TextTable::new(vec![
-        "channels x B/cyc", "GB/s", "OP cycles", "RWP cycles", "HyMM cycles", "HyMM util",
-    ]);
-    for (channels, bpc) in [(1usize, 32u64), (1, 64), (2, 64), (4, 64)] {
+    println!(
+        "Bandwidth sweep on {} (1 GHz clock: 64 B/cycle = 64 GB/s)",
+        dataset.name()
+    );
+
+    let settings = [(1usize, 32u64), (1, 64), (2, 64), (4, 64)];
+    for (channels, bpc) in settings {
+        eprintln!("[ablation] {channels} x {bpc} B/cyc ...");
+    }
+    // One job per (bandwidth setting, dataflow); setting-major order lets
+    // the rows below read each setting's three reports consecutively.
+    let jobs: Vec<((usize, u64), Dataflow)> = settings
+        .iter()
+        .flat_map(|&s| Dataflow::ALL.into_iter().map(move |df| (s, df)))
+        .collect();
+    let reports = pool::map_indexed(args.worker_threads(), &jobs, |_, &((channels, bpc), df)| {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.dram_channels = channels;
         cfg.mem.dram_bytes_per_cycle = bpc;
-        eprintln!("[ablation] {channels} x {bpc} B/cyc ...");
-        let mut cycles = Vec::new();
-        let mut hy_util = 0.0;
-        for df in Dataflow::ALL {
-            let r = run_inference(&cfg, df, &w.adjacency, &w.features, &model)
-                .expect("shapes consistent")
-                .report;
-            if df == Dataflow::Hybrid {
-                hy_util = r.alu_utilization();
-            }
-            cycles.push(r.cycles);
-        }
+        run_inference(&cfg, df, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent")
+            .report
+    });
+
+    let mut t = TextTable::new(vec![
+        "channels x B/cyc",
+        "GB/s",
+        "OP cycles",
+        "RWP cycles",
+        "HyMM cycles",
+        "HyMM util",
+    ]);
+    for ((channels, bpc), group) in settings.iter().zip(reports.chunks(Dataflow::ALL.len())) {
+        let hy_util = Dataflow::ALL
+            .into_iter()
+            .zip(group)
+            .find(|(df, _)| *df == Dataflow::Hybrid)
+            .map(|(_, r)| r.alu_utilization())
+            .unwrap_or(0.0);
         t.row(vec![
             format!("{channels} x {bpc}"),
-            (channels as u64 * bpc).to_string(),
-            cycles[0].to_string(),
-            cycles[1].to_string(),
-            cycles[2].to_string(),
+            (*channels as u64 * bpc).to_string(),
+            group[0].cycles.to_string(),
+            group[1].cycles.to_string(),
+            group[2].cycles.to_string(),
             format!("{:.1}%", hy_util * 100.0),
         ]);
     }

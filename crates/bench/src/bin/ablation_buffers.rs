@@ -3,9 +3,10 @@
 //! paper's Table III configuration.
 //!
 //! ```text
-//! cargo run --release -p hymm-bench --bin ablation_buffers -- [--scale N] [--datasets AP]
+//! cargo run --release -p hymm-bench --bin ablation_buffers -- [--scale N] [--datasets AP] [--threads N]
 //! ```
 
+use hymm_bench::pool;
 use hymm_bench::table::{mb, TextTable};
 use hymm_bench::BenchArgs;
 use hymm_core::config::{AcceleratorConfig, Dataflow};
@@ -42,40 +43,53 @@ fn main() {
     };
     println!("Ablations on {} (HyMM dataflow)", dataset.name());
 
-    let mut t = TextTable::new(vec!["knob", "setting", "cycles", "DMB hit", "DRAM (MB)"]);
-    let mut record = |knob: &str, setting: String, r: &SimReport| {
-        t.row(vec![
-            knob.to_string(),
-            setting,
-            r.cycles.to_string(),
-            format!("{:.1}%", r.dmb_hit_rate() * 100.0),
-            mb(r.dram_bytes()),
-        ]);
-    };
-
+    // One job per swept setting, fanned out over the worker pool; rows are
+    // rendered from the (input-ordered) results afterwards.
+    let mut jobs: Vec<(&str, String, AcceleratorConfig)> = Vec::new();
     for kb in [64usize, 128, 256, 512] {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.dmb_bytes = kb * 1024;
-        eprintln!("[ablation] DMB {kb} KB ...");
-        record("DMB capacity", format!("{kb} KB"), &simulate(&cfg, &w));
+        jobs.push(("DMB capacity", format!("{kb} KB"), cfg));
     }
     for mshr in [4usize, 16, 32, 64] {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.mshr_count = mshr;
-        eprintln!("[ablation] MSHR {mshr} ...");
-        record("MSHR count", mshr.to_string(), &simulate(&cfg, &w));
+        jobs.push(("MSHR count", mshr.to_string(), cfg));
     }
     for class in [true, false] {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.class_eviction = class;
-        eprintln!("[ablation] class eviction {class} ...");
-        let label = if class { "class-ordered (paper)" } else { "plain LRU" };
-        record("eviction", label.to_string(), &simulate(&cfg, &w));
+        let label = if class {
+            "class-ordered (paper)"
+        } else {
+            "plain LRU"
+        };
+        jobs.push(("eviction", label.to_string(), cfg));
     }
     for fwd in [true, false] {
-        let cfg = AcceleratorConfig { lsq_forwarding: fwd, ..AcceleratorConfig::default() };
-        eprintln!("[ablation] forwarding {fwd} ...");
-        record("LSQ forwarding", fwd.to_string(), &simulate(&cfg, &w));
+        let cfg = AcceleratorConfig {
+            lsq_forwarding: fwd,
+            ..AcceleratorConfig::default()
+        };
+        jobs.push(("LSQ forwarding", fwd.to_string(), cfg));
+    }
+
+    for (knob, setting, _) in &jobs {
+        eprintln!("[ablation] {knob}: {setting} ...");
+    }
+    let reports = pool::map_indexed(args.worker_threads(), &jobs, |_, (_, _, cfg)| {
+        simulate(cfg, &w)
+    });
+
+    let mut t = TextTable::new(vec!["knob", "setting", "cycles", "DMB hit", "DRAM (MB)"]);
+    for ((knob, setting, _), r) in jobs.iter().zip(&reports) {
+        t.row(vec![
+            knob.to_string(),
+            setting.clone(),
+            r.cycles.to_string(),
+            format!("{:.1}%", r.dmb_hit_rate() * 100.0),
+            mb(r.dram_bytes()),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -2,44 +2,63 @@
 //! (OP / CWP / RWP / HyMM) on one dataset, with the energy-model estimate.
 //!
 //! ```text
-//! cargo run --release -p hymm-bench --bin ablation_dataflows -- [--scale N] [--datasets CR,AP]
+//! cargo run --release -p hymm-bench --bin ablation_dataflows -- [--scale N] [--datasets CR,AP] [--threads N]
 //! ```
 
+use hymm_bench::pool;
 use hymm_bench::table::{mb, TextTable};
 use hymm_bench::BenchArgs;
 use hymm_core::config::{AcceleratorConfig, Dataflow};
 use hymm_core::energy::EnergyModel;
 use hymm_gcn::{run_inference, GcnModel};
+use hymm_graph::datasets::Workload;
 
 fn main() {
     let args = BenchArgs::from_env();
+    let threads = args.worker_threads();
     let config = AcceleratorConfig::default();
     let energy = EnergyModel::default();
+
+    for d in &args.datasets {
+        eprintln!("[ablation] {} ...", d.name());
+    }
+    let workloads: Vec<Workload> =
+        pool::map_indexed(threads, &args.datasets, |_, d| match args.scale {
+            Some(n) => d.synthesize_scaled(n),
+            None => d.synthesize(),
+        });
+
+    // One job per (dataset, dataflow); the flat result vector is
+    // dataset-major, so rows come out in the serial order.
+    let jobs: Vec<(usize, Dataflow)> = (0..workloads.len())
+        .flat_map(|i| Dataflow::EXTENDED.into_iter().map(move |df| (i, df)))
+        .collect();
+    let reports = pool::map_indexed(threads, &jobs, |_, &(i, df)| {
+        let w = &workloads[i];
+        let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
+        run_inference(&config, df, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent")
+            .report
+    });
+
     let mut t = TextTable::new(vec![
-        "Dataset", "Dataflow", "cycles", "ALU util", "DRAM (MB)", "energy (uJ)",
+        "Dataset",
+        "Dataflow",
+        "cycles",
+        "ALU util",
+        "DRAM (MB)",
+        "energy (uJ)",
     ]);
-    for &dataset in &args.datasets {
-        eprintln!("[ablation] {} ...", dataset.name());
-        let w = match args.scale {
-            Some(n) => dataset.synthesize_scaled(n),
-            None => dataset.synthesize(),
-        };
-        let model =
-            GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
-        for df in Dataflow::EXTENDED {
-            let r = run_inference(&config, df, &w.adjacency, &w.features, &model)
-                .expect("shapes consistent")
-                .report;
-            let e = energy.estimate(&r);
-            t.row(vec![
-                dataset.abbrev().to_string(),
-                df.label().to_string(),
-                r.cycles.to_string(),
-                format!("{:.1}%", r.alu_utilization() * 100.0),
-                mb(r.dram_bytes()),
-                format!("{:.1}", e.total_uj()),
-            ]);
-        }
+    for (&(i, df), r) in jobs.iter().zip(&reports) {
+        let e = energy.estimate(r);
+        t.row(vec![
+            args.datasets[i].abbrev().to_string(),
+            df.label().to_string(),
+            r.cycles.to_string(),
+            format!("{:.1}%", r.alu_utilization() * 100.0),
+            mb(r.dram_bytes()),
+            format!("{:.1}", e.total_uj()),
+        ]);
     }
     println!("Extension: all four Table I dataflow families + energy estimate");
     println!("{}", t.render());

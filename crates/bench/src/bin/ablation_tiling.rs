@@ -1,9 +1,10 @@
 //! Ablation: the hybrid tiling threshold (paper §IV-E fixes 20%).
 //!
 //! ```text
-//! cargo run --release -p hymm-bench --bin ablation_tiling -- [--scale N] [--datasets AC]
+//! cargo run --release -p hymm-bench --bin ablation_tiling -- [--scale N] [--datasets AC] [--threads N]
 //! ```
 
+use hymm_bench::pool;
 use hymm_bench::table::{mb, TextTable};
 use hymm_bench::BenchArgs;
 use hymm_core::config::{AcceleratorConfig, Dataflow};
@@ -30,16 +31,23 @@ fn main() {
     };
     let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
     println!("Tiling-threshold sweep on {} (HyMM)", dataset.name());
-    let mut t = TextTable::new(vec!["fraction", "cycles", "ALU util", "DRAM (MB)"]);
-    for percent in [0u32, 5, 10, 15, 20, 30, 50, 75, 100] {
+
+    let percents = [0u32, 5, 10, 15, 20, 30, 50, 75, 100];
+    for percent in percents {
+        eprintln!("[ablation] fraction {percent}% ...");
+    }
+    let reports = pool::map_indexed(args.worker_threads(), &percents, |_, &percent| {
         let cfg = AcceleratorConfig {
             tiling_fraction: percent as f64 / 100.0,
             ..AcceleratorConfig::default()
         };
-        eprintln!("[ablation] fraction {percent}% ...");
-        let r = run_inference(&cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+        run_inference(&cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
             .expect("shapes consistent")
-            .report;
+            .report
+    });
+
+    let mut t = TextTable::new(vec!["fraction", "cycles", "ALU util", "DRAM (MB)"]);
+    for (percent, r) in percents.iter().zip(&reports) {
         t.row(vec![
             format!("{percent}%"),
             r.cycles.to_string(),

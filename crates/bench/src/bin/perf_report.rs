@@ -1,0 +1,78 @@
+//! Host-performance report: suite wall-clock at `--threads 1` versus the
+//! requested worker count, written to `BENCH_host.json`.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin perf_report -- [--scale N] [--datasets CR,AP] [--threads N]
+//! ```
+//!
+//! The two runs must produce identical simulation results (parallelism is
+//! wall-clock-only by construction); the report records that check alongside
+//! the timings, so the JSON doubles as evidence for the timing-invariance
+//! guarantee. Speedup is whatever the host actually delivers — on a
+//! single-core container it is ~1.0 by physics, not by bug.
+
+use hymm_bench::{pool, run_suite, BenchArgs, DatasetResults};
+use std::io::Write;
+use std::time::Instant;
+
+fn timed_suite(args: &BenchArgs) -> (Vec<DatasetResults>, f64) {
+    let t0 = Instant::now();
+    let results = run_suite(args);
+    (results, t0.elapsed().as_secs_f64())
+}
+
+fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.runs.len() == y.runs.len()
+                && x.runs.iter().zip(&y.runs).all(|(rx, ry)| {
+                    rx.label == ry.label
+                        && rx.report.cycles == ry.report.cycles
+                        && rx.report.dram == ry.report.dram
+                })
+        })
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let threads = args.worker_threads();
+
+    eprintln!("[perf_report] serial pass (--threads 1) ...");
+    let serial_args = BenchArgs {
+        threads: 1,
+        ..args.clone()
+    };
+    let (serial_results, serial_s) = timed_suite(&serial_args);
+
+    eprintln!("[perf_report] parallel pass (--threads {threads}) ...");
+    let parallel_args = BenchArgs {
+        threads,
+        ..args.clone()
+    };
+    let (parallel_results, parallel_s) = timed_suite(&parallel_args);
+
+    let identical = results_match(&serial_results, &parallel_results);
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let datasets: Vec<String> = args
+        .datasets
+        .iter()
+        .map(|d| format!("\"{}\"", d.abbrev()))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        args.scale.map_or("null".to_string(), |n| n.to_string()),
+        datasets.join(", "),
+        pool::default_threads(),
+    );
+
+    let path = "BENCH_host.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_host.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_host.json");
+    println!("{json}");
+    println!("wrote {path}");
+    assert!(
+        identical,
+        "thread count changed simulation results — timing invariance violated"
+    );
+}

@@ -1,5 +1,8 @@
 //! Regenerates the paper's Table III (hardware parameters and area).
 use hymm_core::config::AcceleratorConfig;
 fn main() {
-    println!("{}", hymm_bench::figures::table3(&AcceleratorConfig::default()));
+    println!(
+        "{}",
+        hymm_bench::figures::table3(&AcceleratorConfig::default())
+    );
 }

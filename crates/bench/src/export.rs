@@ -61,7 +61,11 @@ pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()>
         let op = r.run("OP").report.cycles as f64;
         for label in ["OP", "RWP", "HyMM"] {
             let rep = &r.run(label).report;
-            fig7.push(format!("{ds},{label},{},{:.4}", rep.cycles, op / rep.cycles as f64));
+            fig7.push(format!(
+                "{ds},{label},{},{:.4}",
+                rep.cycles,
+                op / rep.cycles as f64
+            ));
             fig8.push(format!("{ds},{label},{:.6}", rep.alu_utilization()));
             fig9.push(format!("{ds},{label},{:.6}", rep.dmb_hit_rate()));
             let k = |kind: MatrixKind| rep.dram.kind(kind).total_bytes();
@@ -90,11 +94,26 @@ pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()>
         &table2,
     )?;
     write_file(dir, "fig2.csv", "dataset,node_fraction,edge_share", &fig2)?;
-    write_file(dir, "fig6.csv", "dataset,plain_bytes,tiled_bytes,overhead", &fig6)?;
-    write_file(dir, "fig7.csv", "dataset,dataflow,cycles,speedup_vs_op", &fig7)?;
+    write_file(
+        dir,
+        "fig6.csv",
+        "dataset,plain_bytes,tiled_bytes,overhead",
+        &fig6,
+    )?;
+    write_file(
+        dir,
+        "fig7.csv",
+        "dataset,dataflow,cycles,speedup_vs_op",
+        &fig7,
+    )?;
     write_file(dir, "fig8.csv", "dataset,dataflow,alu_utilization", &fig8)?;
     write_file(dir, "fig9.csv", "dataset,dataflow,dmb_hit_rate", &fig9)?;
-    write_file(dir, "fig10.csv", "dataset,series,peak_partial_bytes", &fig10)?;
+    write_file(
+        dir,
+        "fig10.csv",
+        "dataset,series,peak_partial_bytes",
+        &fig10,
+    )?;
     write_file(
         dir,
         "fig11.csv",
@@ -131,5 +150,45 @@ mod tests {
             assert!(content.contains("CR"), "{name} missing dataset rows");
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_exports() {
+        use crate::args::BenchArgs;
+        use crate::runner::run_suite;
+
+        let mk = |threads| BenchArgs {
+            scale: Some(150),
+            datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
+            threads,
+        };
+        let serial_dir = std::env::temp_dir().join("hymm_csv_serial");
+        let parallel_dir = std::env::temp_dir().join("hymm_csv_parallel");
+        let _ = fs::remove_dir_all(&serial_dir);
+        let _ = fs::remove_dir_all(&parallel_dir);
+        write_csvs(&run_suite(&mk(1)), &serial_dir).expect("serial export succeeds");
+        write_csvs(&run_suite(&mk(4)), &parallel_dir).expect("parallel export succeeds");
+
+        // Every simulated quantity must be byte-identical at any thread
+        // count. table2.csv is excluded: its sort_cost_ms column is host
+        // wall-clock, nondeterministic even between two serial runs.
+        for name in [
+            "fig2.csv",
+            "fig6.csv",
+            "fig7.csv",
+            "fig8.csv",
+            "fig9.csv",
+            "fig10.csv",
+            "fig11.csv",
+        ] {
+            let serial = fs::read(serial_dir.join(name)).expect("serial file exists");
+            let parallel = fs::read(parallel_dir.join(name)).expect("parallel file exists");
+            assert_eq!(
+                serial, parallel,
+                "{name} differs between --threads 1 and --threads 4"
+            );
+        }
+        let _ = fs::remove_dir_all(&serial_dir);
+        let _ = fs::remove_dir_all(&parallel_dir);
     }
 }

@@ -10,14 +10,7 @@ use hymm_mem::MatrixKind;
 /// Table I: qualitative comparison of GCN accelerator dataflows (static
 /// content from the paper, reproduced for completeness).
 pub fn table1() -> String {
-    let mut t = TextTable::new(vec![
-        "",
-        "AWB-GCN",
-        "GCNAX",
-        "G-CoD",
-        "GROW",
-        "HyMM (ours)",
-    ]);
+    let mut t = TextTable::new(vec!["", "AWB-GCN", "GCNAX", "G-CoD", "GROW", "HyMM (ours)"]);
     t.row(vec![
         "Aggregation dataflow".into(),
         "Column-wise product".into(),
@@ -50,7 +43,10 @@ pub fn table1() -> String {
         "Graph partitioning".into(),
         "Degree sorting".into(),
     ]);
-    format!("Table I: comparison of GCN accelerator architectures\n{}", t.render())
+    format!(
+        "Table I: comparison of GCN accelerator architectures\n{}",
+        t.render()
+    )
 }
 
 /// Table II: dataset statistics plus measured sorting cost.
@@ -77,13 +73,21 @@ pub fn table2(results: &[DatasetResults]) -> String {
             format!("{:.2}", r.sort_cost_ms),
         ]);
     }
-    format!("Table II: graph datasets (synthesised; sorting cost measured on this host)\n{}", t.render())
+    format!(
+        "Table II: graph datasets (synthesised; sorting cost measured on this host)\n{}",
+        t.render()
+    )
 }
 
 /// Table III: hardware parameters and estimated area.
 pub fn table3(config: &AcceleratorConfig) -> String {
     let report = estimate_area(config);
-    let mut t = TextTable::new(vec!["Component", "Configuration", "7nm (mm2)", "40nm (mm2)"]);
+    let mut t = TextTable::new(vec![
+        "Component",
+        "Configuration",
+        "7nm (mm2)",
+        "40nm (mm2)",
+    ]);
     for c in &report.components {
         t.row(vec![
             c.name.to_string(),
@@ -98,7 +102,10 @@ pub fn table3(config: &AcceleratorConfig) -> String {
         format!("{:.3}", report.total_7nm()),
         format!("{:.3}", report.total_40nm()),
     ]);
-    format!("Table III: hardware parameters and estimated area\n{}", t.render())
+    format!(
+        "Table III: hardware parameters and estimated area\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 2: degree distribution — edge share of the top-x% nodes and the
@@ -307,7 +314,11 @@ pub fn fig10(results: &[DatasetResults]) -> String {
         let op = r.run("OP").report.partials.peak_bytes;
         let noacc = r.run("HyMM-noacc").report.partials.peak_bytes;
         let hy = r.run("HyMM").report.partials.peak_bytes;
-        let reduction = if noacc > 0 { 1.0 - hy as f64 / noacc as f64 } else { 0.0 };
+        let reduction = if noacc > 0 {
+            1.0 - hy as f64 / noacc as f64
+        } else {
+            0.0
+        };
         t.row(vec![
             r.spec.dataset.abbrev().to_string(),
             mb(op),

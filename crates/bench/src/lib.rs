@@ -6,13 +6,15 @@
 //! [`args`] command-line conventions:
 //!
 //! ```text
-//! cargo run --release -p hymm-bench --bin fig7 -- [--scale N] [--datasets CR,AP]
+//! cargo run --release -p hymm-bench --bin fig7 -- [--scale N] [--datasets CR,AP] [--threads N]
 //! ```
 //!
 //! `--scale N` caps every dataset at `N` nodes (average degree, sparsities
 //! and dimensions preserved) for quick runs; the default is the paper's
 //! full-size Table II datasets. `--datasets` filters by the paper's
-//! two-letter abbreviations.
+//! two-letter abbreviations. `--threads N` fans the independent
+//! (dataset x variant) simulations out across a [`pool`] of `N` workers
+//! (`0` = one per host core); results are identical at any thread count.
 //!
 //! | binary | reproduces |
 //! |---|---|
@@ -31,6 +33,7 @@
 pub mod args;
 pub mod export;
 pub mod figures;
+pub mod pool;
 pub mod runner;
 pub mod table;
 

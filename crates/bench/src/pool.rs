@@ -1,0 +1,118 @@
+//! A tiny scoped worker pool for fanning out independent simulation jobs.
+//!
+//! The suite's jobs (dataset synthesis, one dataflow variant's simulation)
+//! are pure functions of their inputs, so parallelism must not change any
+//! result — only wall-clock. `map_indexed` guarantees that by construction:
+//! results land in a slot per input index, so the output order equals the
+//! input order no matter which worker ran which job or in what order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count used when the user passes `--threads 0` (auto): the host's
+/// available parallelism, or 1 if it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning out across `threads` scoped workers,
+/// and returns the results **in input order**.
+///
+/// Workers claim items through an atomic cursor, so an expensive item does
+/// not leave a fixed shard of cheap ones waiting behind it. With
+/// `threads <= 1` the items run serially on the caller's thread (no spawn
+/// overhead, and panics propagate directly).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`; remaining items may be skipped.
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined every worker, so every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = map_indexed(4, &items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out, (0..64).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let items: Vec<u64> = (0..33).collect();
+        let serial = map_indexed(1, &items, |i, &v| v.wrapping_mul(31) + i as u64);
+        let parallel = map_indexed(8, &items, |i, &v| v.wrapping_mul(31) + i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        map_indexed(3, &counters, |_, c| c.fetch_add(1, Ordering::Relaxed));
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out = map_indexed(4, &items, |_, &v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1, 2, 3];
+        assert_eq!(map_indexed(16, &items, |_, &v| v + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -2,10 +2,11 @@
 //! dataflow variant on it, and hand the reports to the figure printers.
 
 use crate::args::BenchArgs;
+use crate::pool;
 use hymm_core::config::{AcceleratorConfig, Dataflow, MergePolicy};
 use hymm_core::stats::SimReport;
 use hymm_gcn::{run_inference, GcnModel};
-use hymm_graph::datasets::{Dataset, DatasetSpec};
+use hymm_graph::datasets::{Dataset, DatasetSpec, Workload};
 use hymm_graph::degree::DegreeDistribution;
 use hymm_graph::sort::degree_sort;
 use hymm_sparse::storage::{StorageLayout, StorageReport};
@@ -72,9 +73,28 @@ pub fn density_grid(adj: &hymm_sparse::Coo, grid: usize) -> Vec<f64> {
     counts.into_iter().map(|c| c as f64 / max).collect()
 }
 
-/// Runs the full suite for one dataset: synthesis, preprocessing analytics,
-/// and all four simulation variants.
-pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
+/// Simulation variants run per dataset: the [`Dataflow::ALL`] baselines plus
+/// HyMM with the near-memory accumulator disabled (Fig. 10's ablation).
+pub const VARIANTS_PER_DATASET: usize = Dataflow::ALL.len() + 1;
+
+/// A synthesised dataset plus its preprocessing analytics — everything a
+/// variant simulation needs, computed once and shared (immutably) by the
+/// four variant jobs.
+struct PreparedDataset {
+    spec: DatasetSpec,
+    workload: Workload,
+    degrees: DegreeDistribution,
+    sort_cost_ms: f64,
+    storage: StorageReport,
+    tiling_threshold: usize,
+    density_grid: Vec<f64>,
+    model: GcnModel,
+    config: AcceleratorConfig,
+}
+
+/// Synthesises one dataset and runs its preprocessing analytics (Table II
+/// sorting cost, Fig. 6 storage, Fig. 2b density map).
+fn prepare_dataset(dataset: Dataset, scale: Option<usize>) -> PreparedDataset {
     let spec = match scale {
         Some(n) => dataset.spec().scaled(n),
         None => dataset.spec(),
@@ -82,7 +102,6 @@ pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
     let workload = spec.synthesize();
     let degrees = DegreeDistribution::measure(&workload.adjacency);
 
-    // Preprocessing analytics (Table II sorting cost, Fig. 6 storage).
     let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
     let config = AcceleratorConfig::default();
     let tiling = TilingConfig {
@@ -96,39 +115,98 @@ pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
 
     let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
 
-    let mut runs = Vec::new();
-    for df in Dataflow::ALL {
-        let outcome = run_inference(&config, df, &workload.adjacency, &workload.features, &model)
-            .expect("workload shapes are consistent");
-        runs.push(DataflowRun { label: df.label(), report: outcome.report });
-    }
-    // HyMM with the near-memory accumulator disabled (materialised region-1
-    // partials) — the "without accumulator" series of Fig. 10.
-    let mut noacc = config.clone();
-    noacc.hybrid_merge = MergePolicy::Materialize;
-    let outcome =
-        run_inference(&noacc, Dataflow::Hybrid, &workload.adjacency, &workload.features, &model)
-            .expect("workload shapes are consistent");
-    runs.push(DataflowRun { label: "HyMM-noacc", report: outcome.report });
-
-    DatasetResults {
+    PreparedDataset {
         spec,
+        workload,
         degrees,
         sort_cost_ms: sorted.sort_cost_ms,
         storage,
         tiling_threshold,
         density_grid,
+        model,
+        config,
+    }
+}
+
+/// Runs one simulation variant (`0..VARIANTS_PER_DATASET`) on a prepared
+/// dataset. Variants below `Dataflow::ALL.len()` are the per-dataflow
+/// baselines; the last is HyMM with the near-memory accumulator disabled
+/// (materialised region-1 partials) — the "without accumulator" series of
+/// Fig. 10.
+fn simulate_variant(prep: &PreparedDataset, variant: usize) -> DataflowRun {
+    let (config, dataflow, label) = if let Some(&df) = Dataflow::ALL.get(variant) {
+        (prep.config.clone(), df, df.label())
+    } else {
+        let mut noacc = prep.config.clone();
+        noacc.hybrid_merge = MergePolicy::Materialize;
+        (noacc, Dataflow::Hybrid, "HyMM-noacc")
+    };
+    let outcome = run_inference(
+        &config,
+        dataflow,
+        &prep.workload.adjacency,
+        &prep.workload.features,
+        &prep.model,
+    )
+    .expect("workload shapes are consistent");
+    DataflowRun {
+        label,
+        report: outcome.report,
+    }
+}
+
+fn assemble(prep: PreparedDataset, runs: Vec<DataflowRun>) -> DatasetResults {
+    DatasetResults {
+        spec: prep.spec,
+        degrees: prep.degrees,
+        sort_cost_ms: prep.sort_cost_ms,
+        storage: prep.storage,
+        tiling_threshold: prep.tiling_threshold,
+        density_grid: prep.density_grid,
         runs,
     }
 }
 
+/// Runs the full suite for one dataset: synthesis, preprocessing analytics,
+/// and all four simulation variants, serially on the calling thread.
+pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
+    let prep = prepare_dataset(dataset, scale);
+    let runs = (0..VARIANTS_PER_DATASET)
+        .map(|v| simulate_variant(&prep, v))
+        .collect();
+    assemble(prep, runs)
+}
+
 /// Runs the suite for every requested dataset, printing progress to stderr.
+///
+/// With `args.threads != 1` the work fans out over a [`pool`] in two waves —
+/// dataset preparation, then every (dataset x variant) simulation — and is
+/// reassembled dataset-major, so the results (and their order) are identical
+/// to a serial run at any thread count. Progress lines are printed from the
+/// coordinating thread only, one per dataset before its jobs are enqueued,
+/// so stderr is stable too.
 pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
-    args.datasets
-        .iter()
-        .map(|&d| {
-            eprintln!("[hymm-bench] simulating {} ...", d.name());
-            run_dataset(d, args.scale)
+    let threads = args.worker_threads();
+    for d in &args.datasets {
+        eprintln!("[hymm-bench] simulating {} ...", d.name());
+    }
+    let preps = pool::map_indexed(threads, &args.datasets, |_, &d| {
+        prepare_dataset(d, args.scale)
+    });
+
+    // One job per (dataset, variant): dataset-major, so chunking the flat
+    // result vector reassembles each dataset's runs in variant order.
+    let jobs: Vec<(usize, usize)> = (0..preps.len())
+        .flat_map(|d| (0..VARIANTS_PER_DATASET).map(move |v| (d, v)))
+        .collect();
+    let mut runs =
+        pool::map_indexed(threads, &jobs, |_, &(d, v)| simulate_variant(&preps[d], v)).into_iter();
+
+    preps
+        .into_iter()
+        .map(|prep| {
+            let dataset_runs = runs.by_ref().take(VARIANTS_PER_DATASET).collect();
+            assemble(prep, dataset_runs)
         })
         .collect()
 }
@@ -153,6 +231,31 @@ mod tests {
     fn hybrid_beats_outer_on_small_cora() {
         let r = run_dataset(Dataset::Cora, Some(400));
         assert!(r.run("HyMM").report.cycles < r.run("OP").report.cycles);
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let mk = |threads| BenchArgs {
+            scale: Some(150),
+            datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
+            threads,
+        };
+        let serial = run_suite(&mk(1));
+        let parallel = run_suite(&mk(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.spec.dataset, p.spec.dataset,
+                "dataset order must be stable"
+            );
+            assert_eq!(s.runs.len(), p.runs.len());
+            for (sr, pr) in s.runs.iter().zip(&p.runs) {
+                assert_eq!(sr.label, pr.label);
+                assert_eq!(sr.report.cycles, pr.report.cycles, "{}", sr.label);
+                assert_eq!(sr.report.dram, pr.report.dram, "{}", sr.label);
+                assert_eq!(sr.report.phases, pr.report.phases, "{}", sr.label);
+            }
+        }
     }
 }
 

@@ -22,7 +22,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<&str>) -> TextTable {
-        TextTable { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells.

@@ -106,7 +106,11 @@ mod tests {
     fn default_config_reproduces_table_three() {
         let report = estimate_area(&AcceleratorConfig::default());
         let by_name = |n: &str| {
-            report.components.iter().find(|c| c.name == n).expect("component present")
+            report
+                .components
+                .iter()
+                .find(|c| c.name == n)
+                .expect("component present")
         };
         assert!((by_name("PE Array").area_7nm - 0.006).abs() < 1e-9);
         assert!((by_name("DMB").area_7nm - 0.077).abs() < 1e-9);
@@ -124,7 +128,10 @@ mod tests {
     #[test]
     fn area_scales_with_configuration() {
         let small = estimate_area(&AcceleratorConfig::default());
-        let mut cfg = AcceleratorConfig { num_pes: 32, ..AcceleratorConfig::default() };
+        let mut cfg = AcceleratorConfig {
+            num_pes: 32,
+            ..AcceleratorConfig::default()
+        };
         cfg.mem.dmb_bytes = 512 * 1024;
         let big = estimate_area(&cfg);
         assert!(big.total_7nm() > small.total_7nm());

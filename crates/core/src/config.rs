@@ -23,8 +23,12 @@ impl Dataflow {
     pub const ALL: [Dataflow; 3] = [Dataflow::Outer, Dataflow::RowWise, Dataflow::Hybrid];
 
     /// The paper's three dataflows plus the column-wise-product extension.
-    pub const EXTENDED: [Dataflow; 4] =
-        [Dataflow::Outer, Dataflow::ColumnWise, Dataflow::RowWise, Dataflow::Hybrid];
+    pub const EXTENDED: [Dataflow; 4] = [
+        Dataflow::Outer,
+        Dataflow::ColumnWise,
+        Dataflow::RowWise,
+        Dataflow::Hybrid,
+    ];
 
     /// Label used in experiment tables.
     pub fn label(&self) -> &'static str {
@@ -102,7 +106,8 @@ impl Default for AcceleratorConfig {
 impl AcceleratorConfig {
     /// Effective OP output-tile size in rows.
     pub fn op_tile_rows(&self) -> usize {
-        self.op_tile_rows.unwrap_or_else(|| (self.mem.dmb_lines() / 2).max(1))
+        self.op_tile_rows
+            .unwrap_or_else(|| (self.mem.dmb_lines() / 2).max(1))
     }
 
     /// Rows of a `dim`-wide dense matrix the DMB can hold (used to clamp

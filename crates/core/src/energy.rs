@@ -78,8 +78,7 @@ impl EnergyModel {
     /// Estimates the energy of a simulated run from its report.
     pub fn estimate(&self, report: &SimReport) -> EnergyReport {
         let hits = report.dmb_hits;
-        let dmb_accesses =
-            hits.read_hits + hits.read_misses + hits.write_hits + hits.write_misses;
+        let dmb_accesses = hits.read_hits + hits.read_misses + hits.write_hits + hits.write_misses;
         let lsq_ops = report.lsq.loads + report.lsq.stores;
         let pj_to_uj = 1e-6;
         EnergyReport {
@@ -124,7 +123,8 @@ mod tests {
     #[test]
     fn dram_dominates_for_traffic_heavy_runs() {
         let mut r = report();
-        r.dram.record_read(hymm_mem::MatrixKind::Output, 100_000_000);
+        r.dram
+            .record_read(hymm_mem::MatrixKind::Output, 100_000_000);
         let e = EnergyModel::default().estimate(&r);
         assert!(e.dram_uj > e.pe_uj + e.buffer_uj);
     }

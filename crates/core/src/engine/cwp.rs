@@ -67,9 +67,21 @@ pub fn run_cwp(m: &mut Machine, start: u64, job: &CwpJob<'_>, out: &mut Dense) -
         job.lane_efficiency > 0.0 && job.lane_efficiency <= 1.0,
         "lane efficiency must be in (0, 1]"
     );
-    assert_eq!(job.sparse.cols(), job.dense.rows(), "sparse columns must match dense rows");
-    assert_eq!(job.sparse.rows(), out.rows(), "sparse rows must match output rows");
-    assert_eq!(job.dense.cols(), out.cols(), "dense and output widths differ");
+    assert_eq!(
+        job.sparse.cols(),
+        job.dense.rows(),
+        "sparse columns must match dense rows"
+    );
+    assert_eq!(
+        job.sparse.rows(),
+        out.rows(),
+        "sparse rows must match output rows"
+    );
+    assert_eq!(
+        job.dense.cols(),
+        out.cols(),
+        "dense and output widths differ"
+    );
 
     let mem = m.config.mem;
     let elems = mem.elems_per_line();
@@ -94,9 +106,11 @@ pub fn run_cwp(m: &mut Machine, start: u64, job: &CwpJob<'_>, out: &mut Dense) -
     let mut end = start;
     let total_nnz = sparse.nnz() as u64;
 
+    // Per-column consumption cursors over the CSC, reset for every output
+    // column rather than reallocated d times.
+    let mut cursor: Vec<usize> = vec![0; cols];
     for j in 0..d {
-        // Per-column consumption cursors over the CSC.
-        let mut cursor: Vec<usize> = (0..cols).map(|k| sparse.col_ptr()[k]).collect();
+        cursor.copy_from_slice(&sparse.col_ptr()[..cols]);
         for tile in 0..num_tiles {
             let hi = ((tile + 1) * job.tile_rows).min(rows);
             let mut tile_nnz = 0usize;
@@ -132,8 +146,7 @@ pub fn run_cwp(m: &mut Machine, start: u64, job: &CwpJob<'_>, out: &mut Dense) -
                 let line = k / elems;
                 if line != fetched_dense_line {
                     fetched_dense_line = line;
-                    let addr =
-                        row_line(job.dense_kind, j, dense_col_lines, line);
+                    let addr = row_line(job.dense_kind, j, dense_col_lines, line);
                     dense_line_ready = m.load_line(now, addr, AccessPattern::Sequential);
                 }
                 // Stream the column's entries and execute the row-parallel
@@ -185,10 +198,20 @@ mod tests {
         let coo = Coo::from_triplets(
             5,
             4,
-            [(0, 1, 2.0), (1, 0, -1.0), (2, 1, 0.5), (3, 3, 3.0), (4, 0, 1.5), (0, 3, -0.5)],
+            [
+                (0, 1, 2.0),
+                (1, 0, -1.0),
+                (2, 1, 0.5),
+                (3, 3, 3.0),
+                (4, 0, 1.5),
+                (0, 3, -0.5),
+            ],
         )
         .unwrap();
-        (Csc::from_coo(&coo), Dense::from_fn(4, 16, |r, c| ((r + 2 * c) % 7) as f32 * 0.3))
+        (
+            Csc::from_coo(&coo),
+            Dense::from_fn(4, 16, |r, c| ((r + 2 * c) % 7) as f32 * 0.3),
+        )
     }
 
     fn job<'a>(sparse: &'a Csc, dense: &'a Dense) -> CwpJob<'a> {
@@ -234,7 +257,10 @@ mod tests {
         run_cwp(&mut m, 0, &job(&sparse, &dense), &mut out);
         // 16 output columns x 1 index line (6 entries) + pointer lines
         let reads = m.dram.stats().kind(MatrixKind::SparseA).reads;
-        assert!(reads >= 16, "expected one sparse pass per output column, got {reads}");
+        assert!(
+            reads >= 16,
+            "expected one sparse pass per output column, got {reads}"
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ pub fn merge_bottom_regions(tiled: &TiledMatrix) -> Csr {
         }
         row_ptr.push(col_idx.len());
     }
-    Csr::from_raw_parts(rows, n, row_ptr, col_idx, values)
-        .expect("merged regions form a valid CSR")
+    Csr::from_raw_parts(rows, n, row_ptr, col_idx, values).expect("merged regions form a valid CSR")
 }
 
 /// Converts region 1 to CSR (used by ablations that run RWP everywhere).
@@ -165,7 +164,11 @@ mod tests {
         run_hybrid_aggregation(&mut m, 0, &tiled, &dense, &mut out);
 
         let want = spdemm::row_wise_product(&Csr::from_coo(&adj), &dense);
-        assert!(out.approx_eq(&want, 1e-4), "max diff {}", out.max_abs_diff(&want));
+        assert!(
+            out.approx_eq(&want, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&want)
+        );
     }
 
     #[test]
@@ -199,7 +202,10 @@ mod tests {
     #[test]
     fn zero_threshold_runs_pure_rwp() {
         let adj = sorted_power_law(10);
-        let cfg = TilingConfig { threshold_fraction: 0.0, dmb_capacity_rows: None };
+        let cfg = TilingConfig {
+            threshold_fraction: 0.0,
+            dmb_capacity_rows: None,
+        };
         let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
         let dense = Dense::from_fn(10, 16, |r, _| r as f32);
         let mut m = Machine::new(&AcceleratorConfig::default());
@@ -213,7 +219,10 @@ mod tests {
     #[test]
     fn full_threshold_runs_pure_op() {
         let adj = sorted_power_law(10);
-        let cfg = TilingConfig { threshold_fraction: 1.0, dmb_capacity_rows: None };
+        let cfg = TilingConfig {
+            threshold_fraction: 1.0,
+            dmb_capacity_rows: None,
+        };
         let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
         let dense = Dense::from_fn(10, 16, |r, _| r as f32);
         let mut m = Machine::new(&AcceleratorConfig::default());

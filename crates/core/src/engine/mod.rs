@@ -21,6 +21,11 @@ use hymm_mem::{LineAddr, MatrixKind};
 
 /// Line address of chunk `chunk` of dense row `row` in a matrix whose rows
 /// span `lines_per_row` lines.
-pub(crate) fn row_line(kind: MatrixKind, row: usize, lines_per_row: usize, chunk: usize) -> LineAddr {
+pub(crate) fn row_line(
+    kind: MatrixKind,
+    row: usize,
+    lines_per_row: usize,
+    chunk: usize,
+) -> LineAddr {
     LineAddr::new(kind, (row * lines_per_row + chunk) as u64)
 }

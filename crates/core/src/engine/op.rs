@@ -73,7 +73,11 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
         job.sparse.rows() + job.out_row_offset <= out.rows(),
         "sparse rows exceed output rows"
     );
-    assert_eq!(job.dense.cols(), out.cols(), "dense and output widths differ");
+    assert_eq!(
+        job.dense.cols(),
+        out.cols(),
+        "dense and output widths differ"
+    );
 
     let mem = m.config.mem;
     let dense_lines = mem.lines_per_row(job.dense.cols());
@@ -89,6 +93,14 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
     // Per-column consumption cursors: tiles ascend through each column's
     // (sorted) row indices exactly once.
     let mut cursor: Vec<usize> = (0..cols).map(|k| sparse.col_ptr()[k]).collect();
+
+    // Scratch reused across tiles: first-touch bitmap, materialise log, and
+    // the merge-pass MLP window.
+    let mut touched_buf = vec![false; job.tile_rows.min(rows)];
+    let mut log: Vec<(usize, u64)> = Vec::new();
+    let mlp = m.config.mlp_window.max(1);
+    let mut window: std::collections::VecDeque<u64> =
+        std::collections::VecDeque::with_capacity(mlp);
 
     let mut now = start;
     let mut end = start;
@@ -112,14 +124,14 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
         if tile_nnz == 0 {
             continue;
         }
-        let mut smq =
-            SmqStream::new(&mem, job.sparse_kind, SparseFormat::Csc, tile_nnz, cols + 1);
+        let mut smq = SmqStream::new(&mem, job.sparse_kind, SparseFormat::Csc, tile_nnz, cols + 1);
 
         // Footprint accounting for this tile.
-        let mut touched = vec![false; hi - lo];
+        let touched = &mut touched_buf[..hi - lo];
+        touched.fill(false);
         let mut live_partial_bytes: u64 = 0;
         // Materialise log: (local row, log addr) pairs for the merge pass.
-        let mut log: Vec<(usize, u64)> = Vec::new();
+        log.clear();
 
         for k in 0..cols {
             let col_end = sparse.col_ptr()[k + 1];
@@ -165,8 +177,13 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                             let addr = row_line(job.out_kind, global_row, out_lines, chunk);
                             let was_resident = m.dmb.contains(addr);
                             let drained = m.lsq.store(done, addr, done);
-                            let w =
-                                m.dmb.write(drained, addr, &mut m.dram, true, AccessPattern::Random);
+                            let w = m.dmb.write(
+                                drained,
+                                addr,
+                                &mut m.dram,
+                                true,
+                                AccessPattern::Random,
+                            );
                             done = w.ready;
                             if !first_touch {
                                 if was_resident {
@@ -197,9 +214,13 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                             let addr = row_line(job.out_kind, global_row, out_lines, chunk);
                             if first_touch {
                                 let drained = m.lsq.store(done, addr, done);
-                                let w = m
-                                    .dmb
-                                    .write(drained, addr, &mut m.dram, true, AccessPattern::Random);
+                                let w = m.dmb.write(
+                                    drained,
+                                    addr,
+                                    &mut m.dram,
+                                    true,
+                                    AccessPattern::Random,
+                                );
                                 done = w.ready;
                             } else {
                                 // Read-modify-write through the PE adder; the
@@ -212,9 +233,13 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                                 }
                                 let add = m.pe.execute_merge(ready, 1);
                                 let drained = m.lsq.store(add, addr, add);
-                                let w = m
-                                    .dmb
-                                    .write(drained, addr, &mut m.dram, true, AccessPattern::Random);
+                                let w = m.dmb.write(
+                                    drained,
+                                    addr,
+                                    &mut m.dram,
+                                    true,
+                                    AccessPattern::Random,
+                                );
                                 done = w.ready;
                             }
                         }
@@ -233,8 +258,13 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                             log.push((tile_r, addr.index));
                             let _ = chunk;
                             let drained = m.lsq.store(done, addr, done);
-                            let w =
-                                m.dmb.write(drained, addr, &mut m.dram, true, AccessPattern::Random);
+                            let w = m.dmb.write(
+                                drained,
+                                addr,
+                                &mut m.dram,
+                                true,
+                                AccessPattern::Random,
+                            );
                             done = w.ready;
                         }
                         end = end.max(done);
@@ -250,9 +280,6 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
             // Merge pass: fold every logged partial into its output row.
             // Reads are pipelined up to the MLP window — the merger streams
             // the log while the PE adder drains it.
-            let mlp = m.config.mlp_window.max(1);
-            let mut window: std::collections::VecDeque<u64> =
-                std::collections::VecDeque::with_capacity(mlp);
             let mut t = end;
             for &(tile_r, log_index) in &log {
                 if window.len() >= mlp {
@@ -270,7 +297,8 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                 t += 1;
                 let _ = tile_r;
             }
-            let mut t = window.into_iter().last().unwrap_or(t).max(t);
+            let mut t = window.back().copied().unwrap_or(t).max(t);
+            window.clear();
             // Drop the log and write the merged rows.
             m.dmb.invalidate_kind(job.out_kind);
             for (i, &was_touched) in touched.iter().enumerate() {
@@ -316,10 +344,20 @@ mod tests {
         let coo = Coo::from_triplets(
             4,
             5,
-            [(0, 1, 2.0), (0, 4, 1.0), (1, 0, -1.0), (3, 2, 0.5), (3, 1, 3.0), (2, 1, 1.0)],
+            [
+                (0, 1, 2.0),
+                (0, 4, 1.0),
+                (1, 0, -1.0),
+                (3, 2, 0.5),
+                (3, 1, 3.0),
+                (2, 1, 1.0),
+            ],
         )
         .unwrap();
-        (Csc::from_coo(&coo), Dense::from_fn(5, 16, |r, c| (r * 16 + c) as f32 * 0.1))
+        (
+            Csc::from_coo(&coo),
+            Dense::from_fn(5, 16, |r, c| (r * 16 + c) as f32 * 0.1),
+        )
     }
 
     fn job<'a>(sparse: &'a Csc, dense: &'a Dense, merge: MergePolicy) -> OpJob<'a> {
@@ -370,7 +408,12 @@ mod tests {
         let (sparse, dense) = fixture();
         let mut m = machine();
         let mut out = Dense::zeros(4, 16);
-        run_op(&mut m, 0, &job(&sparse, &dense, MergePolicy::NearMemory), &mut out);
+        run_op(
+            &mut m,
+            0,
+            &job(&sparse, &dense, MergePolicy::NearMemory),
+            &mut out,
+        );
         assert_eq!(m.pe.merge_cycles(), 0);
         // rows 0 and 3 each receive 2 partials → 2 merges
         assert_eq!(m.dmb.accumulator_merges(), 2);
@@ -381,7 +424,12 @@ mod tests {
         let (sparse, dense) = fixture();
         let mut m = machine();
         let mut out = Dense::zeros(4, 16);
-        run_op(&mut m, 0, &job(&sparse, &dense, MergePolicy::PeReadModifyWrite), &mut out);
+        run_op(
+            &mut m,
+            0,
+            &job(&sparse, &dense, MergePolicy::PeReadModifyWrite),
+            &mut out,
+        );
         assert_eq!(m.pe.merge_cycles(), 2);
         assert_eq!(m.dmb.accumulator_merges(), 0);
     }
@@ -391,11 +439,21 @@ mod tests {
         let (sparse, dense) = fixture();
         let mut acc = machine();
         let mut out = Dense::zeros(4, 16);
-        run_op(&mut acc, 0, &job(&sparse, &dense, MergePolicy::NearMemory), &mut out);
+        run_op(
+            &mut acc,
+            0,
+            &job(&sparse, &dense, MergePolicy::NearMemory),
+            &mut out,
+        );
 
         let mut mat = machine();
         let mut out2 = Dense::zeros(4, 16);
-        run_op(&mut mat, 0, &job(&sparse, &dense, MergePolicy::Materialize), &mut out2);
+        run_op(
+            &mut mat,
+            0,
+            &job(&sparse, &dense, MergePolicy::Materialize),
+            &mut out2,
+        );
 
         // 6 partial writes vs 4 distinct rows
         assert_eq!(mat.partials.peak_bytes, 6 * 64);
@@ -408,7 +466,12 @@ mod tests {
         let (sparse, dense) = fixture();
         let mut m = machine();
         let mut out = Dense::zeros(4, 16);
-        run_op(&mut m, 0, &job(&sparse, &dense, MergePolicy::NearMemory), &mut out);
+        run_op(
+            &mut m,
+            0,
+            &job(&sparse, &dense, MergePolicy::NearMemory),
+            &mut out,
+        );
         assert_eq!(m.dmb.resident_lines(MatrixKind::Output), 0);
         // 4 distinct output rows written back
         assert_eq!(m.dram.stats().kind(MatrixKind::Output).writes, 4);
@@ -435,7 +498,12 @@ mod tests {
         let dense = Dense::zeros(3, 16);
         let mut m = machine();
         let mut out = Dense::zeros(3, 16);
-        let end = run_op(&mut m, 7, &job(&sparse, &dense, MergePolicy::NearMemory), &mut out);
+        let end = run_op(
+            &mut m,
+            7,
+            &job(&sparse, &dense, MergePolicy::NearMemory),
+            &mut out,
+        );
         assert_eq!(end, 7);
     }
 
@@ -444,7 +512,12 @@ mod tests {
         let (sparse, dense) = fixture();
         let mut m = machine();
         let mut out = Dense::zeros(4, 16);
-        run_op(&mut m, 0, &job(&sparse, &dense, MergePolicy::NearMemory), &mut out);
+        run_op(
+            &mut m,
+            0,
+            &job(&sparse, &dense, MergePolicy::NearMemory),
+            &mut out,
+        );
         assert_eq!(m.phases[0].nnz, 6);
     }
 }

@@ -59,7 +59,11 @@ pub fn run_rwp(m: &mut Machine, start: u64, job: &RwpJob<'_>, out: &mut Dense) -
         job.sparse.rows() + job.out_row_offset <= out.rows(),
         "sparse rows exceed output rows"
     );
-    assert_eq!(job.dense.cols(), out.cols(), "dense and output widths differ");
+    assert_eq!(
+        job.dense.cols(),
+        out.cols(),
+        "dense and output widths differ"
+    );
 
     let mem = m.config.mem;
     let dense_lines = mem.lines_per_row(job.dense.cols());
@@ -109,7 +113,8 @@ pub fn run_rwp(m: &mut Machine, start: u64, job: &RwpJob<'_>, out: &mut Dense) -
         let global_row = r + job.out_row_offset;
         for chunk in 0..out_lines {
             let addr = row_line(job.out_kind, global_row, out_lines, chunk);
-            end = end.max(m.store_line(row_done, addr, job.out_allocate, AccessPattern::Sequential));
+            end =
+                end.max(m.store_line(row_done, addr, job.out_allocate, AccessPattern::Sequential));
         }
         end = end.max(row_done);
     }
@@ -133,10 +138,19 @@ mod tests {
         let coo = Coo::from_triplets(
             4,
             5,
-            [(0, 1, 2.0), (0, 4, 1.0), (1, 0, -1.0), (3, 2, 0.5), (3, 3, 3.0)],
+            [
+                (0, 1, 2.0),
+                (0, 4, 1.0),
+                (1, 0, -1.0),
+                (3, 2, 0.5),
+                (3, 3, 3.0),
+            ],
         )
         .unwrap();
-        (Csr::from_coo(&coo), Dense::from_fn(5, 16, |r, c| (r * 16 + c) as f32 * 0.1))
+        (
+            Csr::from_coo(&coo),
+            Dense::from_fn(5, 16, |r, c| (r * 16 + c) as f32 * 0.1),
+        )
     }
 
     fn job<'a>(sparse: &'a Csr, dense: &'a Dense) -> RwpJob<'a> {
@@ -232,7 +246,11 @@ mod tests {
         let dense = Dense::from_fn(4, 16, |r, _| r as f32);
         let mut m = machine();
         let mut out = Dense::zeros(3, 16);
-        let j = RwpJob { col_offset: 3, out_row_offset: 2, ..job(&sparse, &dense) };
+        let j = RwpJob {
+            col_offset: 3,
+            out_row_offset: 2,
+            ..job(&sparse, &dense)
+        };
         run_rwp(&mut m, 0, &j, &mut out);
         assert_eq!(out.get(2, 0), 6.0);
         assert_eq!(out.get(0, 0), 0.0);

@@ -55,12 +55,7 @@ impl Machine {
     /// the data is available. Honours store-to-load forwarding when the
     /// configuration enables it. `pattern` describes how a resulting DRAM
     /// fill lands on the channel.
-    pub fn load_line(
-        &mut self,
-        now: u64,
-        addr: hymm_mem::LineAddr,
-        pattern: AccessPattern,
-    ) -> u64 {
+    pub fn load_line(&mut self, now: u64, addr: hymm_mem::LineAddr, pattern: AccessPattern) -> u64 {
         use hymm_mem::lsq::LoadPath;
         if self.config.lsq_forwarding {
             match self.lsq.load(now, addr) {
@@ -91,7 +86,9 @@ impl Machine {
         } else {
             now
         };
-        self.dmb.write(drained, addr, &mut self.dram, allocate, pattern).ready
+        self.dmb
+            .write(drained, addr, &mut self.dram, allocate, pattern)
+            .ready
     }
 
     /// Records a finished phase, attributing the DMB hit and DRAM traffic
@@ -121,12 +118,14 @@ impl Machine {
     /// report; `total_cycles` is the caller's end-of-execution cycle.
     pub fn into_report(mut self, total_cycles: u64) -> SimReport {
         // Final writeback of any dirty output still resident.
-        let flushed = self.dmb.flush_kind(total_cycles, MatrixKind::Output, &mut self.dram);
+        let flushed = self
+            .dmb
+            .flush_kind(total_cycles, MatrixKind::Output, &mut self.dram);
         SimReport {
             cycles: flushed.max(total_cycles),
             mac_cycles: self.pe.mac_cycles(),
             merge_cycles: self.pe.merge_cycles(),
-            dram: self.dram.stats().clone(),
+            dram: self.dram.into_stats(),
             dmb_hits: self.dmb.hit_stats(),
             dmb_evictions: self.dmb.evictions(),
             dmb_dirty_evictions: self.dmb.dirty_evictions(),
@@ -169,8 +168,10 @@ mod tests {
 
     #[test]
     fn forwarding_can_be_disabled() {
-        let cfg =
-            AcceleratorConfig { lsq_forwarding: false, ..AcceleratorConfig::default() };
+        let cfg = AcceleratorConfig {
+            lsq_forwarding: false,
+            ..AcceleratorConfig::default()
+        };
         let mut m = Machine::new(&cfg);
         let addr = LineAddr::new(MatrixKind::Combination, 3);
         m.store_line(0, addr, true, AccessPattern::Sequential);

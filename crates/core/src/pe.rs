@@ -42,7 +42,14 @@ impl PeArray {
     /// Panics if `lanes == 0`.
     pub fn new(lanes: usize) -> PeArray {
         assert!(lanes > 0, "PE array needs at least one lane");
-        PeArray { lanes, busy_until: 0, mac_cycles: 0, merge_cycles: 0, mac_ops: 0, merge_ops: 0 }
+        PeArray {
+            lanes,
+            busy_until: 0,
+            mac_cycles: 0,
+            merge_cycles: 0,
+            mac_ops: 0,
+            merge_ops: 0,
+        }
     }
 
     /// Executes `chunks` scalar-vector MAC operations whose operands are

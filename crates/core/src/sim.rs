@@ -112,7 +112,10 @@ pub fn run_gcn_layer(
                 },
                 &mut out,
             );
-            Ok(LayerOutcome { output: out, report: machine.into_report(t2) })
+            Ok(LayerOutcome {
+                output: out,
+                report: machine.into_report(t2),
+            })
         }
         Dataflow::Outer => {
             let x_csc = Csc::from_coo(x);
@@ -161,7 +164,10 @@ pub fn run_gcn_layer(
                 },
                 &mut out,
             );
-            Ok(LayerOutcome { output: out, report: machine.into_report(t2) })
+            Ok(LayerOutcome {
+                output: out,
+                report: machine.into_report(t2),
+            })
         }
         Dataflow::ColumnWise => {
             use crate::engine::cwp::{run_cwp, CwpJob};
@@ -200,7 +206,10 @@ pub fn run_gcn_layer(
                 },
                 &mut out,
             );
-            Ok(LayerOutcome { output: out, report: machine.into_report(t2) })
+            Ok(LayerOutcome {
+                output: out,
+                report: machine.into_report(t2),
+            })
         }
         Dataflow::Hybrid => {
             // Preprocessing (not charged to accelerator cycles; its host
@@ -235,15 +244,16 @@ pub fn run_gcn_layer(
             let mut out_sorted = Dense::zeros(n, d);
             let t2 = run_hybrid_aggregation(&mut machine, t1, &tiled, &xw, &mut out_sorted);
 
-            // Back to original node order.
+            // Back to original node order, one row-slice copy per node.
             let mut out = Dense::zeros(n, d);
             for old in 0..n {
                 let sorted_row = perm.apply_index(old);
-                for c in 0..d {
-                    out.set(old, c, out_sorted.get(sorted_row, c));
-                }
+                out.row_mut(old).copy_from_slice(out_sorted.row(sorted_row));
             }
-            Ok(LayerOutcome { output: out, report: machine.into_report(t2) })
+            Ok(LayerOutcome {
+                output: out,
+                report: machine.into_report(t2),
+            })
         }
     }
 }
@@ -296,8 +306,14 @@ mod tests {
     #[test]
     fn reports_are_populated() {
         let (adj, x, w) = fixture(16, 8, 16);
-        let outcome =
-            run_gcn_layer(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &w).unwrap();
+        let outcome = run_gcn_layer(
+            &AcceleratorConfig::default(),
+            Dataflow::Hybrid,
+            &adj,
+            &x,
+            &w,
+        )
+        .unwrap();
         let r = &outcome.report;
         assert!(r.cycles > 0);
         assert!(r.mac_cycles > 0);
@@ -310,8 +326,14 @@ mod tests {
     fn shape_mismatch_is_error() {
         let (adj, x, _) = fixture(8, 6, 16);
         let bad_w = Dense::zeros(7, 16); // x has 6 cols
-        assert!(run_gcn_layer(&AcceleratorConfig::default(), Dataflow::RowWise, &adj, &x, &bad_w)
-            .is_err());
+        assert!(run_gcn_layer(
+            &AcceleratorConfig::default(),
+            Dataflow::RowWise,
+            &adj,
+            &x,
+            &bad_w
+        )
+        .is_err());
     }
 
     #[test]
@@ -333,8 +355,14 @@ mod tests {
     #[test]
     fn sparse_traffic_tagged_by_matrix() {
         let (adj, x, w) = fixture(16, 8, 16);
-        let outcome =
-            run_gcn_layer(&AcceleratorConfig::default(), Dataflow::RowWise, &adj, &x, &w).unwrap();
+        let outcome = run_gcn_layer(
+            &AcceleratorConfig::default(),
+            Dataflow::RowWise,
+            &adj,
+            &x,
+            &w,
+        )
+        .unwrap();
         assert!(outcome.report.dram.kind(MatrixKind::SparseA).read_bytes > 0);
         assert!(outcome.report.dram.kind(MatrixKind::SparseX).read_bytes > 0);
         assert!(outcome.report.dram.kind(MatrixKind::Weight).read_bytes > 0);

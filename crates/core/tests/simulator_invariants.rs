@@ -20,9 +20,15 @@ fn fixture() -> (Coo, Coo, Dense) {
 #[test]
 fn timing_knobs_never_change_results() {
     let (adj, x, w) = fixture();
-    let base = run_gcn_layer(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &w)
-        .unwrap()
-        .output;
+    let base = run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &w,
+    )
+    .unwrap()
+    .output;
     let mut variants = Vec::new();
     let mut v1 = AcceleratorConfig::default();
     v1.mem.dram_latency = 500;
@@ -33,12 +39,20 @@ fn timing_knobs_never_change_results() {
     let mut v3 = AcceleratorConfig::default();
     v3.mem.dram_channels = 4;
     variants.push(v3);
-    let mut v4 = AcceleratorConfig::default();
-    v4.mlp_window = 1;
+    let v4 = AcceleratorConfig {
+        mlp_window: 1,
+        ..AcceleratorConfig::default()
+    };
     variants.push(v4);
     for (i, cfg) in variants.iter().enumerate() {
-        let out = run_gcn_layer(cfg, Dataflow::Hybrid, &adj, &x, &w).unwrap().output;
-        assert_eq!(out.as_slice(), base.as_slice(), "variant {i} changed the result");
+        let out = run_gcn_layer(cfg, Dataflow::Hybrid, &adj, &x, &w)
+            .unwrap()
+            .output;
+        assert_eq!(
+            out.as_slice(),
+            base.as_slice(),
+            "variant {i} changed the result"
+        );
     }
 }
 
@@ -49,8 +63,10 @@ fn higher_dram_latency_never_speeds_things_up() {
     for latency in [0u64, 50, 100, 400] {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.dram_latency = latency;
-        let cycles =
-            run_gcn_layer(&cfg, Dataflow::RowWise, &adj, &x, &w).unwrap().report.cycles;
+        let cycles = run_gcn_layer(&cfg, Dataflow::RowWise, &adj, &x, &w)
+            .unwrap()
+            .report
+            .cycles;
         assert!(cycles >= prev, "latency {latency}: {cycles} < {prev}");
         prev = cycles;
     }
@@ -67,7 +83,10 @@ fn bigger_buffer_never_hurts_hit_rate() {
             .unwrap()
             .report
             .dmb_hit_rate();
-        assert!(rate >= prev - 0.02, "{kb} KB: hit rate {rate} dropped from {prev}");
+        assert!(
+            rate >= prev - 0.02,
+            "{kb} KB: hit rate {rate} dropped from {prev}"
+        );
         prev = rate;
     }
 }
@@ -77,9 +96,15 @@ fn mac_count_matches_nonzero_work() {
     // For the RWP dataflow at layer dim 16 (one line per row), the useful
     // MAC ops equal nnz(X) + nnz(Â) exactly.
     let (adj, x, w) = fixture();
-    let report = run_gcn_layer(&AcceleratorConfig::default(), Dataflow::RowWise, &adj, &x, &w)
-        .unwrap()
-        .report;
+    let report = run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::RowWise,
+        &adj,
+        &x,
+        &w,
+    )
+    .unwrap()
+    .report;
     // duplicates coalesce inside CSR conversion
     let adj_nnz = hymm_sparse::Csr::from_coo(&adj).nnz() as u64;
     let x_nnz = hymm_sparse::Csr::from_coo(&x).nnz() as u64;
@@ -92,8 +117,9 @@ fn dram_write_bytes_cover_the_output_matrix() {
     let (adj, x, w) = fixture();
     let n_lines_bytes = 300 * 64; // 300 rows x one 64 B line
     for df in Dataflow::ALL {
-        let report =
-            run_gcn_layer(&AcceleratorConfig::default(), df, &adj, &x, &w).unwrap().report;
+        let report = run_gcn_layer(&AcceleratorConfig::default(), df, &adj, &x, &w)
+            .unwrap()
+            .report;
         let out_writes = report.dram.kind(MatrixKind::Output).write_bytes;
         assert!(
             out_writes >= n_lines_bytes * 9 / 10,
@@ -106,12 +132,22 @@ fn dram_write_bytes_cover_the_output_matrix() {
 #[test]
 fn phase_windows_are_ordered_and_cover_the_run() {
     let (adj, x, w) = fixture();
-    let report = run_gcn_layer(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &w)
-        .unwrap()
-        .report;
+    let report = run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &w,
+    )
+    .unwrap()
+    .report;
     let mut prev_end = 0;
     for p in &report.phases {
-        assert!(p.start_cycle >= prev_end, "phase {} overlaps predecessor", p.name);
+        assert!(
+            p.start_cycle >= prev_end,
+            "phase {} overlaps predecessor",
+            p.name
+        );
         assert!(p.end_cycle >= p.start_cycle);
         prev_end = p.start_cycle; // phases may share boundaries
     }
@@ -124,9 +160,21 @@ fn unsorted_and_presorted_graphs_give_same_hybrid_result() {
     // Hybrid sorts internally; feeding an already-sorted graph must give the
     // same numbers modulo the permutation it applies.
     let (adj, x, w) = fixture();
-    let outcome =
-        run_gcn_layer(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &w).unwrap();
-    let rwp =
-        run_gcn_layer(&AcceleratorConfig::default(), Dataflow::RowWise, &adj, &x, &w).unwrap();
+    let outcome = run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &w,
+    )
+    .unwrap();
+    let rwp = run_gcn_layer(
+        &AcceleratorConfig::default(),
+        Dataflow::RowWise,
+        &adj,
+        &x,
+        &w,
+    )
+    .unwrap();
     assert!(outcome.output.approx_eq(&rwp.output, 1e-3));
 }

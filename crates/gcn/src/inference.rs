@@ -96,8 +96,8 @@ mod tests {
     use super::*;
     use crate::model::GcnModel;
     use crate::reference::dense_inference;
-    use hymm_graph::generator::preferential_attachment;
     use hymm_graph::features::sparse_features;
+    use hymm_graph::generator::preferential_attachment;
 
     fn fixture() -> (Coo, Coo, GcnModel) {
         let adj = preferential_attachment(40, 120, 3);
@@ -119,8 +119,7 @@ mod tests {
         let (adj, x, model) = fixture();
         let want = dense_inference(&adj, &x, &model);
         for df in Dataflow::ALL {
-            let got =
-                run_inference(&AcceleratorConfig::default(), df, &adj, &x, &model).unwrap();
+            let got = run_inference(&AcceleratorConfig::default(), df, &adj, &x, &model).unwrap();
             assert!(
                 got.output.approx_eq(&want, 1e-2),
                 "{} diverges by {}",
@@ -133,9 +132,14 @@ mod tests {
     #[test]
     fn per_layer_reports_sum_to_total() {
         let (adj, x, model) = fixture();
-        let out =
-            run_inference(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &model)
-                .unwrap();
+        let out = run_inference(
+            &AcceleratorConfig::default(),
+            Dataflow::Hybrid,
+            &adj,
+            &x,
+            &model,
+        )
+        .unwrap();
         assert_eq!(out.layer_reports.len(), 2);
         let cycle_sum: u64 = out.layer_reports.iter().map(|r| r.cycles).sum();
         assert_eq!(out.report.cycles, cycle_sum);
@@ -145,9 +149,14 @@ mod tests {
     #[test]
     fn relu_layers_reduce_second_layer_nnz() {
         let (adj, x, model) = fixture();
-        let out =
-            run_inference(&AcceleratorConfig::default(), Dataflow::RowWise, &adj, &x, &model)
-                .unwrap();
+        let out = run_inference(
+            &AcceleratorConfig::default(),
+            Dataflow::RowWise,
+            &adj,
+            &x,
+            &model,
+        )
+        .unwrap();
         // second layer processed a sparse X derived from ReLU output: its
         // SparseX stream must be non-empty but bounded by n*hidden
         let second = &out.layer_reports[1];

@@ -61,8 +61,16 @@ impl GcnModel {
     pub fn two_layer(feature_len: usize, hidden: usize, classes: usize, seed: u64) -> GcnModel {
         GcnModel::new(
             vec![
-                LayerSpec { in_dim: feature_len, out_dim: hidden, relu: true },
-                LayerSpec { in_dim: hidden, out_dim: classes, relu: false },
+                LayerSpec {
+                    in_dim: feature_len,
+                    out_dim: hidden,
+                    relu: true,
+                },
+                LayerSpec {
+                    in_dim: hidden,
+                    out_dim: classes,
+                    relu: false,
+                },
             ],
             seed,
         )
@@ -108,8 +116,16 @@ mod tests {
     fn rejects_dimension_mismatch() {
         let _ = GcnModel::new(
             vec![
-                LayerSpec { in_dim: 8, out_dim: 4, relu: true },
-                LayerSpec { in_dim: 5, out_dim: 2, relu: false },
+                LayerSpec {
+                    in_dim: 8,
+                    out_dim: 4,
+                    relu: true,
+                },
+                LayerSpec {
+                    in_dim: 5,
+                    out_dim: 2,
+                    relu: false,
+                },
             ],
             0,
         );

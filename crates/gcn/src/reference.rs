@@ -80,7 +80,14 @@ mod tests {
         // 2-node graph with one edge; identity-ish feature/weight.
         let adj = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         let x = Coo::from_triplets(2, 1, [(0, 0, 1.0), (1, 0, 2.0)]).unwrap();
-        let model = GcnModel::new(vec![LayerSpec { in_dim: 1, out_dim: 1, relu: false }], 0);
+        let model = GcnModel::new(
+            vec![LayerSpec {
+                in_dim: 1,
+                out_dim: 1,
+                relu: false,
+            }],
+            0,
+        );
         let out = dense_inference(&adj, &x, &model);
         // Â = [[1/2, 1/2], [1/2, 1/2]]; XW with w = W[0][0]
         let w = model.weights()[0].get(0, 0);

@@ -188,7 +188,11 @@ impl DatasetSpec {
         let mut edges = (self.edges as f64 * ratio).round() as usize;
         // keep at least a spanning-tree's worth of edge entries
         edges = edges.max(2 * (max_nodes - 1));
-        DatasetSpec { nodes: max_nodes, edges, ..*self }
+        DatasetSpec {
+            nodes: max_nodes,
+            edges,
+            ..*self
+        }
     }
 
     /// Deterministic seed derived from the dataset identity and size, so
@@ -219,7 +223,11 @@ impl DatasetSpec {
             self.feature_sparsity,
             self.seed() ^ 0xfeed,
         );
-        Workload { spec: *self, adjacency, features }
+        Workload {
+            spec: *self,
+            adjacency,
+            features,
+        }
     }
 }
 
@@ -292,7 +300,10 @@ mod tests {
         let w = Dataset::Cora.synthesize();
         let d = DegreeDistribution::measure(&w.adjacency);
         let share = d.top_fraction_edge_share(0.20);
-        assert!(share > 0.45, "top-20% edge share {share} too flat for a power-law graph");
+        assert!(
+            share > 0.45,
+            "top-20% edge share {share} too flat for a power-law graph"
+        );
     }
 
     #[test]

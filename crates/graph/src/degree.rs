@@ -41,7 +41,10 @@ impl DegreeDistribution {
         let mut deg = adj.row_degrees();
         deg.sort_unstable_by(|a, b| b.cmp(a));
         let total = deg.iter().sum();
-        DegreeDistribution { sorted_degrees: deg, total }
+        DegreeDistribution {
+            sorted_degrees: deg,
+            total,
+        }
     }
 
     /// Number of nodes.

@@ -24,11 +24,16 @@ use rand_pcg::Pcg64;
 ///
 /// Panics if `sparsity` is outside `[0, 1]` or either dimension is zero.
 pub fn sparse_features(nodes: usize, feature_len: usize, sparsity: f64, seed: u64) -> Coo {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
-    assert!(nodes > 0 && feature_len > 0, "feature matrix must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity must be in [0, 1]"
+    );
+    assert!(
+        nodes > 0 && feature_len > 0,
+        "feature matrix must be non-empty"
+    );
     let mut rng = Pcg64::seed_from_u64(seed);
-    let total_nnz =
-        ((nodes as f64 * feature_len as f64) * (1.0 - sparsity)).round() as usize;
+    let total_nnz = ((nodes as f64 * feature_len as f64) * (1.0 - sparsity)).round() as usize;
     let base = total_nnz / nodes;
     let extra = total_nnz % nodes;
 
@@ -71,8 +76,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(sparse_features(50, 30, 0.9, 2), sparse_features(50, 30, 0.9, 2));
-        assert_ne!(sparse_features(50, 30, 0.9, 2), sparse_features(50, 30, 0.9, 3));
+        assert_eq!(
+            sparse_features(50, 30, 0.9, 2),
+            sparse_features(50, 30, 0.9, 2)
+        );
+        assert_ne!(
+            sparse_features(50, 30, 0.9, 2),
+            sparse_features(50, 30, 0.9, 3)
+        );
     }
 
     #[test]
@@ -87,8 +98,11 @@ mod tests {
     fn columns_within_row_are_distinct() {
         let x = sparse_features(20, 40, 0.5, 9);
         for r in 0..20 {
-            let mut cols: Vec<usize> =
-                x.iter().filter(|&(row, _, _)| row == r).map(|(_, c, _)| c).collect();
+            let mut cols: Vec<usize> = x
+                .iter()
+                .filter(|&(row, _, _)| row == r)
+                .map(|(_, c, _)| c)
+                .collect();
             let before = cols.len();
             cols.sort_unstable();
             cols.dedup();

@@ -52,7 +52,9 @@ pub fn power_law_with_exponent(nodes: usize, edges: usize, exponent: f64, seed: 
 
     // Zipf out-edge quotas, largest-remainder rounded to sum to `edges`,
     // clamped per node to `nodes - 1` potential distinct neighbours.
-    let weights: Vec<f64> = (0..nodes).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+    let weights: Vec<f64> = (0..nodes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let mut quotas: Vec<usize> = Vec::with_capacity(nodes);
     let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(nodes);
@@ -152,7 +154,10 @@ pub fn power_law_with_exponent(nodes: usize, edges: usize, exponent: f64, seed: 
 pub fn erdos_renyi(nodes: usize, edges: usize, seed: u64) -> Coo {
     assert!(nodes >= 2, "erdos_renyi needs at least 2 nodes");
     let max_edges = nodes * (nodes - 1) / 2;
-    assert!(edges <= max_edges, "requested {edges} edges but only {max_edges} possible");
+    assert!(
+        edges <= max_edges,
+        "requested {edges} edges but only {max_edges} possible"
+    );
     let mut rng = Pcg64::seed_from_u64(seed);
     let mut neighbours: Vec<HashSet<u32>> = vec![HashSet::new(); nodes];
     let mut placed = 0usize;
@@ -171,7 +176,8 @@ pub fn erdos_renyi(nodes: usize, edges: usize, seed: u64) -> Coo {
         let mut sorted: Vec<u32> = nbrs.iter().copied().collect();
         sorted.sort_unstable();
         for v in sorted {
-            coo.push(u, v as usize, 1.0).expect("generated indices in bounds");
+            coo.push(u, v as usize, 1.0)
+                .expect("generated indices in bounds");
         }
     }
     coo

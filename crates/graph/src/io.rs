@@ -89,7 +89,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, IoError> {
                 }
             }
             None => {
-                return Err(IoError::Parse { line: 0, message: "empty file".to_string() })
+                return Err(IoError::Parse {
+                    line: 0,
+                    message: "empty file".to_string(),
+                })
             }
         }
     };
@@ -123,9 +126,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, IoError> {
     };
     let mut parts = dims.split_whitespace();
     let parse_dim = |p: Option<&str>, what: &str| -> Result<usize, IoError> {
-        p.ok_or_else(|| IoError::Parse { line: dline, message: format!("missing {what}") })?
-            .parse()
-            .map_err(|_| IoError::Parse { line: dline, message: format!("bad {what}") })
+        p.ok_or_else(|| IoError::Parse {
+            line: dline,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| IoError::Parse {
+            line: dline,
+            message: format!("bad {what}"),
+        })
     };
     let rows = parse_dim(parts.next(), "row count")?;
     let cols = parse_dim(parts.next(), "column count")?;
@@ -224,7 +233,10 @@ pub fn read_edge_list<R: Read>(reader: R, symmetrize: bool) -> Result<Coo, IoErr
                     message: format!("missing {what}"),
                 })?
                 .parse()
-                .map_err(|_| IoError::Parse { line: i + 1, message: format!("bad {what}") })
+                .map_err(|_| IoError::Parse {
+                    line: i + 1,
+                    message: format!("bad {what}"),
+                })
         };
         let s = next_num("source")?;
         let d = next_num("destination")?;
@@ -239,7 +251,10 @@ pub fn read_edge_list<R: Read>(reader: R, symmetrize: bool) -> Result<Coo, IoErr
         edges.push((s, d, w));
     }
     if edges.is_empty() {
-        return Err(IoError::Parse { line: 0, message: "no edges in file".to_string() });
+        return Err(IoError::Parse {
+            line: 0,
+            message: "no edges in file".to_string(),
+        });
     }
     let n = max_node + 1;
     let mut coo = Coo::new(n, n)?;
@@ -350,7 +365,10 @@ mod tests {
             read_edge_list("0 x\n".as_bytes(), false),
             Err(IoError::Parse { .. })
         ));
-        assert!(matches!(read_edge_list("".as_bytes(), false), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            read_edge_list("".as_bytes(), false),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]

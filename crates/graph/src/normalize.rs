@@ -52,8 +52,10 @@ pub fn gcn_normalize(adj: &Coo) -> Coo {
     for &(r, _, v) in &coalesced {
         degree[r] += v as f64;
     }
-    let inv_sqrt: Vec<f64> =
-        degree.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
 
     let mut out = Coo::new(n, n).expect("square non-empty");
     for (r, c, v) in coalesced {
@@ -118,8 +120,7 @@ mod tests {
     #[test]
     fn result_is_symmetric_for_symmetric_input() {
         let adj =
-            Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
-                .unwrap();
+            Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]).unwrap();
         let m = Csr::from_coo(&gcn_normalize(&adj));
         for r in 0..3 {
             for c in 0..3 {

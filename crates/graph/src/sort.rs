@@ -33,7 +33,11 @@ pub fn degree_sort(adj: &Coo) -> Result<SortedGraph, SparseError> {
     let permutation = degree_sort_permutation(adj)?;
     let adjacency = permutation.apply_symmetric(adj)?;
     let sort_cost_ms = start.elapsed().as_secs_f64() * 1e3;
-    Ok(SortedGraph { adjacency, permutation, sort_cost_ms })
+    Ok(SortedGraph {
+        adjacency,
+        permutation,
+        sort_cost_ms,
+    })
 }
 
 #[cfg(test)]
@@ -62,7 +66,11 @@ mod tests {
     fn permutation_round_trips() {
         let g = preferential_attachment(50, 150, 4);
         let sorted = degree_sort(&g).unwrap();
-        let back = sorted.permutation.inverse().apply_symmetric(&sorted.adjacency).unwrap();
+        let back = sorted
+            .permutation
+            .inverse()
+            .apply_symmetric(&sorted.adjacency)
+            .unwrap();
         // same multiset of triplets
         let mut a: Vec<_> = g.iter().collect();
         let mut b: Vec<_> = back.iter().collect();

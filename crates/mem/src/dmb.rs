@@ -12,20 +12,243 @@
 //! a configurable number of MSHRs for outstanding read misses, and a
 //! near-memory accumulator used by the engines to merge partial outputs on
 //! write hits without occupying the PE adders.
+//!
+//! # Implementation
+//!
+//! `read`/`write` sit on the simulator's innermost loop (once per non-zero
+//! per engine), so the line table is allocation-free in steady state: line
+//! state lives in a pre-sized arena of [`LineSlot`]s, addressed through an
+//! open-addressed bucket array (linear probing, backward-shift deletion),
+//! and recency is tracked by intrusive doubly-linked LRU lists per eviction
+//! class threaded through the arena. Touch, insert, evict and lookup are all
+//! O(1); MSHRs are a fixed scan-array sized by `mshr_count`. The timing
+//! behaviour is identical to the original map-based implementation — the
+//! `timing_golden` integration tests pin it bit-for-bit.
 
 use crate::address::{LineAddr, MatrixKind};
 use crate::config::MemConfig;
 use crate::dram::{AccessPattern, Dram};
 use crate::stats::HitStats;
-use std::collections::{BTreeMap, HashMap};
+
+/// Niche marker for intrusive links and bucket entries.
+const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct Line {
+struct LineSlot {
+    addr: LineAddr,
     dirty: bool,
     /// Cycle at which the line's fill completes (0 for write-allocated).
     ready_at: u64,
-    /// LRU timestamp; unique per touch.
+    /// LRU timestamp; unique per touch. Orders victims across classes when
+    /// class eviction is disabled.
     lru: u64,
+    /// Intrusive per-class LRU list: towards the older neighbour.
+    prev: u32,
+    /// Intrusive per-class LRU list: towards the newer neighbour.
+    next: u32,
+}
+
+/// Fixed-capacity open-addressed map from [`LineAddr`] to arena slots, with
+/// intrusive per-class LRU lists (head = oldest, tail = newest).
+///
+/// Buckets hold arena indices, so backward-shift deletion moves only bucket
+/// entries; arena indices stay stable and the intrusive links never need
+/// fixing up. Growth happens only if the buffer oversubscribes far beyond
+/// `capacity + mshr_count` (not reachable in practice) — steady state never
+/// allocates.
+#[derive(Debug, Clone)]
+struct LineTable {
+    /// Arena index per bucket, `NIL` when empty.
+    buckets: Vec<u32>,
+    mask: usize,
+    slots: Vec<LineSlot>,
+    free: Vec<u32>,
+    len: usize,
+    /// Oldest resident line per eviction class.
+    heads: [u32; 3],
+    /// Newest resident line per eviction class.
+    tails: [u32; 3],
+}
+
+fn hash_addr(addr: LineAddr) -> u64 {
+    let key = (addr.index << 3) ^ addr.kind.index() as u64;
+    // Fibonacci multiplicative hash; full-width mix is plenty for line
+    // indices, which are near-sequential per kind.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl LineTable {
+    fn with_capacity(lines: usize) -> LineTable {
+        let buckets = (lines * 2).next_power_of_two().max(8);
+        LineTable {
+            buckets: vec![NIL; buckets],
+            mask: buckets - 1,
+            slots: Vec::with_capacity(lines),
+            free: Vec::with_capacity(lines),
+            len: 0,
+            heads: [NIL; 3],
+            tails: [NIL; 3],
+        }
+    }
+
+    fn home_bucket(&self, addr: LineAddr) -> usize {
+        (hash_addr(addr) as usize) & self.mask
+    }
+
+    /// Bucket currently holding `addr`, if resident.
+    fn find_bucket(&self, addr: LineAddr) -> Option<usize> {
+        let mut b = self.home_bucket(addr);
+        loop {
+            let r = self.buckets[b];
+            if r == NIL {
+                return None;
+            }
+            if self.slots[r as usize].addr == addr {
+                return Some(b);
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
+    fn get(&self, addr: LineAddr) -> Option<&LineSlot> {
+        self.find_bucket(addr)
+            .map(|b| &self.slots[self.buckets[b] as usize])
+    }
+
+    fn get_mut(&mut self, addr: LineAddr) -> Option<&mut LineSlot> {
+        self.find_bucket(addr).map(|b| {
+            let idx = self.buckets[b] as usize;
+            &mut self.slots[idx]
+        })
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let slot = self.slots[idx as usize];
+        let class = slot.addr.kind.evict_class() as usize;
+        match slot.prev {
+            NIL => self.heads[class] = slot.next,
+            p => self.slots[p as usize].next = slot.next,
+        }
+        match slot.next {
+            NIL => self.tails[class] = slot.prev,
+            n => self.slots[n as usize].prev = slot.prev,
+        }
+    }
+
+    fn push_newest(&mut self, idx: u32, class: usize) {
+        let tail = self.tails[class];
+        self.slots[idx as usize].prev = tail;
+        self.slots[idx as usize].next = NIL;
+        match tail {
+            NIL => self.heads[class] = idx,
+            t => self.slots[t as usize].next = idx,
+        }
+        self.tails[class] = idx;
+    }
+
+    /// Moves a resident line to the newest end of its class list with a
+    /// fresh timestamp.
+    fn touch(&mut self, addr: LineAddr, tick: u64) {
+        if let Some(b) = self.find_bucket(addr) {
+            let idx = self.buckets[b];
+            self.unlink(idx);
+            self.slots[idx as usize].lru = tick;
+            let class = self.slots[idx as usize].addr.kind.evict_class() as usize;
+            self.push_newest(idx, class);
+        }
+    }
+
+    fn insert(&mut self, addr: LineAddr, dirty: bool, ready_at: u64, tick: u64) {
+        if (self.len + 1) * 4 >= self.buckets.len() * 3 {
+            self.grow();
+        }
+        let slot = LineSlot {
+            addr,
+            dirty,
+            ready_at,
+            lru: tick,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let mut b = self.home_bucket(addr);
+        while self.buckets[b] != NIL {
+            b = (b + 1) & self.mask;
+        }
+        self.buckets[b] = idx;
+        self.len += 1;
+        self.push_newest(idx, addr.kind.evict_class() as usize);
+    }
+
+    /// Removes `addr` and returns its state; backward-shift deletion keeps
+    /// every remaining probe chain intact without tombstones.
+    fn remove(&mut self, addr: LineAddr) -> Option<LineSlot> {
+        let bucket = self.find_bucket(addr)?;
+        let idx = self.buckets[bucket];
+        self.unlink(idx);
+        self.free.push(idx);
+        self.len -= 1;
+        let removed = self.slots[idx as usize];
+
+        let mask = self.mask;
+        let mut hole = bucket;
+        let mut j = bucket;
+        loop {
+            j = (j + 1) & mask;
+            let r = self.buckets[j];
+            if r == NIL {
+                break;
+            }
+            let home = self.home_bucket(self.slots[r as usize].addr);
+            // The entry at `j` may fill the hole only if its home bucket is
+            // cyclically at or before the hole (probe chains must stay
+            // contiguous from each entry's home).
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.buckets[hole] = r;
+                hole = j;
+            }
+        }
+        self.buckets[hole] = NIL;
+        Some(removed)
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        self.buckets = vec![NIL; new_len];
+        self.mask = new_len - 1;
+        // Re-insert every live arena slot; arena indices are unchanged.
+        for class in 0..3 {
+            let mut idx = self.heads[class];
+            while idx != NIL {
+                let addr = self.slots[idx as usize].addr;
+                let mut b = self.home_bucket(addr);
+                while self.buckets[b] != NIL {
+                    b = (b + 1) & self.mask;
+                }
+                self.buckets[b] = idx;
+                idx = self.slots[idx as usize].next;
+            }
+        }
+    }
+}
+
+/// One outstanding fill. A fixed array of these replaces the old
+/// `HashMap<LineAddr, u64>`: `mshr_count` is small (32 by default), so a
+/// linear scan beats hashing and never allocates.
+#[derive(Debug, Clone, Copy)]
+struct MshrSlot {
+    addr: LineAddr,
+    ready: u64,
+    valid: bool,
 }
 
 /// Outcome of a [`Dmb::read`].
@@ -71,14 +294,13 @@ pub struct Dmb {
     hit_latency: u64,
     mshr_count: usize,
     class_eviction: bool,
-    lines: HashMap<LineAddr, Line>,
-    /// Per-eviction-class LRU order: `lru tick -> addr`.
-    class_order: [BTreeMap<u64, LineAddr>; 3],
+    lines: LineTable,
     lru_tick: u64,
-    /// Outstanding fills: `addr -> completion cycle`.
-    mshrs: HashMap<LineAddr, u64>,
+    mshrs: Vec<MshrSlot>,
     read_port_free: u64,
     write_port_free: u64,
+    /// Reused by `flush_kind`/`invalidate_kind` so drains don't allocate.
+    drain_scratch: Vec<LineAddr>,
     hits: HitStats,
     evictions: u64,
     dirty_evictions: u64,
@@ -90,18 +312,29 @@ pub struct Dmb {
 impl Dmb {
     /// Creates an empty buffer from the memory configuration.
     pub fn new(config: &MemConfig) -> Dmb {
+        let capacity_lines = config.dmb_lines().max(1);
+        let mshr_count = config.mshr_count.max(1);
         Dmb {
-            capacity_lines: config.dmb_lines().max(1),
+            capacity_lines,
             line_bytes: config.line_bytes as u64,
             hit_latency: config.dmb_hit_latency,
-            mshr_count: config.mshr_count.max(1),
+            mshr_count,
             class_eviction: config.class_eviction,
-            lines: HashMap::new(),
-            class_order: [BTreeMap::new(), BTreeMap::new(), BTreeMap::new()],
+            // Outstanding fills keep victims pinned, so occupancy can
+            // transiently exceed the nominal capacity by the MSHR count.
+            lines: LineTable::with_capacity(capacity_lines + mshr_count),
             lru_tick: 0,
-            mshrs: HashMap::new(),
+            mshrs: vec![
+                MshrSlot {
+                    addr: LineAddr::new(MatrixKind::Weight, 0),
+                    ready: 0,
+                    valid: false
+                };
+                mshr_count
+            ],
             read_port_free: 0,
             write_port_free: 0,
+            drain_scratch: Vec::new(),
             hits: HitStats::default(),
             evictions: 0,
             dirty_evictions: 0,
@@ -114,74 +347,102 @@ impl Dmb {
     fn touch(&mut self, addr: LineAddr) {
         self.lru_tick += 1;
         let tick = self.lru_tick;
-        if let Some(line) = self.lines.get_mut(&addr) {
-            let class = addr.kind.evict_class() as usize;
-            self.class_order[class].remove(&line.lru);
-            line.lru = tick;
-            self.class_order[class].insert(tick, addr);
+        self.lines.touch(addr, tick);
+    }
+
+    fn mshr_lookup(&self, addr: LineAddr) -> Option<u64> {
+        self.mshrs
+            .iter()
+            .find(|m| m.valid && m.addr == addr)
+            .map(|m| m.ready)
+    }
+
+    fn mshr_len(&self) -> usize {
+        self.mshrs.iter().filter(|m| m.valid).count()
+    }
+
+    fn mshr_insert(&mut self, addr: LineAddr, ready: u64) {
+        match self.mshrs.iter_mut().find(|m| !m.valid) {
+            Some(slot) => {
+                *slot = MshrSlot {
+                    addr,
+                    ready,
+                    valid: true,
+                }
+            }
+            // Unreachable: the stall path always frees a slot first. Grow
+            // rather than corrupt state if that invariant ever breaks.
+            None => self.mshrs.push(MshrSlot {
+                addr,
+                ready,
+                valid: true,
+            }),
         }
     }
 
-    fn insert_line(&mut self, addr: LineAddr, dirty: bool, ready_at: u64, now: u64, dram: &mut Dram) {
-        while self.lines.len() >= self.capacity_lines {
+    fn insert_line(
+        &mut self,
+        addr: LineAddr,
+        dirty: bool,
+        ready_at: u64,
+        now: u64,
+        dram: &mut Dram,
+    ) {
+        while self.lines.len >= self.capacity_lines {
             if !self.evict_one(now, dram) {
                 break; // everything in flight; oversubscribe rather than deadlock
             }
         }
         self.lru_tick += 1;
         let tick = self.lru_tick;
-        self.lines.insert(addr, Line { dirty, ready_at, lru: tick });
-        self.class_order[addr.kind.evict_class() as usize].insert(tick, addr);
+        self.lines.insert(addr, dirty, ready_at, tick);
     }
 
     /// Evicts one line following class priority then LRU (or plain global
     /// LRU when class eviction is disabled); returns false if no evictable
     /// line exists (all in-flight).
     fn evict_one(&mut self, now: u64, dram: &mut Dram) -> bool {
-        let victim_of = |order: &BTreeMap<u64, LineAddr>, mshrs: &HashMap<LineAddr, u64>| {
-            order.iter().map(|(&tick, &addr)| (tick, addr)).find(|(_, a)| !mshrs.contains_key(a))
+        // Oldest line in `class` that is not an outstanding fill. Walks from
+        // the LRU end; the walk is bounded by the number of in-flight lines
+        // (at most `mshr_count`), keeping eviction O(1) in buffer size.
+        let victim_of = |lines: &LineTable, mshrs: &[MshrSlot], class: usize| {
+            let mut idx = lines.heads[class];
+            while idx != NIL {
+                let slot = &lines.slots[idx as usize];
+                if !mshrs.iter().any(|m| m.valid && m.addr == slot.addr) {
+                    return Some((slot.lru, slot.addr));
+                }
+                idx = slot.next;
+            }
+            None
         };
-        if !self.class_eviction {
+        let victim = if self.class_eviction {
+            (0..3).find_map(|c| victim_of(&self.lines, &self.mshrs, c))
+        } else {
             // Plain LRU: oldest tick across all classes.
-            let victim = (0..3)
-                .filter_map(|c| victim_of(&self.class_order[c], &self.mshrs))
+            (0..3)
+                .filter_map(|c| victim_of(&self.lines, &self.mshrs, c))
                 .min_by_key(|&(tick, _)| tick)
-                .map(|(_, addr)| addr);
-            if let Some(addr) = victim {
-                let line = self.lines.remove(&addr).expect("victim is resident");
-                self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
-                self.evictions += 1;
-                if line.dirty {
-                    self.dirty_evictions += 1;
-                    dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
-                }
-                return true;
+        };
+        if let Some((_, addr)) = victim {
+            let line = self.lines.remove(addr).expect("victim is resident");
+            self.evictions += 1;
+            if line.dirty {
+                self.dirty_evictions += 1;
+                // Evicted victims scatter: charged as random traffic.
+                dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
             }
-            return false;
-        }
-        for class in 0..3 {
-            // Find oldest line in this class that is not an outstanding fill.
-            let victim = self.class_order[class]
-                .iter()
-                .map(|(_, &addr)| addr)
-                .find(|addr| !self.mshrs.contains_key(addr));
-            if let Some(addr) = victim {
-                let line = self.lines.remove(&addr).expect("victim is resident");
-                self.class_order[class].remove(&line.lru);
-                self.evictions += 1;
-                if line.dirty {
-                    self.dirty_evictions += 1;
-                    // Evicted victims scatter: charged as random traffic.
-                    dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
-                }
-                return true;
-            }
+            return true;
         }
         false
     }
 
     fn reap_mshrs(&mut self, now: u64) {
-        self.mshrs.retain(|_, &mut ready| ready > now);
+        for m in &mut self.mshrs {
+            if m.valid && m.ready <= now {
+                m.valid = false;
+            }
+        }
     }
 
     /// Presents a read request at cycle `now`; `pattern` describes how a
@@ -198,28 +459,37 @@ impl Dmb {
         self.read_port_free = start + 1;
         self.reap_mshrs(start);
 
-        if let Some(line) = self.lines.get(&addr) {
+        if let Some(line) = self.lines.get(addr) {
             let ready = (start + self.hit_latency).max(line.ready_at);
             self.hits.read_hits += 1;
             self.touch(addr);
             return ReadOutcome { ready, hit: true };
         }
-        if let Some(&fill) = self.mshrs.get(&addr) {
+        if let Some(fill) = self.mshr_lookup(addr) {
             // Secondary miss merged into the outstanding fill.
             self.mshr_merges += 1;
             self.hits.read_misses += 1;
-            return ReadOutcome { ready: fill.max(start + self.hit_latency), hit: false };
+            return ReadOutcome {
+                ready: fill.max(start + self.hit_latency),
+                hit: false,
+            };
         }
         // Primary miss: allocate an MSHR, stalling if none is free.
         let mut issue = start;
-        if self.mshrs.len() >= self.mshr_count {
-            let earliest = self.mshrs.values().copied().min().unwrap_or(issue);
+        if self.mshr_len() >= self.mshr_count {
+            let earliest = self
+                .mshrs
+                .iter()
+                .filter(|m| m.valid)
+                .map(|m| m.ready)
+                .min()
+                .unwrap_or(issue);
             self.mshr_stalls += 1;
             issue = issue.max(earliest);
             self.reap_mshrs(issue);
         }
         let ready = dram.read(issue, addr.kind, self.line_bytes, pattern);
-        self.mshrs.insert(addr, ready);
+        self.mshr_insert(addr, ready);
         self.insert_line(addr, false, ready, issue, dram);
         self.hits.read_misses += 1;
         ReadOutcome { ready, hit: false }
@@ -242,19 +512,28 @@ impl Dmb {
         self.write_port_free = start + 1;
         self.reap_mshrs(start);
 
-        if let Some(line) = self.lines.get_mut(&addr) {
+        if let Some(line) = self.lines.get_mut(addr) {
             line.dirty = true;
             self.hits.write_hits += 1;
             self.touch(addr);
-            return WriteOutcome { ready: start + self.hit_latency, hit: true };
+            return WriteOutcome {
+                ready: start + self.hit_latency,
+                hit: true,
+            };
         }
         self.hits.write_misses += 1;
         if allocate {
             self.insert_line(addr, true, start + self.hit_latency, start, dram);
-            WriteOutcome { ready: start + self.hit_latency, hit: false }
+            WriteOutcome {
+                ready: start + self.hit_latency,
+                hit: false,
+            }
         } else {
             dram.write(start, addr.kind, self.line_bytes, pattern);
-            WriteOutcome { ready: start + 1, hit: false }
+            WriteOutcome {
+                ready: start + 1,
+                hit: false,
+            }
         }
     }
 
@@ -264,49 +543,74 @@ impl Dmb {
         self.accumulator_merges += 1;
     }
 
+    /// Collects every resident address of `kind` into the reusable drain
+    /// scratch (all lines of one kind share an eviction class, so only that
+    /// class list is walked).
+    fn collect_kind(&mut self, kind: MatrixKind) {
+        self.drain_scratch.clear();
+        let class = kind.evict_class() as usize;
+        let mut idx = self.lines.heads[class];
+        while idx != NIL {
+            let slot = &self.lines.slots[idx as usize];
+            if slot.addr.kind == kind {
+                self.drain_scratch.push(slot.addr);
+            }
+            idx = slot.next;
+        }
+    }
+
     /// Writes back all dirty lines of `kind` and drops every line of that
     /// kind; returns the cycle at which the last writeback is accepted.
     pub fn flush_kind(&mut self, now: u64, kind: MatrixKind, dram: &mut Dram) -> u64 {
-        let addrs: Vec<LineAddr> =
-            self.lines.keys().filter(|a| a.kind == kind).copied().collect();
-        let mut done = now;
+        self.collect_kind(kind);
         // Deterministic order: by line index.
-        let mut sorted = addrs;
-        sorted.sort_by_key(|a| a.index);
-        for addr in sorted {
-            let line = self.lines.remove(&addr).expect("listed line is resident");
-            self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
+        let mut sorted = std::mem::take(&mut self.drain_scratch);
+        sorted.sort_unstable_by_key(|a| a.index);
+        let mut done = now;
+        for &addr in &sorted {
+            let line = self.lines.remove(addr).expect("listed line is resident");
             if line.dirty {
                 // Flushes walk line indices in order: streaming writeback.
                 done = done.max(dram.write(done, kind, self.line_bytes, AccessPattern::Sequential));
             }
         }
+        self.drain_scratch = sorted;
         done
     }
 
     /// Drops every line of `kind` without writeback (dead data).
     pub fn invalidate_kind(&mut self, kind: MatrixKind) {
-        let addrs: Vec<LineAddr> =
-            self.lines.keys().filter(|a| a.kind == kind).copied().collect();
-        for addr in addrs {
-            let line = self.lines.remove(&addr).expect("listed line is resident");
-            self.class_order[addr.kind.evict_class() as usize].remove(&line.lru);
+        self.collect_kind(kind);
+        let addrs = std::mem::take(&mut self.drain_scratch);
+        for &addr in &addrs {
+            self.lines.remove(addr).expect("listed line is resident");
         }
+        self.drain_scratch = addrs;
     }
 
     /// Whether a line is currently resident.
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.lines.contains_key(&addr)
+        self.lines.get(addr).is_some()
     }
 
     /// Number of resident lines of `kind`.
     pub fn resident_lines(&self, kind: MatrixKind) -> usize {
-        self.lines.keys().filter(|a| a.kind == kind).count()
+        let class = kind.evict_class() as usize;
+        let mut count = 0;
+        let mut idx = self.lines.heads[class];
+        while idx != NIL {
+            let slot = &self.lines.slots[idx as usize];
+            if slot.addr.kind == kind {
+                count += 1;
+            }
+            idx = slot.next;
+        }
+        count
     }
 
     /// Total resident lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.len()
+        self.lines.len
     }
 
     /// Capacity in lines.
@@ -343,6 +647,18 @@ impl Dmb {
     pub fn accumulator_merges(&self) -> u64 {
         self.accumulator_merges
     }
+
+    /// Allocation fingerprint of the backing storage, for tests asserting
+    /// that the steady-state hot path never reallocates.
+    #[cfg(test)]
+    fn storage_capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.lines.buckets.len(),
+            self.lines.slots.capacity(),
+            self.lines.free.capacity(),
+            self.mshrs.capacity(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +666,10 @@ mod tests {
     use super::*;
 
     fn small_config(lines: usize) -> MemConfig {
-        MemConfig { dmb_bytes: lines * 64, ..MemConfig::default() }
+        MemConfig {
+            dmb_bytes: lines * 64,
+            ..MemConfig::default()
+        }
     }
 
     fn addr(kind: MatrixKind, i: u64) -> LineAddr {
@@ -399,7 +718,11 @@ mod tests {
         let merged = dmb.read(1, a, &mut dram, AccessPattern::Random);
         assert!(!merged.hit);
         assert_eq!(dmb.mshr_merges(), 1);
-        assert_eq!(dram.stats().kind(MatrixKind::Combination).reads, 1, "no second DRAM read");
+        assert_eq!(
+            dram.stats().kind(MatrixKind::Combination).reads,
+            1,
+            "no second DRAM read"
+        );
         assert!(merged.ready >= 101);
     }
 
@@ -409,7 +732,13 @@ mod tests {
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
         for i in 0..3 {
-            dmb.write(0, addr(MatrixKind::Output, i), &mut dram, true, AccessPattern::Random);
+            dmb.write(
+                0,
+                addr(MatrixKind::Output, i),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
         }
         assert_eq!(dmb.occupancy(), 2);
         assert_eq!(dmb.evictions(), 1);
@@ -422,7 +751,13 @@ mod tests {
         let cfg = small_config(4);
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        let out = dmb.write(0, addr(MatrixKind::Output, 9), &mut dram, false, AccessPattern::Random);
+        let out = dmb.write(
+            0,
+            addr(MatrixKind::Output, 9),
+            &mut dram,
+            false,
+            AccessPattern::Random,
+        );
         assert!(!out.hit);
         assert_eq!(dmb.occupancy(), 0);
         assert_eq!(dram.stats().kind(MatrixKind::Output).write_bytes, 64);
@@ -434,16 +769,46 @@ mod tests {
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
         // Fill with one line of each class; Output is the LRU-oldest.
-        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(1, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(2, addr(MatrixKind::Weight, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            0,
+            addr(MatrixKind::Output, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            1,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            2,
+            addr(MatrixKind::Weight, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         // Insert a fourth line: despite Output being oldest, W must go first.
-        dmb.write(3, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            3,
+            addr(MatrixKind::Output, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         assert!(dmb.contains(addr(MatrixKind::Output, 0)));
         assert!(dmb.contains(addr(MatrixKind::Combination, 0)));
         assert!(!dmb.contains(addr(MatrixKind::Weight, 0)));
         // And the next one takes XW, still not the partial outputs.
-        dmb.write(4, addr(MatrixKind::Output, 2), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            4,
+            addr(MatrixKind::Output, 2),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         assert!(!dmb.contains(addr(MatrixKind::Combination, 0)));
         assert!(dmb.contains(addr(MatrixKind::Output, 0)));
     }
@@ -453,11 +818,34 @@ mod tests {
         let cfg = small_config(2);
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        dmb.write(0, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(1, addr(MatrixKind::Combination, 1), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            1,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         // Touch line 0 so line 1 becomes LRU.
-        let _ = dmb.read(2, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
-        dmb.write(3, addr(MatrixKind::Combination, 2), &mut dram, true, AccessPattern::Random);
+        let _ = dmb.read(
+            2,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            3,
+            addr(MatrixKind::Combination, 2),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         assert!(dmb.contains(addr(MatrixKind::Combination, 0)));
         assert!(!dmb.contains(addr(MatrixKind::Combination, 1)));
     }
@@ -467,10 +855,32 @@ mod tests {
         let cfg = small_config(8);
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        dmb.write(0, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(0, addr(MatrixKind::Combination, 1), &mut dram, true, AccessPattern::Random);
-        let a = dmb.read(10, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
-        let b = dmb.read(10, addr(MatrixKind::Combination, 1), &mut dram, AccessPattern::Random);
+        dmb.write(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            0,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        let a = dmb.read(
+            10,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        let b = dmb.read(
+            10,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
         assert_eq!(a.ready + 1, b.ready); // one port, one cycle apart
     }
 
@@ -480,9 +890,24 @@ mod tests {
         cfg.mshr_count = 2;
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        let r0 = dmb.read(0, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random);
-        let _r1 = dmb.read(0, addr(MatrixKind::Combination, 1), &mut dram, AccessPattern::Random);
-        let r2 = dmb.read(0, addr(MatrixKind::Combination, 2), &mut dram, AccessPattern::Random);
+        let r0 = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        let _r1 = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        let r2 = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 2),
+            &mut dram,
+            AccessPattern::Random,
+        );
         assert_eq!(dmb.mshr_stalls(), 1);
         assert!(r2.ready > r0.ready);
     }
@@ -492,9 +917,26 @@ mod tests {
         let cfg = small_config(8);
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(0, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
-        let fill = dmb.read(0, addr(MatrixKind::Combination, 0), &mut dram, AccessPattern::Random); // clean
+        dmb.write(
+            0,
+            addr(MatrixKind::Output, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            0,
+            addr(MatrixKind::Output, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        let fill = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        ); // clean
         let done = dmb.flush_kind(fill.ready, MatrixKind::Output, &mut dram);
         assert!(done >= fill.ready);
         assert_eq!(dram.stats().kind(MatrixKind::Output).writes, 2);
@@ -520,6 +962,90 @@ mod tests {
         assert_eq!(h.write_hits, 1);
         assert!((h.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
+
+    /// Deletion via backward shift must keep colliding keys reachable —
+    /// hammer one table with inserts/removes across kinds and indices and
+    /// cross-check membership against a model.
+    #[test]
+    fn line_table_survives_collision_churn() {
+        let mut table = LineTable::with_capacity(8);
+        let keys: Vec<LineAddr> = (0..64)
+            .map(|i| {
+                let kind = match i % 3 {
+                    0 => MatrixKind::Weight,
+                    1 => MatrixKind::Combination,
+                    _ => MatrixKind::Output,
+                };
+                addr(kind, (i * 17) as u64)
+            })
+            .collect();
+        let mut tick = 0u64;
+        for round in 0..4usize {
+            for (i, &k) in keys.iter().enumerate() {
+                if (i + round) % 2 == 0 {
+                    tick += 1;
+                    if table.get(k).is_none() {
+                        table.insert(k, false, 0, tick);
+                    }
+                } else if table.get(k).is_some() {
+                    table.remove(k);
+                }
+            }
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(
+                    table.get(k).is_some(),
+                    (i + round) % 2 == 0,
+                    "round {round} key {i}"
+                );
+            }
+        }
+    }
+
+    /// The hot path must not allocate once warm: capacities of every backing
+    /// buffer are unchanged across a long, eviction-heavy access stream.
+    #[test]
+    fn steady_state_reads_and_writes_do_not_reallocate() {
+        let mut cfg = small_config(16);
+        cfg.mshr_count = 4;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        // Warm-up: fault in more lines than the buffer holds.
+        for i in 0..64 {
+            now = dmb
+                .read(
+                    now,
+                    addr(MatrixKind::Combination, i),
+                    &mut dram,
+                    AccessPattern::Random,
+                )
+                .ready;
+        }
+        let warm = dmb.storage_capacities();
+        for i in 0..2048u64 {
+            let kind = if i % 3 == 0 {
+                MatrixKind::Weight
+            } else {
+                MatrixKind::Combination
+            };
+            now = dmb
+                .read(now, addr(kind, i % 97), &mut dram, AccessPattern::Random)
+                .ready;
+            dmb.write(
+                now,
+                addr(MatrixKind::Output, i % 53),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
+        }
+        assert_eq!(
+            dmb.storage_capacities(),
+            warm,
+            "hot path reallocated backing storage"
+        );
+        assert!(dmb.evictions() > 1000, "stream was not eviction-heavy");
+    }
 }
 
 #[cfg(test)]
@@ -540,11 +1066,35 @@ mod eviction_policy_tests {
         };
         let mut dram = Dram::new(&cfg);
         let mut dmb = Dmb::new(&cfg);
-        dmb.write(0, addr(MatrixKind::Output, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(1, addr(MatrixKind::Combination, 0), &mut dram, true, AccessPattern::Random);
-        dmb.write(2, addr(MatrixKind::Weight, 0), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            0,
+            addr(MatrixKind::Output, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            1,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            2,
+            addr(MatrixKind::Weight, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         // plain LRU: the Output line (oldest) goes first, not the Weight line
-        dmb.write(3, addr(MatrixKind::Output, 1), &mut dram, true, AccessPattern::Random);
+        dmb.write(
+            3,
+            addr(MatrixKind::Output, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
         assert!(!dmb.contains(addr(MatrixKind::Output, 0)));
         assert!(dmb.contains(addr(MatrixKind::Weight, 0)));
     }

@@ -109,6 +109,11 @@ impl Dram {
         &self.stats
     }
 
+    /// Consumes the model, yielding its traffic counters without a copy.
+    pub fn into_stats(self) -> TrafficStats {
+        self.stats
+    }
+
     /// Fixed access latency in cycles.
     pub fn latency(&self) -> u64 {
         self.latency
@@ -127,14 +132,20 @@ mod tests {
     fn sequential_read_includes_latency_and_transfer() {
         let mut d = dram();
         // 64 bytes = 1 transfer cycle + 100 latency
-        assert_eq!(d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential), 101);
+        assert_eq!(
+            d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential),
+            101
+        );
     }
 
     #[test]
     fn random_read_pays_penalty() {
         let mut d = dram();
         // 1 transfer + 2 penalty + 100 latency
-        assert_eq!(d.read(0, MatrixKind::Weight, 64, AccessPattern::Random), 103);
+        assert_eq!(
+            d.read(0, MatrixKind::Weight, 64, AccessPattern::Random),
+            103
+        );
     }
 
     #[test]
@@ -170,7 +181,10 @@ mod tests {
     fn large_request_occupies_many_cycles() {
         let mut d = dram();
         // 640 bytes = 10 transfer cycles
-        assert_eq!(d.read(0, MatrixKind::Combination, 640, AccessPattern::Sequential), 110);
+        assert_eq!(
+            d.read(0, MatrixKind::Combination, 640, AccessPattern::Sequential),
+            110
+        );
     }
 
     #[test]
@@ -183,7 +197,10 @@ mod tests {
 
     #[test]
     fn two_channels_serve_in_parallel() {
-        let cfg = MemConfig { dram_channels: 2, ..MemConfig::default() };
+        let cfg = MemConfig {
+            dram_channels: 2,
+            ..MemConfig::default()
+        };
         let mut d = Dram::new(&cfg);
         let a = d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential);
         let b = d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential);

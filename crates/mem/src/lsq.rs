@@ -27,6 +27,104 @@ struct Entry {
     is_store: bool,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct ForwardSlot {
+    addr: LineAddr,
+    /// Data-ready cycle of the youngest queued store to `addr` — the one
+    /// forwarding semantics select.
+    youngest_ready: u64,
+    /// Queued stores to `addr`; the slot dies when the last one retires.
+    stores: u32,
+}
+
+/// Open-addressed index from address to the youngest queued store, replacing
+/// the O(queue) reverse scan on every load. Sized for the queue capacity up
+/// front (a full queue has at most `capacity` distinct store addresses), so
+/// it never allocates after construction; removal uses backward-shift
+/// deletion to stay tombstone-free.
+#[derive(Debug, Clone)]
+struct ForwardIndex {
+    slots: Vec<Option<ForwardSlot>>,
+    mask: usize,
+}
+
+impl ForwardIndex {
+    fn with_capacity(entries: usize) -> ForwardIndex {
+        let len = (entries * 2).next_power_of_two().max(8);
+        ForwardIndex {
+            slots: vec![None; len],
+            mask: len - 1,
+        }
+    }
+
+    fn home(&self, addr: LineAddr) -> usize {
+        let key = (addr.index << 3) ^ addr.kind.index() as u64;
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) & self.mask
+    }
+
+    /// Slot holding `addr`, or the empty slot where it would be inserted.
+    fn probe(&self, addr: LineAddr) -> usize {
+        let mut b = self.home(addr);
+        while let Some(s) = &self.slots[b] {
+            if s.addr == addr {
+                return b;
+            }
+            b = (b + 1) & self.mask;
+        }
+        b
+    }
+
+    fn youngest_store(&self, addr: LineAddr) -> Option<u64> {
+        self.slots[self.probe(addr)].map(|s| s.youngest_ready)
+    }
+
+    fn push_store(&mut self, addr: LineAddr, ready: u64) {
+        let b = self.probe(addr);
+        match &mut self.slots[b] {
+            Some(s) => {
+                s.youngest_ready = ready;
+                s.stores += 1;
+            }
+            slot @ None => {
+                *slot = Some(ForwardSlot {
+                    addr,
+                    youngest_ready: ready,
+                    stores: 1,
+                })
+            }
+        }
+    }
+
+    /// Retires one queued store to `addr` (FIFO retirement pops the oldest,
+    /// so a surviving slot still names the youngest store's ready cycle).
+    fn retire_store(&mut self, addr: LineAddr) {
+        let b = self.probe(addr);
+        let Some(s) = &mut self.slots[b] else { return };
+        s.stores -= 1;
+        if s.stores > 0 {
+            return;
+        }
+        // Backward-shift deletion keeps probe chains contiguous.
+        let mask = self.mask;
+        let mut hole = b;
+        let mut j = b;
+        loop {
+            j = (j + 1) & mask;
+            let Some(entry) = self.slots[j] else { break };
+            let home = self.home(entry.addr);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = Some(entry);
+                hole = j;
+            }
+        }
+        self.slots[hole] = None;
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
 /// Outcome of admitting a load into the LSQ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadPath {
@@ -77,13 +175,21 @@ pub struct LsqStats {
 pub struct Lsq {
     capacity: usize,
     entries: VecDeque<Entry>,
+    forwards: ForwardIndex,
     stats: LsqStats,
 }
 
 impl Lsq {
     /// Creates an empty LSQ from the memory configuration.
     pub fn new(config: &MemConfig) -> Lsq {
-        Lsq { capacity: config.lsq_entries.max(1), entries: VecDeque::new(), stats: LsqStats::default() }
+        let capacity = config.lsq_entries.max(1);
+        Lsq {
+            capacity,
+            // Occupancy never exceeds capacity, so neither buffer ever grows.
+            entries: VecDeque::with_capacity(capacity),
+            forwards: ForwardIndex::with_capacity(capacity),
+            stats: LsqStats::default(),
+        }
     }
 
     /// Makes room for a new entry; returns the (possibly stalled) admission
@@ -95,6 +201,9 @@ impl Lsq {
         self.stats.capacity_stalls += 1;
         // The oldest entry retires once its data is ready.
         let oldest = self.entries.pop_front().expect("queue is full");
+        if oldest.is_store {
+            self.forwards.retire_store(oldest.addr);
+        }
         now.max(oldest.ready)
     }
 
@@ -107,16 +216,14 @@ impl Lsq {
     pub fn load(&mut self, now: u64, addr: LineAddr) -> LoadPath {
         let at = self.admit(now);
         self.stats.loads += 1;
-        let forwarded = self
-            .entries
-            .iter()
-            .rev()
-            .find(|e| e.is_store && e.addr == addr)
-            .map(|e| e.ready);
-        if let Some(store_ready) = forwarded {
+        if let Some(store_ready) = self.forwards.youngest_store(addr) {
             self.stats.forwards += 1;
             let ready = at.max(store_ready) + 1;
-            self.entries.push_back(Entry { addr, ready, is_store: false });
+            self.entries.push_back(Entry {
+                addr,
+                ready,
+                is_store: false,
+            });
             LoadPath::Forwarded { ready }
         } else {
             LoadPath::Issue { at }
@@ -126,7 +233,11 @@ impl Lsq {
     /// Records the completion cycle of a load previously returned as
     /// [`LoadPath::Issue`].
     pub fn complete_load(&mut self, addr: LineAddr, ready: u64) {
-        self.entries.push_back(Entry { addr, ready, is_store: false });
+        self.entries.push_back(Entry {
+            addr,
+            ready,
+            is_store: false,
+        });
     }
 
     /// Admits a store of `addr` whose data is available at `data_ready`;
@@ -136,7 +247,12 @@ impl Lsq {
         let at = self.admit(now);
         self.stats.stores += 1;
         let ready = at.max(data_ready);
-        self.entries.push_back(Entry { addr, ready, is_store: true });
+        self.entries.push_back(Entry {
+            addr,
+            ready,
+            is_store: true,
+        });
+        self.forwards.push_store(addr, ready);
         ready
     }
 
@@ -159,6 +275,7 @@ impl Lsq {
     /// reused for new matrices).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.forwards.clear();
     }
 }
 
@@ -168,7 +285,10 @@ mod tests {
     use crate::address::MatrixKind;
 
     fn lsq(capacity: usize) -> Lsq {
-        let cfg = MemConfig { lsq_entries: capacity, ..MemConfig::default() };
+        let cfg = MemConfig {
+            lsq_entries: capacity,
+            ..MemConfig::default()
+        };
         Lsq::new(&cfg)
     }
 
@@ -235,6 +355,19 @@ mod tests {
             q.complete_load(a(0), at + 100);
         }
         assert_eq!(q.occupancy(), 1);
+    }
+
+    #[test]
+    fn retired_store_keeps_forwarding_from_younger_duplicate() {
+        let mut q = lsq(2);
+        q.store(0, a(0), 10);
+        q.store(0, a(0), 20);
+        // Queue full: the next load retires the older duplicate store; the
+        // younger one must still forward.
+        match q.load(0, a(0)) {
+            LoadPath::Forwarded { ready } => assert_eq!(ready, 21),
+            other => panic!("expected forward, got {other:?}"),
+        }
     }
 
     #[test]

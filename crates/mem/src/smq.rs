@@ -81,19 +81,22 @@ impl SmqStream {
         let total_ptr_lines = total_pointers.div_ceil(ptrs_per_line.max(1));
         // Prefetch depth bounded by the index buffer capacity.
         let buffer_lines = (config.smq_idx_bytes / config.line_bytes).max(1);
+        let prefetch_lines = config.smq_prefetch_lines.clamp(1, buffer_lines);
         SmqStream {
             kind,
             format,
             entries_per_line: entries_per_line.max(1),
             ptrs_per_line: ptrs_per_line.max(1),
-            prefetch_lines: config.smq_prefetch_lines.clamp(1, buffer_lines),
+            prefetch_lines,
             total_entries,
             total_idx_lines,
             total_ptr_lines,
             next_entry: 0,
             fetched_idx_lines: 0,
             fetched_ptr_lines: 0,
-            line_ready: VecDeque::new(),
+            // The window holds at most `prefetch_lines` in-flight lines, so
+            // streaming never grows it.
+            line_ready: VecDeque::with_capacity(prefetch_lines),
             entries_streamed: 0,
             line_bytes: config.line_bytes as u64,
         }
@@ -158,7 +161,9 @@ impl SmqStream {
         self.next_entry += 1;
         self.entries_streamed += 1;
         // Drop fully consumed lines from the window.
-        if self.next_entry.is_multiple_of(self.entries_per_line) || self.next_entry == self.total_entries {
+        if self.next_entry.is_multiple_of(self.entries_per_line)
+            || self.next_entry == self.total_entries
+        {
             if lines_consumed == 0 {
                 self.line_ready.pop_front();
             } else {

@@ -12,7 +12,10 @@ fn addr(i: u64) -> LineAddr {
 
 #[test]
 fn one_line_dmb_still_serves_everything() {
-    let cfg = MemConfig { dmb_bytes: 64, ..MemConfig::default() };
+    let cfg = MemConfig {
+        dmb_bytes: 64,
+        ..MemConfig::default()
+    };
     let mut dram = Dram::new(&cfg);
     let mut dmb = Dmb::new(&cfg);
     let mut last = 0;
@@ -27,12 +30,18 @@ fn one_line_dmb_still_serves_everything() {
 
 #[test]
 fn single_mshr_serialises_misses() {
-    let cfg = MemConfig { mshr_count: 1, ..MemConfig::default() };
+    let cfg = MemConfig {
+        mshr_count: 1,
+        ..MemConfig::default()
+    };
     let mut dram = Dram::new(&cfg);
     let mut dmb = Dmb::new(&cfg);
     let a = dmb.read(0, addr(0), &mut dram, AccessPattern::Random);
     let b = dmb.read(0, addr(1), &mut dram, AccessPattern::Random);
-    assert!(b.ready > a.ready, "second miss must wait for the single MSHR");
+    assert!(
+        b.ready > a.ready,
+        "second miss must wait for the single MSHR"
+    );
     assert!(dmb.mshr_stalls() >= 1);
 }
 
@@ -44,18 +53,26 @@ fn ready_times_are_monotone_under_mixed_traffic() {
     let mut now = 0;
     for i in 0..1_000u64 {
         let t = if i % 3 == 0 {
-            dmb.write(now, addr(i % 50), &mut dram, true, AccessPattern::Random).ready
+            dmb.write(now, addr(i % 50), &mut dram, true, AccessPattern::Random)
+                .ready
         } else {
-            dmb.read(now, addr(i % 37), &mut dram, AccessPattern::Random).ready
+            dmb.read(now, addr(i % 37), &mut dram, AccessPattern::Random)
+                .ready
         };
-        assert!(t >= now || t + cfg.dmb_hit_latency >= now, "non-monotone at {i}");
+        assert!(
+            t >= now || t + cfg.dmb_hit_latency >= now,
+            "non-monotone at {i}"
+        );
         now = now.max(t);
     }
 }
 
 #[test]
 fn lsq_with_one_entry_still_progresses() {
-    let cfg = MemConfig { lsq_entries: 1, ..MemConfig::default() };
+    let cfg = MemConfig {
+        lsq_entries: 1,
+        ..MemConfig::default()
+    };
     let mut lsq = Lsq::new(&cfg);
     let mut now = 0;
     for i in 0..50u64 {
@@ -84,14 +101,19 @@ fn smq_handles_enormous_pointer_streams() {
 
 #[test]
 fn zero_latency_dram_is_faster_than_default() {
-    let fast_cfg = MemConfig { dram_latency: 0, ..MemConfig::default() };
+    let fast_cfg = MemConfig {
+        dram_latency: 0,
+        ..MemConfig::default()
+    };
     let slow_cfg = MemConfig::default();
-    let mut run = |cfg: &MemConfig| {
+    let run = |cfg: &MemConfig| {
         let mut dram = Dram::new(cfg);
         let mut dmb = Dmb::new(cfg);
         let mut now = 0;
         for i in 0..100u64 {
-            now = dmb.read(now, addr(i), &mut dram, AccessPattern::Random).ready;
+            now = dmb
+                .read(now, addr(i), &mut dram, AccessPattern::Random)
+                .ready;
         }
         now
     };
@@ -101,8 +123,11 @@ fn zero_latency_dram_is_faster_than_default() {
 #[test]
 fn throttled_bandwidth_slows_streaming() {
     let wide = MemConfig::default();
-    let narrow = MemConfig { dram_bytes_per_cycle: 8, ..MemConfig::default() };
-    let mut run = |cfg: &MemConfig| {
+    let narrow = MemConfig {
+        dram_bytes_per_cycle: 8,
+        ..MemConfig::default()
+    };
+    let run = |cfg: &MemConfig| {
         let mut dram = Dram::new(cfg);
         let mut s = SmqStream::new(cfg, MatrixKind::SparseA, SparseFormat::Csr, 10_000, 100);
         let mut now = 0;
@@ -115,7 +140,10 @@ fn throttled_bandwidth_slows_streaming() {
     let slow = run(&narrow);
     // not fully linear in bandwidth: the consumer's own pacing and the
     // fixed access latency damp the effect, but it must be substantial
-    assert!(slow > fast * 2, "8x narrower bandwidth must slow the stream: {fast} vs {slow}");
+    assert!(
+        slow > fast * 2,
+        "8x narrower bandwidth must slow the stream: {fast} vs {slow}"
+    );
 }
 
 #[test]

@@ -50,7 +50,11 @@ impl Coo {
                 "dimension exceeds u32 index space".to_string(),
             ));
         }
-        Ok(Coo { rows, cols, entries: Vec::new() })
+        Ok(Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        })
     }
 
     /// Creates a COO matrix from an explicit triplet list.
@@ -112,7 +116,9 @@ impl Coo {
 
     /// Iterates over stored triplets as `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Fraction of the matrix that is zero, in `[0, 1]`.
@@ -120,8 +126,7 @@ impl Coo {
     /// Duplicates are first coalesced so the figure matches the structural
     /// sparsity reported by graph datasets.
     pub fn sparsity(&self) -> f64 {
-        let mut coords: Vec<(u32, u32)> =
-            self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let mut coords: Vec<(u32, u32)> = self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
         coords.sort_unstable();
         coords.dedup();
         let total = self.rows as f64 * self.cols as f64;
@@ -139,8 +144,7 @@ impl Coo {
 
     /// Out-degree (non-zeros per row) of every row, counting duplicates once.
     pub fn row_degrees(&self) -> Vec<usize> {
-        let mut coords: Vec<(u32, u32)> =
-            self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        let mut coords: Vec<(u32, u32)> = self.entries.iter().map(|&(r, c, _)| (r, c)).collect();
         coords.sort_unstable();
         coords.dedup();
         let mut deg = vec![0usize; self.rows];
@@ -156,7 +160,8 @@ impl Extend<(usize, usize, f32)> for Coo {
     /// coordinates. Use [`Coo::push`] for fallible insertion.
     fn extend<T: IntoIterator<Item = (usize, usize, f32)>>(&mut self, iter: T) {
         for (r, c, v) in iter {
-            self.push(r, c, v).expect("coordinate out of bounds in Extend");
+            self.push(r, c, v)
+                .expect("coordinate out of bounds in Extend");
         }
     }
 }

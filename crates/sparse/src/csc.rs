@@ -150,7 +150,9 @@ impl Csc {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.cols).flat_map(move |c| {
             let (rows, vals) = self.col(c);
-            rows.iter().zip(vals).map(move |(&r, &v)| (r as usize, c, v))
+            rows.iter()
+                .zip(vals)
+                .map(move |(&r, &v)| (r as usize, c, v))
         })
     }
 
@@ -182,7 +184,13 @@ mod tests {
         Coo::from_triplets(
             3,
             4,
-            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -239,7 +247,13 @@ mod tests {
         let got: Vec<_> = m.iter().collect();
         assert_eq!(
             got,
-            vec![(0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0), (2, 2, 5.0), (0, 3, 2.0)]
+            vec![
+                (0, 0, 1.0),
+                (2, 0, 4.0),
+                (1, 1, 3.0),
+                (2, 2, 5.0),
+                (0, 3, 2.0)
+            ]
         );
     }
 }

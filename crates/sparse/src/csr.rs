@@ -39,8 +39,10 @@ pub struct Csr {
 impl Csr {
     /// Builds a CSR matrix from a [`Coo`], summing duplicate coordinates.
     pub fn from_coo(coo: &Coo) -> Csr {
-        let mut triplets: Vec<(u32, u32, f32)> =
-            coo.iter().map(|(r, c, v)| (r as u32, c as u32, v)).collect();
+        let mut triplets: Vec<(u32, u32, f32)> = coo
+            .iter()
+            .map(|(r, c, v)| (r as u32, c as u32, v))
+            .collect();
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
         let rows = coo.rows();
@@ -66,7 +68,13 @@ impl Csr {
         while row_ptr.len() < rows + 1 {
             row_ptr.push(col_idx.len());
         }
-        Csr { rows, cols: coo.cols(), row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Constructs a CSR matrix from raw component arrays, validating all
@@ -131,7 +139,13 @@ impl Csr {
                 }
             }
         }
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -200,7 +214,9 @@ impl Csr {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -227,7 +243,13 @@ mod tests {
         let coo = Coo::from_triplets(
             3,
             4,
-            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap();
         Csr::from_coo(&coo)
@@ -285,15 +307,13 @@ mod tests {
 
     #[test]
     fn from_raw_parts_rejects_non_monotone_ptr() {
-        let err =
-            Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedFormat(_)));
     }
 
     #[test]
     fn from_raw_parts_rejects_unsorted_cols() {
-        let err =
-            Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        let err = Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedFormat(_)));
     }
 
@@ -309,7 +329,13 @@ mod tests {
         let got: Vec<_> = m.iter().collect();
         assert_eq!(
             got,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)]
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0)
+            ]
         );
     }
 }

@@ -33,8 +33,15 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Dense {
-        assert!(rows > 0 && cols > 0, "dense matrix dimensions must be non-zero");
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        assert!(
+            rows > 0 && cols > 0,
+            "dense matrix dimensions must be non-zero"
+        );
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every coordinate.

@@ -41,7 +41,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "coordinate ({row}, {col}) out of bounds for {rows}x{cols} matrix"
             ),
@@ -53,7 +58,10 @@ impl fmt::Display for SparseError {
                 "shape mismatch: {}x{} is incompatible with {}x{}",
                 left.0, left.1, right.0, right.1
             ),
-            SparseError::InvalidPermutation { expected_len, actual_len } => write!(
+            SparseError::InvalidPermutation {
+                expected_len,
+                actual_len,
+            } => write!(
                 f,
                 "permutation of length {actual_len} is not a bijection on 0..{expected_len}"
             ),
@@ -72,20 +80,34 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 2, rows: 4, cols: 4 };
-        assert_eq!(e.to_string(), "coordinate (5, 2) out of bounds for 4x4 matrix");
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 2,
+            rows: 4,
+            cols: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "coordinate (5, 2) out of bounds for 4x4 matrix"
+        );
     }
 
     #[test]
     fn display_shape_mismatch() {
-        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
         assert!(e.to_string().contains("4x5"));
     }
 
     #[test]
     fn display_permutation() {
-        let e = SparseError::InvalidPermutation { expected_len: 3, actual_len: 2 };
+        let e = SparseError::InvalidPermutation {
+            expected_len: 3,
+            actual_len: 2,
+        };
         assert!(e.to_string().contains("0..3"));
     }
 

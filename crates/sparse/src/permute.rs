@@ -65,7 +65,10 @@ impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Permutation {
         let v: Vec<u32> = (0..n as u32).collect();
-        Permutation { gather: v.clone(), scatter: v }
+        Permutation {
+            gather: v.clone(),
+            scatter: v,
+        }
     }
 
     /// Builds the permutation that sorts indices by **descending** key,
@@ -81,7 +84,10 @@ impl Permutation {
         for (new, &old) in idx.iter().enumerate() {
             scatter[old as usize] = new as u32;
         }
-        Permutation { gather: idx, scatter }
+        Permutation {
+            gather: idx,
+            scatter,
+        }
     }
 
     /// Domain size.
@@ -114,7 +120,10 @@ impl Permutation {
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Permutation {
-        Permutation { gather: self.scatter.clone(), scatter: self.gather.clone() }
+        Permutation {
+            gather: self.scatter.clone(),
+            scatter: self.gather.clone(),
+        }
     }
 
     /// Gather vector (`gather[new] = old`).

@@ -115,7 +115,13 @@ mod tests {
         let coo = Coo::from_triplets(
             3,
             4,
-            [(0, 0, 1.0), (0, 3, 2.0), (1, 1, -1.0), (2, 0, 0.5), (2, 2, 4.0)],
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, -1.0),
+                (2, 0, 0.5),
+                (2, 2, 4.0),
+            ],
         )
         .unwrap();
         let csr = Csr::from_coo(&coo);

@@ -23,7 +23,11 @@ pub struct StorageLayout {
 
 impl Default for StorageLayout {
     fn default() -> Self {
-        StorageLayout { ptr_bytes: 4, idx_bytes: 4, val_bytes: 4 }
+        StorageLayout {
+            ptr_bytes: 4,
+            idx_bytes: 4,
+            val_bytes: 4,
+        }
     }
 }
 
@@ -94,19 +98,29 @@ mod tests {
 
     #[test]
     fn overhead_computation() {
-        let r = StorageReport { plain_bytes: 100, tiled_bytes: 110 };
+        let r = StorageReport {
+            plain_bytes: 100,
+            tiled_bytes: 110,
+        };
         assert!((r.overhead() - 0.10).abs() < 1e-12);
     }
 
     #[test]
     fn overhead_zero_plain_is_zero() {
-        let r = StorageReport { plain_bytes: 0, tiled_bytes: 10 };
+        let r = StorageReport {
+            plain_bytes: 0,
+            tiled_bytes: 10,
+        };
         assert_eq!(r.overhead(), 0.0);
     }
 
     #[test]
     fn custom_widths() {
-        let l = StorageLayout { ptr_bytes: 8, idx_bytes: 2, val_bytes: 4 };
+        let l = StorageLayout {
+            ptr_bytes: 8,
+            idx_bytes: 2,
+            val_bytes: 4,
+        };
         assert_eq!(l.compressed_bytes(1, 1), 16 + 6);
     }
 }

@@ -38,8 +38,11 @@ pub enum RegionId {
 
 impl RegionId {
     /// All regions in HyMM's execution order (OP first, then RWP).
-    pub const EXECUTION_ORDER: [RegionId; 3] =
-        [RegionId::HighDegreeRows, RegionId::HighDegreeCols, RegionId::SparseRest];
+    pub const EXECUTION_ORDER: [RegionId; 3] = [
+        RegionId::HighDegreeRows,
+        RegionId::HighDegreeCols,
+        RegionId::SparseRest,
+    ];
 }
 
 /// Configuration of the tiling pass.
@@ -56,7 +59,10 @@ pub struct TilingConfig {
 
 impl Default for TilingConfig {
     fn default() -> Self {
-        TilingConfig { threshold_fraction: 0.20, dmb_capacity_rows: None }
+        TilingConfig {
+            threshold_fraction: 0.20,
+            dmb_capacity_rows: None,
+        }
     }
 }
 
@@ -109,12 +115,8 @@ impl Region {
     pub fn iter_global(&self) -> Box<dyn Iterator<Item = (usize, usize, f32)> + '_> {
         let (r0, c0) = (self.row_range.0, self.col_range.0);
         match &self.format {
-            RegionFormat::Csc(m) => {
-                Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v)))
-            }
-            RegionFormat::Csr(m) => {
-                Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v)))
-            }
+            RegionFormat::Csc(m) => Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v))),
+            RegionFormat::Csr(m) => Box::new(m.iter().map(move |(r, c, v)| (r + r0, c + c0, v))),
         }
     }
 }
@@ -193,7 +195,11 @@ impl TiledMatrix {
                 format: RegionFormat::Csr(Csr::from_coo(&r3)),
             },
         ];
-        Ok(TiledMatrix { n, threshold: t, regions })
+        Ok(TiledMatrix {
+            n,
+            threshold: t,
+            regions,
+        })
     }
 
     /// Node count of the underlying graph.
@@ -239,7 +245,10 @@ impl TiledMatrix {
             };
             tiled += layout.compressed_bytes(major, region.nnz());
         }
-        StorageReport { plain_bytes: plain, tiled_bytes: tiled }
+        StorageReport {
+            plain_bytes: plain,
+            tiled_bytes: tiled,
+        }
     }
 
     /// Reconstructs the full sorted matrix (for verification).
@@ -276,14 +285,20 @@ mod tests {
 
     #[test]
     fn threshold_respects_fraction() {
-        let c = TilingConfig { threshold_fraction: 0.2, dmb_capacity_rows: None };
+        let c = TilingConfig {
+            threshold_fraction: 0.2,
+            dmb_capacity_rows: None,
+        };
         assert_eq!(c.threshold(10), 2);
         assert_eq!(c.threshold(2708), 542);
     }
 
     #[test]
     fn threshold_clamped_by_dmb() {
-        let c = TilingConfig { threshold_fraction: 0.2, dmb_capacity_rows: Some(100) };
+        let c = TilingConfig {
+            threshold_fraction: 0.2,
+            dmb_capacity_rows: Some(100),
+        };
         assert_eq!(c.threshold(10_000), 100);
         assert_eq!(c.threshold(100), 20);
     }
@@ -330,7 +345,11 @@ mod tests {
         let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
         let rep = tiled.storage_report(&StorageLayout::default());
         assert!(rep.tiled_bytes > rep.plain_bytes);
-        assert!(rep.overhead() < 1.0, "overhead {} should stay moderate", rep.overhead());
+        assert!(
+            rep.overhead() < 1.0,
+            "overhead {} should stay moderate",
+            rep.overhead()
+        );
     }
 
     #[test]
@@ -342,7 +361,10 @@ mod tests {
     #[test]
     fn full_threshold_puts_everything_in_region_one() {
         let adj = power_lawish();
-        let cfg = TilingConfig { threshold_fraction: 1.0, dmb_capacity_rows: None };
+        let cfg = TilingConfig {
+            threshold_fraction: 1.0,
+            dmb_capacity_rows: None,
+        };
         let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
         assert_eq!(tiled.region(RegionId::HighDegreeRows).nnz(), adj.nnz());
         assert_eq!(tiled.region(RegionId::HighDegreeCols).nnz(), 0);
@@ -351,7 +373,10 @@ mod tests {
     #[test]
     fn zero_threshold_puts_everything_in_region_three() {
         let adj = power_lawish();
-        let cfg = TilingConfig { threshold_fraction: 0.0, dmb_capacity_rows: None };
+        let cfg = TilingConfig {
+            threshold_fraction: 0.0,
+            dmb_capacity_rows: None,
+        };
         let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
         assert_eq!(tiled.region(RegionId::SparseRest).nnz(), adj.nnz());
     }

@@ -38,9 +38,8 @@ fn main() {
     );
     let mut baseline_cycles = None;
     for df in Dataflow::ALL {
-        let outcome =
-            run_inference(&config, df, &workload.adjacency, &workload.features, &model)
-                .expect("operand shapes are consistent");
+        let outcome = run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+            .expect("operand shapes are consistent");
         let r = &outcome.report;
         let base = *baseline_cycles.get_or_insert(r.cycles);
         println!(

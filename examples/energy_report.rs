@@ -34,9 +34,8 @@ fn main() {
         "flow", "PE", "buffers", "DRAM", "static", "total"
     );
     for df in Dataflow::EXTENDED {
-        let outcome =
-            run_inference(&config, df, &workload.adjacency, &workload.features, &model)
-                .expect("operand shapes are consistent");
+        let outcome = run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+            .expect("operand shapes are consistent");
         let e = energy.estimate(&outcome.report);
         println!(
             "{:<6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

@@ -31,9 +31,8 @@ fn main() {
 
     let config = AcceleratorConfig::default();
     for df in Dataflow::ALL {
-        let outcome =
-            run_inference(&config, df, &workload.adjacency, &workload.features, &model)
-                .expect("operand shapes are consistent");
+        let outcome = run_inference(&config, df, &workload.adjacency, &workload.features, &model)
+            .expect("operand shapes are consistent");
         let diff = outcome.output.max_abs_diff(&reference);
         let status = if diff < 1e-2 { "OK" } else { "MISMATCH" };
         println!(
@@ -42,7 +41,11 @@ fn main() {
             outcome.report.cycles,
             diff
         );
-        assert!(diff < 1e-2, "{} diverged from the dense reference", df.label());
+        assert!(
+            diff < 1e-2,
+            "{} diverged from the dense reference",
+            df.label()
+        );
     }
     println!("all dataflows agree with the dense reference");
 }

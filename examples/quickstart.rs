@@ -28,11 +28,17 @@ fn main() {
 
     let r = &outcome.report;
     println!("HyMM simulation of a 2-layer GCN inference");
-    println!("  graph: 1000 nodes, {} adjacency non-zeros", adjacency.nnz());
+    println!(
+        "  graph: 1000 nodes, {} adjacency non-zeros",
+        adjacency.nnz()
+    );
     println!("  total cycles      : {}", r.cycles);
     println!("  ALU utilisation   : {:.1}%", r.alu_utilization() * 100.0);
     println!("  DMB hit rate      : {:.1}%", r.dmb_hit_rate() * 100.0);
-    println!("  DRAM traffic      : {:.2} MB", r.dram_bytes() as f64 / 1e6);
+    println!(
+        "  DRAM traffic      : {:.2} MB",
+        r.dram_bytes() as f64 / 1e6
+    );
     println!("  LSQ forwards      : {}", r.lsq.forwards);
     println!("  accumulator merges: {}", r.accumulator_merges);
     println!();

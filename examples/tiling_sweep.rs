@@ -28,16 +28,26 @@ fn main() {
         spec.nodes,
         workload.adjacency.nnz()
     );
-    println!("{:>9} {:>14} {:>11} {:>9}", "fraction", "cycles", "DRAM (MB)", "ALU util");
+    println!(
+        "{:>9} {:>14} {:>11} {:>9}",
+        "fraction", "cycles", "DRAM (MB)", "ALU util"
+    );
 
     let mut best = (0.0f64, u64::MAX);
     for percent in [0, 5, 10, 20, 30, 40, 60, 80, 100] {
         let fraction = percent as f64 / 100.0;
-        let config =
-            AcceleratorConfig { tiling_fraction: fraction, ..AcceleratorConfig::default() };
-        let outcome =
-            run_inference(&config, Dataflow::Hybrid, &workload.adjacency, &workload.features, &model)
-                .expect("operand shapes are consistent");
+        let config = AcceleratorConfig {
+            tiling_fraction: fraction,
+            ..AcceleratorConfig::default()
+        };
+        let outcome = run_inference(
+            &config,
+            Dataflow::Hybrid,
+            &workload.adjacency,
+            &workload.features,
+            &model,
+        )
+        .expect("operand shapes are consistent");
         let r = &outcome.report;
         println!(
             "{:>8}% {:>14} {:>11.2} {:>8.1}%",

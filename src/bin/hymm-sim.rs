@@ -91,7 +91,8 @@ fn parse_args() -> Options {
     };
     while let Some(arg) = args.next() {
         let mut value = |what: &str| -> String {
-            args.next().unwrap_or_else(|| fail(&format!("{what} needs a value")))
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
         };
         match arg.as_str() {
             "--dataset" => {
@@ -104,8 +105,9 @@ fn parse_args() -> Options {
             "--edge-list" => opt.edge_list = Some(value("--edge-list")),
             "--matrix-market" => opt.matrix_market = Some(value("--matrix-market")),
             "--scale" => {
-                let n: usize =
-                    value("--scale").parse().unwrap_or_else(|_| fail("bad --scale"));
+                let n: usize = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --scale"));
                 if n < 2 {
                     fail("--scale needs at least 2 nodes");
                 }
@@ -121,8 +123,9 @@ fn parse_args() -> Options {
                 }
             }
             "--feature-len" => {
-                opt.feature_len =
-                    value("--feature-len").parse().unwrap_or_else(|_| fail("bad --feature-len"))
+                opt.feature_len = value("--feature-len")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --feature-len"))
             }
             "--feature-sparsity" => {
                 opt.feature_sparsity = value("--feature-sparsity")
@@ -130,20 +133,30 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| fail("bad --feature-sparsity"))
             }
             "--hidden" => {
-                opt.hidden = value("--hidden").parse().unwrap_or_else(|_| fail("bad --hidden"))
+                opt.hidden = value("--hidden")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --hidden"))
             }
             "--dmb-kb" => {
-                opt.dmb_kb = value("--dmb-kb").parse().unwrap_or_else(|_| fail("bad --dmb-kb"))
+                opt.dmb_kb = value("--dmb-kb")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --dmb-kb"))
             }
             "--mshrs" => {
-                opt.mshrs = value("--mshrs").parse().unwrap_or_else(|_| fail("bad --mshrs"))
+                opt.mshrs = value("--mshrs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --mshrs"))
             }
             "--no-forwarding" => opt.forwarding = false,
             "--tiling" => {
-                opt.tiling = value("--tiling").parse().unwrap_or_else(|_| fail("bad --tiling"))
+                opt.tiling = value("--tiling")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --tiling"))
             }
             "--seed" => {
-                opt.seed = value("--seed").parse().unwrap_or_else(|_| fail("bad --seed"))
+                opt.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --seed"))
             }
             "-h" | "--help" => {
                 println!("{USAGE}");

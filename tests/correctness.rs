@@ -33,8 +33,7 @@ fn check_all_dataflows(
 fn scaled_table_two_datasets_are_numerically_exact() {
     for dataset in [Dataset::Cora, Dataset::AmazonPhoto, Dataset::Flickr] {
         let w = dataset.synthesize_scaled(300);
-        let model =
-            GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 1);
+        let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 1);
         check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, dataset.name());
     }
 }
@@ -53,7 +52,11 @@ fn power_law_and_flat_graphs_agree_with_reference() {
 fn single_layer_model_runs() {
     let w = Dataset::Cora.synthesize_scaled(150);
     let model = GcnModel::new(
-        vec![hymm::gcn::LayerSpec { in_dim: w.spec.feature_len, out_dim: 16, relu: false }],
+        vec![hymm::gcn::LayerSpec {
+            in_dim: w.spec.feature_len,
+            out_dim: 16,
+            relu: false,
+        }],
         9,
     );
     check_all_dataflows(&w.adjacency, &w.features, &model, 1e-2, "single layer");
@@ -64,9 +67,21 @@ fn three_layer_model_runs() {
     let w = Dataset::AmazonPhoto.synthesize_scaled(150);
     let model = GcnModel::new(
         vec![
-            hymm::gcn::LayerSpec { in_dim: w.spec.feature_len, out_dim: 32, relu: true },
-            hymm::gcn::LayerSpec { in_dim: 32, out_dim: 16, relu: true },
-            hymm::gcn::LayerSpec { in_dim: 16, out_dim: 4, relu: false },
+            hymm::gcn::LayerSpec {
+                in_dim: w.spec.feature_len,
+                out_dim: 32,
+                relu: true,
+            },
+            hymm::gcn::LayerSpec {
+                in_dim: 32,
+                out_dim: 16,
+                relu: true,
+            },
+            hymm::gcn::LayerSpec {
+                in_dim: 16,
+                out_dim: 4,
+                relu: false,
+            },
         ],
         11,
     );
@@ -87,11 +102,12 @@ fn hybrid_with_extreme_tiling_fractions_is_still_exact() {
     let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 17);
     let want = dense_inference(&w.adjacency, &w.features, &model);
     for fraction in [0.0, 0.01, 0.5, 1.0] {
-        let config =
-            AcceleratorConfig { tiling_fraction: fraction, ..AcceleratorConfig::default() };
-        let got =
-            run_inference(&config, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
-                .expect("shapes consistent");
+        let config = AcceleratorConfig {
+            tiling_fraction: fraction,
+            ..AcceleratorConfig::default()
+        };
+        let got = run_inference(&config, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
+            .expect("shapes consistent");
         let diff = got.output.max_abs_diff(&want);
         assert!(diff < 1e-2, "fraction {fraction}: diff {diff}");
     }
@@ -103,9 +119,11 @@ fn all_merge_policies_are_exact() {
     let w = Dataset::AmazonPhoto.synthesize_scaled(200);
     let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 19);
     let want = dense_inference(&w.adjacency, &w.features, &model);
-    for policy in
-        [MergePolicy::NearMemory, MergePolicy::PeReadModifyWrite, MergePolicy::Materialize]
-    {
+    for policy in [
+        MergePolicy::NearMemory,
+        MergePolicy::PeReadModifyWrite,
+        MergePolicy::Materialize,
+    ] {
         let config = AcceleratorConfig {
             baseline_merge: policy,
             hybrid_merge: policy,
@@ -160,14 +178,30 @@ fn column_wise_extension_matches_reference() {
 fn cwp_lane_efficiency_is_timing_only() {
     let w = Dataset::Cora.synthesize_scaled(150);
     let model = GcnModel::two_layer(w.spec.feature_len, 16, 16, 31);
-    let fast =
-        AcceleratorConfig { cwp_lane_efficiency: 1.0, ..AcceleratorConfig::default() };
-    let slow =
-        AcceleratorConfig { cwp_lane_efficiency: 0.25, ..AcceleratorConfig::default() };
-    let a = run_inference(&fast, Dataflow::ColumnWise, &w.adjacency, &w.features, &model)
-        .unwrap();
-    let b = run_inference(&slow, Dataflow::ColumnWise, &w.adjacency, &w.features, &model)
-        .unwrap();
+    let fast = AcceleratorConfig {
+        cwp_lane_efficiency: 1.0,
+        ..AcceleratorConfig::default()
+    };
+    let slow = AcceleratorConfig {
+        cwp_lane_efficiency: 0.25,
+        ..AcceleratorConfig::default()
+    };
+    let a = run_inference(
+        &fast,
+        Dataflow::ColumnWise,
+        &w.adjacency,
+        &w.features,
+        &model,
+    )
+    .unwrap();
+    let b = run_inference(
+        &slow,
+        Dataflow::ColumnWise,
+        &w.adjacency,
+        &w.features,
+        &model,
+    )
+    .unwrap();
     assert_eq!(a.output.as_slice(), b.output.as_slice());
     assert!(b.report.cycles >= a.report.cycles);
 }

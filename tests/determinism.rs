@@ -22,7 +22,12 @@ fn simulation_reports_are_reproducible() {
     for df in Dataflow::ALL {
         let r1 = run_inference(&config, df, &w.adjacency, &w.features, &model).unwrap();
         let r2 = run_inference(&config, df, &w.adjacency, &w.features, &model).unwrap();
-        assert_eq!(r1.report, r2.report, "{} report not deterministic", df.label());
+        assert_eq!(
+            r1.report,
+            r2.report,
+            "{} report not deterministic",
+            df.label()
+        );
         assert_eq!(
             r1.output.as_slice(),
             r2.output.as_slice(),
@@ -35,7 +40,10 @@ fn simulation_reports_are_reproducible() {
 #[test]
 fn different_seeds_change_the_workload() {
     use hymm::graph::generator::preferential_attachment;
-    assert_ne!(preferential_attachment(100, 300, 1), preferential_attachment(100, 300, 2));
+    assert_ne!(
+        preferential_attachment(100, 300, 1),
+        preferential_attachment(100, 300, 2)
+    );
 }
 
 #[test]

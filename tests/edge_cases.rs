@@ -38,8 +38,14 @@ fn all_zero_features_give_zero_output() {
     let adj = Coo::from_triplets(4, 4, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
     let x = Coo::new(4, 6).unwrap(); // structurally empty features
     let model = GcnModel::two_layer(6, 16, 2, 3);
-    let out = run_inference(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &model)
-        .unwrap();
+    let out = run_inference(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &model,
+    )
+    .unwrap();
     assert!(out.output.as_slice().iter().all(|&v| v == 0.0));
 }
 
@@ -97,15 +103,28 @@ fn disconnected_components_stay_independent() {
     // features only on the first component
     let x = Coo::from_triplets(6, 2, [(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0)]).unwrap();
     let model = GcnModel::new(
-        vec![hymm::gcn::LayerSpec { in_dim: 2, out_dim: 16, relu: false }],
+        vec![hymm::gcn::LayerSpec {
+            in_dim: 2,
+            out_dim: 16,
+            relu: false,
+        }],
         7,
     );
-    let out = run_inference(&AcceleratorConfig::default(), Dataflow::Hybrid, &adj, &x, &model)
-        .unwrap()
-        .output;
+    let out = run_inference(
+        &AcceleratorConfig::default(),
+        Dataflow::Hybrid,
+        &adj,
+        &x,
+        &model,
+    )
+    .unwrap()
+    .output;
     // second component has zero features and must produce zero outputs
     for r in 3..6 {
-        assert!(out.row(r).iter().all(|&v| v == 0.0), "component leaked into row {r}");
+        assert!(
+            out.row(r).iter().all(|&v| v == 0.0),
+            "component leaked into row {r}"
+        );
     }
 }
 

@@ -11,9 +11,15 @@ use hymm_mem::MatrixKind;
 fn run(dataset: Dataset, nodes: usize, df: Dataflow) -> SimReport {
     let w = dataset.synthesize_scaled(nodes);
     let model = GcnModel::two_layer(w.spec.feature_len, w.spec.layer_dim, w.spec.layer_dim, 42);
-    run_inference(&AcceleratorConfig::default(), df, &w.adjacency, &w.features, &model)
-        .expect("shapes consistent")
-        .report
+    run_inference(
+        &AcceleratorConfig::default(),
+        df,
+        &w.adjacency,
+        &w.features,
+        &model,
+    )
+    .expect("shapes consistent")
+    .report
 }
 
 /// Paper Fig. 7: HyMM outperforms both baselines; OP is slowest.
@@ -23,8 +29,18 @@ fn fig7_ordering_holds_beyond_dmb_capacity() {
     let op = run(Dataset::AmazonPhoto, 6_000, Dataflow::Outer);
     let rwp = run(Dataset::AmazonPhoto, 6_000, Dataflow::RowWise);
     let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
-    assert!(hy.cycles < rwp.cycles, "HyMM {} !< RWP {}", hy.cycles, rwp.cycles);
-    assert!(rwp.cycles < op.cycles, "RWP {} !< OP {}", rwp.cycles, op.cycles);
+    assert!(
+        hy.cycles < rwp.cycles,
+        "HyMM {} !< RWP {}",
+        hy.cycles,
+        rwp.cycles
+    );
+    assert!(
+        rwp.cycles < op.cycles,
+        "RWP {} !< OP {}",
+        rwp.cycles,
+        op.cycles
+    );
     // the headline factor class: HyMM several times faster than OP
     assert!(
         op.cycles as f64 / hy.cycles as f64 > 2.0,
@@ -73,10 +89,15 @@ fn fig10_accumulator_shrinks_partial_footprint() {
         hybrid_merge: MergePolicy::Materialize,
         ..AcceleratorConfig::default()
     };
-    let noacc =
-        run_inference(&noacc_cfg, Dataflow::Hybrid, &w.adjacency, &w.features, &model)
-            .unwrap()
-            .report;
+    let noacc = run_inference(
+        &noacc_cfg,
+        Dataflow::Hybrid,
+        &w.adjacency,
+        &w.features,
+        &model,
+    )
+    .unwrap()
+    .report;
     assert!(
         (acc.partials.peak_bytes as f64) < 0.5 * noacc.partials.peak_bytes as f64,
         "accumulator footprint {} vs materialised {}",
@@ -96,7 +117,10 @@ fn fig11_dram_reduction_and_breakdown() {
     // OP's dominant traffic is the materialised combination result
     let op_xw = op.dram.kind(MatrixKind::Combination).total_bytes();
     let op_a = op.dram.kind(MatrixKind::SparseA).total_bytes();
-    assert!(op_xw > op_a, "OP partial traffic should dominate sparse streams");
+    assert!(
+        op_xw > op_a,
+        "OP partial traffic should dominate sparse streams"
+    );
 }
 
 /// Paper §IV-B: the LSQ forwards partial-output stores to dependent loads
@@ -116,7 +140,10 @@ fn lsq_forwarding_fires_and_helps() {
     let on = run_inference(&cfg, Dataflow::Outer, &w.adjacency, &w.features, &model)
         .unwrap()
         .report;
-    assert!(on.lsq.forwards > 0, "forwarding never fired in the OP engine");
+    assert!(
+        on.lsq.forwards > 0,
+        "forwarding never fired in the OP engine"
+    );
     let mut off_cfg = cfg.clone();
     off_cfg.lsq_forwarding = false;
     let off = run_inference(&off_cfg, Dataflow::Outer, &w.adjacency, &w.features, &model)
@@ -130,7 +157,10 @@ fn lsq_forwarding_fires_and_helps() {
 #[test]
 fn hybrid_op_region_merges_on_chip() {
     let hy = run(Dataset::AmazonPhoto, 6_000, Dataflow::Hybrid);
-    assert!(hy.accumulator_merges > 0, "near-memory accumulator never used");
+    assert!(
+        hy.accumulator_merges > 0,
+        "near-memory accumulator never used"
+    );
     assert_eq!(
         hy.partials.dram_merges, 0,
         "hybrid tiling should keep partials resident"

@@ -13,11 +13,8 @@ use proptest::prelude::*;
 /// Strategy: a random sparse square matrix as triplets.
 fn square_coo(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n, 0..n, -2.0f32..2.0),
-            0..max_nnz,
-        )
-        .prop_map(move |trip| Coo::from_triplets(n, n, trip).expect("coords in bounds"))
+        proptest::collection::vec((0..n, 0..n, -2.0f32..2.0), 0..max_nnz)
+            .prop_map(move |trip| Coo::from_triplets(n, n, trip).expect("coords in bounds"))
     })
 }
 

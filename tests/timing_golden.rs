@@ -1,0 +1,265 @@
+//! Timing-invariance golden test.
+//!
+//! Captures the exact cycle counts, MAC cycles, per-[`MatrixKind`] DRAM
+//! traffic and per-phase timing of every dataflow on two small fixture
+//! graphs. The values were recorded from the original `HashMap`/`BTreeMap`
+//! DMB implementation; the O(1) open-addressed line table + intrusive LRU
+//! rewrite must reproduce them bit-for-bit. Any diff here means the
+//! "performance" change altered simulated behaviour — which is a bug, not
+//! a tuning decision.
+//!
+//! Regenerating (only after an *intentional* timing-model change):
+//! `cargo test --test timing_golden -- --nocapture` prints the actual
+//! fingerprint lines on failure; paste them over the stale constants.
+
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_gcn::inference::run_inference;
+use hymm_gcn::model::GcnModel;
+use hymm_graph::features::sparse_features;
+use hymm_graph::generator::{erdos_renyi, preferential_attachment};
+use hymm_mem::address::MatrixKind;
+use hymm_sparse::Coo;
+
+const KINDS: [MatrixKind; 5] = [
+    MatrixKind::SparseA,
+    MatrixKind::SparseX,
+    MatrixKind::Weight,
+    MatrixKind::Combination,
+    MatrixKind::Output,
+];
+
+/// One line per metric, for every dataflow: totals, per-kind DRAM bytes,
+/// and the per-phase breakdown.
+fn fingerprint(config: &AcceleratorConfig, adj: &Coo, x: &Coo, model: &GcnModel) -> Vec<String> {
+    let mut lines = Vec::new();
+    for df in Dataflow::EXTENDED {
+        let outcome = run_inference(config, df, adj, x, model).unwrap();
+        let r = &outcome.report;
+        lines.push(format!(
+            "{} cycles={} mac={} merge={} evictions={} dirty={}",
+            df.label(),
+            r.cycles,
+            r.mac_cycles,
+            r.merge_cycles,
+            r.dmb_evictions,
+            r.dmb_dirty_evictions
+        ));
+        for kind in KINDS {
+            let t = r.dram.kind(kind);
+            lines.push(format!(
+                "{} dram {:?} reads={} read_bytes={} writes={} write_bytes={}",
+                df.label(),
+                kind,
+                t.reads,
+                t.read_bytes,
+                t.writes,
+                t.write_bytes
+            ));
+        }
+        for p in &r.phases {
+            lines.push(format!(
+                "{} phase {} start={} end={} nnz={} dram_bytes={}",
+                df.label(),
+                p.name,
+                p.start_cycle,
+                p.end_cycle,
+                p.nnz,
+                p.dram_bytes
+            ));
+        }
+    }
+    lines
+}
+
+fn assert_golden(got: Vec<String>, want: &[&str]) {
+    if got != want {
+        eprintln!("--- actual fingerprint (paste over the golden constant) ---");
+        for line in &got {
+            eprintln!("    \"{line}\",");
+        }
+        eprintln!("--- end actual fingerprint ---");
+    }
+    let got_refs: Vec<&str> = got.iter().map(String::as_str).collect();
+    assert_eq!(got_refs, want, "timing fingerprint drifted from golden");
+}
+
+/// Scale-free graph (preferential attachment), the shape HyMM's region
+/// tiling is designed around.
+#[test]
+fn timing_golden_preferential_attachment() {
+    let adj = preferential_attachment(48, 160, 7);
+    let x = sparse_features(48, 12, 0.6, 11);
+    let model = GcnModel::two_layer(12, 16, 5, 3);
+    assert_golden(
+        fingerprint(&AcceleratorConfig::default(), &adj, &x, &model),
+        GOLDEN_PA,
+    );
+}
+
+/// Uniform random graph — no hubs, exercises the degree-sorted tiling's
+/// degenerate case.
+#[test]
+fn timing_golden_erdos_renyi() {
+    let adj = erdos_renyi(64, 256, 13);
+    let x = sparse_features(64, 10, 0.8, 17);
+    let model = GcnModel::two_layer(10, 12, 4, 5);
+    assert_golden(
+        fingerprint(&AcceleratorConfig::default(), &adj, &x, &model),
+        GOLDEN_ER,
+    );
+}
+
+/// The default 256 KB DMB never fills on the small fixtures, so the
+/// eviction, dirty-writeback and MSHR-stall paths go unexercised above.
+/// A 2 KB buffer with 4 MSHRs forces all of them.
+#[test]
+fn timing_golden_tiny_dmb_evictions() {
+    let adj = preferential_attachment(48, 160, 7);
+    let x = sparse_features(48, 12, 0.6, 11);
+    let model = GcnModel::two_layer(12, 16, 5, 3);
+    let mut config = AcceleratorConfig::default();
+    config.mem.dmb_bytes = 2048;
+    config.mem.mshr_count = 4;
+    let got = fingerprint(&config, &adj, &x, &model);
+    assert!(
+        got.iter()
+            .any(|l| l.contains("evictions=") && !l.contains("evictions=0 ")),
+        "tiny-DMB fixture no longer evicts; goldens lost coverage"
+    );
+    assert_golden(got, GOLDEN_TINY);
+}
+
+const GOLDEN_PA: &[&str] = &[
+    "OP cycles=3496 mac=1236 merge=1236 evictions=0 dirty=0",
+    "OP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "OP dram SparseX reads=66 read_bytes=4224 writes=0 write_bytes=0",
+    "OP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "OP dram Combination reads=96 read_bytes=6144 writes=96 write_bytes=6144",
+    "OP dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "OP phase combination/op start=0 end=716 nnz=230 dram_bytes=5760",
+    "OP phase aggregation/op start=716 end=1708 nnz=368 dram_bytes=9344",
+    "OP phase combination/op start=0 end=796 nnz=270 dram_bytes=6400",
+    "OP phase aggregation/op start=796 end=1788 nnz=368 dram_bytes=9344",
+    "CWP cycles=17231 mac=1752 merge=0 evictions=0 dirty=0",
+    "CWP dram SparseA reads=1050 read_bytes=67200 writes=0 write_bytes=0",
+    "CWP dram SparseX reads=660 read_bytes=42240 writes=0 write_bytes=0",
+    "CWP dram Weight reads=21 read_bytes=1344 writes=0 write_bytes=0",
+    "CWP dram Combination reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP dram Output reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP phase combination/cwp start=0 end=5392 nnz=3680 dram_bytes=34816",
+    "CWP phase aggregation/cwp start=5392 end=12976 nnz=5888 dram_bytes=54272",
+    "CWP phase combination/cwp start=0 end=1885 nnz=1350 dram_bytes=12800",
+    "CWP phase aggregation/cwp start=1885 end=4255 nnz=1840 dram_bytes=16960",
+    "RWP cycles=1933 mac=1236 merge=0 evictions=0 dirty=0",
+    "RWP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "RWP dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "RWP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "RWP dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "RWP dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "RWP phase combination/rwp start=0 end=452 nnz=230 dram_bytes=2880",
+    "RWP phase aggregation/rwp start=452 end=926 nnz=368 dram_bytes=6272",
+    "RWP phase combination/rwp start=0 end=533 nnz=270 dram_bytes=3456",
+    "RWP phase aggregation/rwp start=533 end=1007 nnz=368 dram_bytes=6272",
+    "HyMM cycles=2197 mac=1236 merge=0 evictions=0 dirty=0",
+    "HyMM dram SparseA reads=108 read_bytes=6912 writes=0 write_bytes=0",
+    "HyMM dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "HyMM dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "HyMM dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "HyMM dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "HyMM phase combination/rwp start=0 end=449 nnz=230 dram_bytes=2880",
+    "HyMM phase aggregation/op-region1 start=449 end=735 nnz=170 dram_bytes=2304",
+    "HyMM phase aggregation/rwp-region23 start=735 end=1039 nnz=198 dram_bytes=4224",
+    "HyMM phase combination/rwp start=0 end=568 nnz=270 dram_bytes=3456",
+    "HyMM phase aggregation/op-region1 start=568 end=854 nnz=170 dram_bytes=2304",
+    "HyMM phase aggregation/rwp-region23 start=854 end=1158 nnz=198 dram_bytes=4224",
+];
+
+const GOLDEN_TINY: &[&str] = &[
+    "OP cycles=47457 mac=1236 merge=1236 evictions=2468 dirty=1236",
+    "OP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "OP dram SparseX reads=66 read_bytes=4224 writes=0 write_bytes=0",
+    "OP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "OP dram Combination reads=596 read_bytes=38144 writes=596 write_bytes=38144",
+    "OP dram Output reads=736 read_bytes=47104 writes=832 write_bytes=53248",
+    "OP phase combination/op start=0 end=7860 nnz=230 dram_bytes=35200",
+    "OP phase aggregation/op start=7860 end=23053 nnz=368 dram_bytes=56448",
+    "OP phase combination/op start=0 end=9211 nnz=270 dram_bytes=40960",
+    "OP phase aggregation/op start=9211 end=24404 nnz=368 dram_bytes=56448",
+    "CWP cycles=17231 mac=1752 merge=0 evictions=0 dirty=0",
+    "CWP dram SparseA reads=1050 read_bytes=67200 writes=0 write_bytes=0",
+    "CWP dram SparseX reads=660 read_bytes=42240 writes=0 write_bytes=0",
+    "CWP dram Weight reads=21 read_bytes=1344 writes=0 write_bytes=0",
+    "CWP dram Combination reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP dram Output reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP phase combination/cwp start=0 end=5392 nnz=3680 dram_bytes=34816",
+    "CWP phase aggregation/cwp start=5392 end=12976 nnz=5888 dram_bytes=54272",
+    "CWP phase combination/cwp start=0 end=1885 nnz=1350 dram_bytes=12800",
+    "CWP phase aggregation/cwp start=1885 end=4255 nnz=1840 dram_bytes=16960",
+    "RWP cycles=14106 mac=1236 merge=0 evictions=200 dirty=0",
+    "RWP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "RWP dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "RWP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "RWP dram Combination reads=236 read_bytes=15104 writes=96 write_bytes=6144",
+    "RWP dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "RWP phase combination/rwp start=0 end=949 nnz=230 dram_bytes=5952",
+    "RWP phase aggregation/rwp start=949 end=6735 nnz=368 dram_bytes=13632",
+    "RWP phase combination/rwp start=0 end=1389 nnz=270 dram_bytes=6528",
+    "RWP phase aggregation/rwp start=1389 end=7371 nnz=368 dram_bytes=14016",
+    "HyMM cycles=10411 mac=1236 merge=0 evictions=188 dirty=0",
+    "HyMM dram SparseA reads=108 read_bytes=6912 writes=0 write_bytes=0",
+    "HyMM dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "HyMM dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "HyMM dram Combination reads=224 read_bytes=14336 writes=96 write_bytes=6144",
+    "HyMM dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "HyMM phase combination/rwp start=0 end=949 nnz=230 dram_bytes=5952",
+    "HyMM phase aggregation/op-region1 start=949 end=1343 nnz=170 dram_bytes=5312",
+    "HyMM phase aggregation/rwp-region23 start=1343 end=4938 nnz=198 dram_bytes=8384",
+    "HyMM phase combination/rwp start=0 end=1484 nnz=270 dram_bytes=6528",
+    "HyMM phase aggregation/op-region1 start=1484 end=1878 nnz=170 dram_bytes=5312",
+    "HyMM phase aggregation/rwp-region23 start=1878 end=5473 nnz=198 dram_bytes=8384",
+];
+
+const GOLDEN_ER: &[&str] = &[
+    "OP cycles=4134 mac=1523 merge=1523 evictions=0 dirty=0",
+    "OP dram SparseA reads=154 read_bytes=9856 writes=0 write_bytes=0",
+    "OP dram SparseX reads=49 read_bytes=3136 writes=0 write_bytes=0",
+    "OP dram Weight reads=20 read_bytes=1280 writes=0 write_bytes=0",
+    "OP dram Combination reads=128 read_bytes=8192 writes=128 write_bytes=8192",
+    "OP dram Output reads=0 read_bytes=0 writes=128 write_bytes=8192",
+    "OP phase combination/op start=0 end=528 nnz=128 dram_bytes=5824",
+    "OP phase aggregation/op start=528 end=1952 nnz=576 dram_bytes=13120",
+    "OP phase combination/op start=0 end=758 nnz=243 dram_bytes=6784",
+    "OP phase aggregation/op start=758 end=2182 nnz=576 dram_bytes=13120",
+    "CWP cycles=15184 mac=1392 merge=0 evictions=0 dirty=0",
+    "CWP dram SparseA reads=1232 read_bytes=78848 writes=0 write_bytes=0",
+    "CWP dram SparseX reads=332 read_bytes=21248 writes=0 write_bytes=0",
+    "CWP dram Weight reads=16 read_bytes=1024 writes=0 write_bytes=0",
+    "CWP dram Combination reads=0 read_bytes=0 writes=64 write_bytes=4096",
+    "CWP dram Output reads=0 read_bytes=0 writes=64 write_bytes=4096",
+    "CWP phase combination/cwp start=0 end=2832 nnz=1536 dram_bytes=16896",
+    "CWP phase aggregation/cwp start=2832 end=11028 nnz=6912 dram_bytes=62208",
+    "CWP phase combination/cwp start=0 end=1424 nnz=972 dram_bytes=9472",
+    "CWP phase aggregation/cwp start=1424 end=4156 nnz=2304 dram_bytes=20736",
+    "RWP cycles=2246 mac=1523 merge=0 evictions=0 dirty=0",
+    "RWP dram SparseA reads=154 read_bytes=9856 writes=0 write_bytes=0",
+    "RWP dram SparseX reads=57 read_bytes=3648 writes=0 write_bytes=0",
+    "RWP dram Weight reads=20 read_bytes=1280 writes=0 write_bytes=0",
+    "RWP dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "RWP dram Output reads=0 read_bytes=0 writes=128 write_bytes=8192",
+    "RWP phase combination/rwp start=0 end=347 nnz=128 dram_bytes=1984",
+    "RWP phase aggregation/rwp start=347 end=1029 nnz=576 dram_bytes=9024",
+    "RWP phase combination/rwp start=0 end=535 nnz=243 dram_bytes=2944",
+    "RWP phase aggregation/rwp start=535 end=1217 nnz=576 dram_bytes=9024",
+    "HyMM cycles=2447 mac=1523 merge=0 evictions=0 dirty=0",
+    "HyMM dram SparseA reads=164 read_bytes=10496 writes=0 write_bytes=0",
+    "HyMM dram SparseX reads=57 read_bytes=3648 writes=0 write_bytes=0",
+    "HyMM dram Weight reads=20 read_bytes=1280 writes=0 write_bytes=0",
+    "HyMM dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "HyMM dram Output reads=0 read_bytes=0 writes=128 write_bytes=8192",
+    "HyMM phase combination/rwp start=0 end=344 nnz=128 dram_bytes=1984",
+    "HyMM phase aggregation/op-region1 start=344 end=630 nnz=167 dram_bytes=2496",
+    "HyMM phase aggregation/rwp-region23 start=630 end=1145 nnz=409 dram_bytes=6848",
+    "HyMM phase combination/rwp start=0 end=501 nnz=243 dram_bytes=2944",
+    "HyMM phase aggregation/op-region1 start=501 end=787 nnz=167 dram_bytes=2496",
+    "HyMM phase aggregation/rwp-region23 start=787 end=1302 nnz=409 dram_bytes=6848",
+];

@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and `black_box`, so
+//! `cargo bench` runs without crates.io access. Statistics are a plain
+//! mean over `sample_size` timed iterations after one warm-up iteration —
+//! good enough for relative comparisons in CI logs, with none of
+//! criterion's outlier analysis.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+pub fn black_box<T>(v: T) -> T {
+    hint::black_box(v)
+}
+
+/// Benchmark identifier: a function name and an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        println!(
+            "{label:<48} {:>12.1} ns/iter (mean of {})",
+            b.last_mean_ns, self.sample_size
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function calling each target with a
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("op", 3).id, "op/3");
+        assert_eq!(BenchmarkId::from_parameter(50).id, "50");
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for `rand_pcg`: the PCG XSL RR 128/64 generator
+//! (`Pcg64`), implementing the vendored [`rand`] traits.
+//!
+//! The permutation function is the real PCG one; seeding expands the
+//! caller's `u64` through SplitMix64 rather than reproducing upstream's
+//! byte-array seeding, so streams are deterministic but not bit-identical
+//! to the upstream crate (no consumer in this workspace relies on that).
+
+use rand::{RngCore, SeedableRng};
+
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// PCG XSL RR 128/64: 128-bit LCG state, 64-bit xorshift-rotate output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg64 {
+    /// Builds a generator from an explicit state and stream selector.
+    pub fn new(state: u128, stream: u128) -> Pcg64 {
+        let increment = (stream << 1) | 1;
+        let mut pcg = Pcg64 {
+            state: state.wrapping_add(increment),
+            increment,
+        };
+        pcg.step();
+        pcg
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(MULTIPLIER)
+            .wrapping_add(self.increment);
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    fn seed_from_u64(seed: u64) -> Pcg64 {
+        let mut sm = seed;
+        let state = (splitmix64(&mut sm) as u128) << 64 | splitmix64(&mut sm) as u128;
+        let stream = (splitmix64(&mut sm) as u128) << 64 | splitmix64(&mut sm) as u128;
+        Pcg64::new(state, stream)
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_sampling_covers_support() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "512 draws missed a bucket of 8");
+    }
+}
