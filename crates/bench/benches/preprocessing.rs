@@ -24,7 +24,9 @@ fn bench_normalisation(c: &mut Criterion) {
     let mut group = c.benchmark_group("gcn_normalize");
     group.sample_size(10);
     let w = Dataset::AmazonPhoto.synthesize_scaled(4_000);
-    group.bench_function("AP_4k", |b| b.iter(|| gcn_normalize(&w.adjacency)));
+    group.bench_function("AP_4k", |b| {
+        b.iter(|| gcn_normalize(&w.adjacency).expect("square"))
+    });
     group.finish();
 }
 

@@ -1,6 +1,30 @@
 //! Minimal command-line conventions shared by every experiment binary.
 
 use hymm_graph::datasets::Dataset;
+use std::fmt;
+
+/// Usage string printed by `--help` and alongside argument errors.
+pub const USAGE: &str =
+    "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] [--audit]";
+
+/// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
+/// with status 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(String);
+
+impl ArgError {
+    fn new(msg: impl Into<String>) -> ArgError {
+        ArgError(msg.into())
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Parsed experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,6 +35,9 @@ pub struct BenchArgs {
     pub datasets: Vec<Dataset>,
     /// Worker threads for the suite runner (`0` = auto-detect, `1` = serial).
     pub threads: usize,
+    /// Enable the simulator's runtime invariant audit (see
+    /// `hymm_core::audit`); any violation aborts the run.
+    pub audit: bool,
 }
 
 impl Default for BenchArgs {
@@ -19,58 +46,81 @@ impl Default for BenchArgs {
             scale: None,
             datasets: Dataset::ALL.to_vec(),
             threads: 0,
+            audit: false,
         }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--scale N`, `--datasets CR,AP,...`, and `--threads N` from an
-    /// iterator of arguments (typically `std::env::args().skip(1)`).
+    /// Parses `--scale N`, `--datasets CR,AP,...`, `--threads N` and
+    /// `--audit` from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments — these binaries
-    /// are developer tools, not library API.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> BenchArgs {
+    /// Returns an [`ArgError`] describing the first malformed argument;
+    /// nothing panics and no partial state escapes.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, ArgError> {
         let mut out = BenchArgs::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = it.next().expect("--scale needs a node count");
-                    out.scale = Some(v.parse().expect("--scale needs an integer"));
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--scale needs a node count"))?;
+                    let n: usize = v.parse().map_err(|_| {
+                        ArgError::new(format!("--scale needs an integer, got {v:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--scale must be at least 1"));
+                    }
+                    out.scale = Some(n);
                 }
                 "--datasets" => {
-                    let v = it.next().expect("--datasets needs a CR,AP,... list");
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--datasets needs a CR,AP,... list"))?;
                     out.datasets = v
                         .split(',')
                         .map(|abbr| {
                             Dataset::ALL
                                 .into_iter()
                                 .find(|d| d.abbrev().eq_ignore_ascii_case(abbr.trim()))
-                                .unwrap_or_else(|| panic!("unknown dataset {abbr:?}"))
+                                .ok_or_else(|| ArgError::new(format!("unknown dataset {abbr:?}")))
                         })
-                        .collect();
+                        .collect::<Result<Vec<Dataset>, ArgError>>()?;
                 }
                 "--threads" => {
-                    let v = it.next().expect("--threads needs a worker count");
-                    out.threads = v.parse().expect("--threads needs an integer");
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--threads needs a worker count"))?;
+                    out.threads = v.parse().map_err(|_| {
+                        ArgError::new(format!("--threads needs an integer, got {v:?}"))
+                    })?;
                 }
+                "--audit" => out.audit = true,
                 "--help" | "-h" => {
-                    println!(
-                        "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N]"
-                    );
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument {other:?} (try --help)"),
+                other => {
+                    return Err(ArgError::new(format!(
+                        "unknown argument {other:?} (try --help)"
+                    )))
+                }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Parses from the process arguments.
+    /// Parses from the process arguments; on a malformed command line prints
+    /// the error plus [`USAGE`] to stderr and exits with status 2.
     pub fn from_env() -> BenchArgs {
-        BenchArgs::parse(std::env::args().skip(1))
+        match BenchArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => exit_usage(&e),
+        }
     }
 
     /// Resolved worker count: `--threads N`, with `0` (the default) mapped
@@ -84,57 +134,89 @@ impl BenchArgs {
     }
 }
 
+/// Prints an argument error plus [`USAGE`] to stderr and exits with
+/// status 2 — shared by every binary's entry point.
+pub fn exit_usage(e: &ArgError) -> ! {
+    eprintln!("error: {e}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(items: &[&str]) -> BenchArgs {
+    fn parse(items: &[&str]) -> Result<BenchArgs, ArgError> {
         BenchArgs::parse(items.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_to_full_scale_all_datasets() {
-        let a = parse(&[]);
+        let a = parse(&[]).unwrap();
         assert_eq!(a.scale, None);
         assert_eq!(a.datasets.len(), 7);
+        assert!(!a.audit);
     }
 
     #[test]
     fn parses_scale() {
-        assert_eq!(parse(&["--scale", "500"]).scale, Some(500));
+        assert_eq!(parse(&["--scale", "500"]).unwrap().scale, Some(500));
     }
 
     #[test]
     fn parses_threads() {
-        assert_eq!(parse(&["--threads", "4"]).threads, 4);
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, 4);
     }
 
     #[test]
     fn threads_defaults_to_auto() {
-        assert_eq!(parse(&[]).threads, 0);
+        assert_eq!(parse(&[]).unwrap().threads, 0);
     }
 
     #[test]
-    #[should_panic(expected = "--threads needs an integer")]
+    fn parses_audit_flag() {
+        assert!(parse(&["--audit"]).unwrap().audit);
+    }
+
+    #[test]
     fn rejects_non_numeric_threads() {
-        let _ = parse(&["--threads", "many"]);
+        let e = parse(&["--threads", "many"]).unwrap_err();
+        assert!(e.to_string().contains("--threads needs an integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_scale() {
+        let e = parse(&["--scale", "big"]).unwrap_err();
+        assert!(e.to_string().contains("--scale needs an integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_zero_scale() {
+        let e = parse(&["--scale", "0"]).unwrap_err();
+        assert!(e.to_string().contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_flag_value() {
+        let e = parse(&["--scale"]).unwrap_err();
+        assert!(e.to_string().contains("--scale needs a node count"), "{e}");
     }
 
     #[test]
     fn parses_dataset_filter() {
-        let a = parse(&["--datasets", "cr,AP"]);
+        let a = parse(&["--datasets", "cr,AP"]).unwrap();
         assert_eq!(a.datasets, vec![Dataset::Cora, Dataset::AmazonPhoto]);
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset")]
     fn rejects_unknown_dataset() {
-        let _ = parse(&["--datasets", "XX"]);
+        let e = parse(&["--datasets", "XX"]).unwrap_err();
+        assert!(e.to_string().contains("unknown dataset"), "{e}");
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
     fn rejects_unknown_flag() {
-        let _ = parse(&["--frobnicate"]);
+        let e = parse(&["--frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown argument"), "{e}");
     }
 }

@@ -11,7 +11,10 @@ fn main() {
         raw.remove(i);
         csv_dir = Some(std::path::PathBuf::from(raw.remove(i)));
     }
-    let args = BenchArgs::parse(raw);
+    let args = match BenchArgs::parse(raw) {
+        Ok(args) => args,
+        Err(e) => hymm_bench::args::exit_usage(&e),
+    };
     let results = runner::run_suite(&args);
     if let Some(dir) = &csv_dir {
         export::write_csvs(&results, dir).expect("csv export");

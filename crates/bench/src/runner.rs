@@ -94,7 +94,7 @@ struct PreparedDataset {
 
 /// Synthesises one dataset and runs its preprocessing analytics (Table II
 /// sorting cost, Fig. 6 storage, Fig. 2b density map).
-fn prepare_dataset(dataset: Dataset, scale: Option<usize>) -> PreparedDataset {
+fn prepare_dataset(dataset: Dataset, scale: Option<usize>, audit: bool) -> PreparedDataset {
     let spec = match scale {
         Some(n) => dataset.spec().scaled(n),
         None => dataset.spec(),
@@ -103,7 +103,10 @@ fn prepare_dataset(dataset: Dataset, scale: Option<usize>) -> PreparedDataset {
     let degrees = DegreeDistribution::measure(&workload.adjacency);
 
     let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
-    let config = AcceleratorConfig::default();
+    let config = AcceleratorConfig {
+        audit,
+        ..AcceleratorConfig::default()
+    };
     let tiling = TilingConfig {
         threshold_fraction: config.tiling_fraction,
         dmb_capacity_rows: Some(config.dmb_capacity_rows(spec.layer_dim)),
@@ -170,7 +173,7 @@ fn assemble(prep: PreparedDataset, runs: Vec<DataflowRun>) -> DatasetResults {
 /// Runs the full suite for one dataset: synthesis, preprocessing analytics,
 /// and all four simulation variants, serially on the calling thread.
 pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
-    let prep = prepare_dataset(dataset, scale);
+    let prep = prepare_dataset(dataset, scale, false);
     let runs = (0..VARIANTS_PER_DATASET)
         .map(|v| simulate_variant(&prep, v))
         .collect();
@@ -191,7 +194,7 @@ pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
         eprintln!("[hymm-bench] simulating {} ...", d.name());
     }
     let preps = pool::map_indexed(threads, &args.datasets, |_, &d| {
-        prepare_dataset(d, args.scale)
+        prepare_dataset(d, args.scale, args.audit)
     });
 
     // One job per (dataset, variant): dataset-major, so chunking the flat
@@ -239,6 +242,7 @@ mod tests {
             scale: Some(150),
             datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
             threads,
+            audit: true,
         };
         let serial = run_suite(&mk(1));
         let parallel = run_suite(&mk(4));

@@ -85,6 +85,10 @@ pub struct AcceleratorConfig {
     /// Useful fraction of MAC lanes per cycle for the column-wise-product
     /// extension (models AWB-GCN's row imbalance before rebalancing).
     pub cwp_lane_efficiency: f64,
+    /// Run the `crate::audit` invariant checks at every phase boundary and
+    /// at report time, panicking on any violation. Observation-only: timing
+    /// and statistics are identical with the flag on or off.
+    pub audit: bool,
 }
 
 impl Default for AcceleratorConfig {
@@ -99,6 +103,7 @@ impl Default for AcceleratorConfig {
             tiling_fraction: 0.20,
             lsq_forwarding: true,
             cwp_lane_efficiency: 0.8,
+            audit: false,
         }
     }
 }

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod area;
+pub mod audit;
 pub mod config;
 pub mod energy;
 pub mod engine;

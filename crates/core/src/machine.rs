@@ -112,16 +112,23 @@ impl Machine {
         });
         self.hit_snapshot = hits_now;
         self.dram_snapshot = dram_now;
+        if self.config.audit {
+            crate::audit::enforce(name, &crate::audit::check_machine(self));
+        }
     }
 
     /// Flushes dirty output lines and snapshots every counter into a
     /// report; `total_cycles` is the caller's end-of-execution cycle.
     pub fn into_report(mut self, total_cycles: u64) -> SimReport {
+        let audit = self.config.audit;
+        if audit {
+            crate::audit::enforce("into_report", &crate::audit::check_machine(&self));
+        }
         // Final writeback of any dirty output still resident.
         let flushed = self
             .dmb
             .flush_kind(total_cycles, MatrixKind::Output, &mut self.dram);
-        SimReport {
+        let report = SimReport {
             cycles: flushed.max(total_cycles),
             mac_cycles: self.pe.mac_cycles(),
             merge_cycles: self.pe.merge_cycles(),
@@ -133,7 +140,11 @@ impl Machine {
             lsq: self.lsq.stats(),
             partials: self.partials,
             phases: self.phases,
+        };
+        if audit {
+            crate::audit::enforce("report", &crate::audit::check_report(&report));
         }
+        report
     }
 }
 

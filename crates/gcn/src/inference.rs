@@ -66,7 +66,7 @@ pub fn run_inference(
     features: &Coo,
     model: &GcnModel,
 ) -> Result<InferenceOutcome, SparseError> {
-    let a_hat = gcn_normalize(adj);
+    let a_hat = gcn_normalize(adj)?;
     let mut x = features.clone();
     let mut output = None;
     let mut report = SimReport::empty();

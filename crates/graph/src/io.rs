@@ -377,7 +377,7 @@ mod tests {
         // adjacency is usable downstream (square, symmetric).
         let text = "0 1\n1 2\n2 0\n";
         let adj = read_edge_list(text.as_bytes(), true).unwrap();
-        let norm = crate::normalize::gcn_normalize(&adj);
+        let norm = crate::normalize::gcn_normalize(&adj).unwrap();
         assert_eq!(norm.rows(), 3);
         assert_eq!(norm.nnz(), 6 + 3); // edges + self-loops
     }

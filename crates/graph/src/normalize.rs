@@ -7,7 +7,7 @@
 //! changes values but not structure (beyond the added diagonal), so the
 //! accelerator's memory behaviour is driven by the same non-zero pattern.
 
-use hymm_sparse::Coo;
+use hymm_sparse::{Coo, SparseError};
 
 /// Computes `Â = D̃^-1/2 (A + I) D̃^-1/2` from a (possibly weighted)
 /// adjacency matrix, where `D̃` is the degree matrix of `A + I`.
@@ -15,11 +15,16 @@ use hymm_sparse::Coo;
 /// Duplicate triplets in the input are coalesced (summed) first. The result
 /// has exactly the input's structural non-zeros plus a full diagonal.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `adj` is not square.
-pub fn gcn_normalize(adj: &Coo) -> Coo {
-    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+/// Returns [`SparseError::ShapeMismatch`] if `adj` is not square.
+pub fn gcn_normalize(adj: &Coo) -> Result<Coo, SparseError> {
+    if adj.rows() != adj.cols() {
+        return Err(SparseError::ShapeMismatch {
+            left: (adj.rows(), adj.cols()),
+            right: (adj.cols(), adj.rows()),
+        });
+    }
     let n = adj.rows();
 
     // Coalesce duplicates.
@@ -57,12 +62,12 @@ pub fn gcn_normalize(adj: &Coo) -> Coo {
         .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
         .collect();
 
-    let mut out = Coo::new(n, n).expect("square non-empty");
+    let mut out = Coo::new(n, n)?;
     for (r, c, v) in coalesced {
         let nv = (v as f64 * inv_sqrt[r] * inv_sqrt[c]) as f32;
-        out.push(r, c, nv).expect("in bounds");
+        out.push(r, c, nv)?;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -73,7 +78,7 @@ mod tests {
     #[test]
     fn adds_self_loops() {
         let adj = Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
-        let norm = gcn_normalize(&adj);
+        let norm = gcn_normalize(&adj).unwrap();
         let m = Csr::from_coo(&norm);
         for i in 0..3 {
             assert!(m.get(i, i) > 0.0, "missing self-loop at {i}");
@@ -83,7 +88,7 @@ mod tests {
     #[test]
     fn isolated_node_gets_unit_diagonal() {
         let adj = Coo::from_triplets(2, 2, [(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
-        let norm = gcn_normalize(&adj);
+        let norm = gcn_normalize(&adj).unwrap();
         let m = Csr::from_coo(&norm);
         // node degrees with self-loop: 2 and 2 → off-diagonal = 1/2
         assert!((m.get(0, 1) - 0.5).abs() < 1e-6);
@@ -109,7 +114,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let m = Csr::from_coo(&gcn_normalize(&adj));
+        let m = Csr::from_coo(&gcn_normalize(&adj).unwrap());
         for r in 0..4 {
             let (_, vals) = m.row(r);
             let sum: f32 = vals.iter().sum();
@@ -121,7 +126,7 @@ mod tests {
     fn result_is_symmetric_for_symmetric_input() {
         let adj =
             Coo::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]).unwrap();
-        let m = Csr::from_coo(&gcn_normalize(&adj));
+        let m = Csr::from_coo(&gcn_normalize(&adj).unwrap());
         for r in 0..3 {
             for c in 0..3 {
                 assert!((m.get(r, c) - m.get(c, r)).abs() < 1e-6);
@@ -132,14 +137,38 @@ mod tests {
     #[test]
     fn structure_is_input_plus_diagonal() {
         let adj = Coo::from_triplets(3, 3, [(0, 2, 1.0), (2, 0, 1.0)]).unwrap();
-        let norm = gcn_normalize(&adj);
+        let norm = gcn_normalize(&adj).unwrap();
         assert_eq!(norm.nnz(), 2 + 3);
     }
 
     #[test]
     fn existing_diagonal_is_merged_not_duplicated() {
         let adj = Coo::from_triplets(2, 2, [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0)]).unwrap();
-        let norm = gcn_normalize(&adj);
+        let norm = gcn_normalize(&adj).unwrap();
         assert_eq!(norm.nnz(), 4); // (0,0), (0,1), (1,0), (1,1)
+    }
+
+    #[test]
+    fn non_square_is_an_error_not_a_panic() {
+        let adj = Coo::from_triplets(2, 3, [(0, 2, 1.0)]).unwrap();
+        assert!(matches!(
+            gcn_normalize(&adj),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_isolated_nodes_normalize_without_nan_or_inf() {
+        // Zero off-diagonal degree everywhere: every D̃ entry is exactly 1
+        // (the added self-loop), so Â must be the identity — and in
+        // particular free of NaN/inf from any 1/sqrt(0).
+        let adj = Coo::new(16, 16).unwrap();
+        let norm = gcn_normalize(&adj).unwrap();
+        assert_eq!(norm.nnz(), 16);
+        for (r, c, v) in norm.iter() {
+            assert!(v.is_finite(), "non-finite value {v} at ({r}, {c})");
+            assert_eq!(r, c);
+            assert!((v - 1.0).abs() < 1e-6);
+        }
     }
 }

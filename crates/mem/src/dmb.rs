@@ -155,6 +155,7 @@ impl LineTable {
             self.slots[idx as usize].lru = tick;
             let class = self.slots[idx as usize].addr.kind.evict_class() as usize;
             self.push_newest(idx, class);
+            self.check_after_mutation();
         }
     }
 
@@ -187,6 +188,7 @@ impl LineTable {
         self.buckets[b] = idx;
         self.len += 1;
         self.push_newest(idx, addr.kind.evict_class() as usize);
+        self.check_after_mutation();
     }
 
     /// Removes `addr` and returns its state; backward-shift deletion keeps
@@ -218,6 +220,7 @@ impl LineTable {
             }
         }
         self.buckets[hole] = NIL;
+        self.check_after_mutation();
         Some(removed)
     }
 
@@ -238,6 +241,82 @@ impl LineTable {
                 idx = self.slots[idx as usize].next;
             }
         }
+    }
+
+    /// O(table) structural self-check, compiled in only with the `audit`
+    /// feature (and in tests). Verifies the three redundant views of the
+    /// table — bucket array, arena free list, intrusive LRU lists — agree:
+    /// every probe chain is contiguous from its home bucket (the property
+    /// backward-shift deletion must preserve), no address appears twice,
+    /// occupancy accounting matches, and each class list is a well-formed
+    /// doubly-linked chain covering exactly the resident lines of its class.
+    #[cfg(any(test, feature = "audit"))]
+    fn check(&self) {
+        let mut seen = std::collections::HashSet::new();
+        let mut live = 0usize;
+        for (j, &r) in self.buckets.iter().enumerate() {
+            if r == NIL {
+                continue;
+            }
+            live += 1;
+            let slot = &self.slots[r as usize];
+            assert!(
+                seen.insert(slot.addr),
+                "audit: duplicate resident address {:?}",
+                slot.addr
+            );
+            let mut b = self.home_bucket(slot.addr);
+            while b != j {
+                assert_ne!(
+                    self.buckets[b],
+                    NIL,
+                    "audit: probe chain for {:?} broken at bucket {b} (home \
+                     {}, stored at {j})",
+                    slot.addr,
+                    self.home_bucket(slot.addr)
+                );
+                b = (b + 1) & self.mask;
+            }
+        }
+        assert_eq!(live, self.len, "audit: occupied buckets vs len");
+        assert_eq!(
+            self.slots.len() - self.free.len(),
+            self.len,
+            "audit: arena minus free list vs len"
+        );
+        let mut listed = 0usize;
+        for class in 0..3 {
+            let mut idx = self.heads[class];
+            let mut prev = NIL;
+            while idx != NIL {
+                let slot = &self.slots[idx as usize];
+                assert_eq!(slot.prev, prev, "audit: prev link in class {class}");
+                assert_eq!(
+                    slot.addr.kind.evict_class() as usize,
+                    class,
+                    "audit: {:?} linked into wrong class list",
+                    slot.addr
+                );
+                assert!(
+                    seen.contains(&slot.addr),
+                    "audit: listed line {:?} missing from buckets",
+                    slot.addr
+                );
+                listed += 1;
+                assert!(listed <= self.len, "audit: cycle in class {class} list");
+                prev = idx;
+                idx = slot.next;
+            }
+            assert_eq!(self.tails[class], prev, "audit: tail of class {class}");
+        }
+        assert_eq!(listed, self.len, "audit: class lists cover residents");
+    }
+
+    /// Mutation epilogue: a no-op unless the `audit` feature is on.
+    #[inline]
+    fn check_after_mutation(&self) {
+        #[cfg(feature = "audit")]
+        self.check();
     }
 }
 
@@ -302,6 +381,12 @@ pub struct Dmb {
     /// Reused by `flush_kind`/`invalidate_kind` so drains don't allocate.
     drain_scratch: Vec<LineAddr>,
     hits: HitStats,
+    /// Lines ever inserted (fills + write allocations). Together with
+    /// `line_drops` this closes the occupancy conservation law the audit
+    /// layer checks: `line_fills == evictions + line_drops + occupancy`.
+    line_fills: u64,
+    /// Lines removed by `flush_kind`/`invalidate_kind` (not evictions).
+    line_drops: u64,
     evictions: u64,
     dirty_evictions: u64,
     mshr_merges: u64,
@@ -336,6 +421,8 @@ impl Dmb {
             write_port_free: 0,
             drain_scratch: Vec::new(),
             hits: HitStats::default(),
+            line_fills: 0,
+            line_drops: 0,
             evictions: 0,
             dirty_evictions: 0,
             mshr_merges: 0,
@@ -396,6 +483,7 @@ impl Dmb {
         self.lru_tick += 1;
         let tick = self.lru_tick;
         self.lines.insert(addr, dirty, ready_at, tick);
+        self.line_fills += 1;
     }
 
     /// Evicts one line following class priority then LRU (or plain global
@@ -569,6 +657,7 @@ impl Dmb {
         let mut done = now;
         for &addr in &sorted {
             let line = self.lines.remove(addr).expect("listed line is resident");
+            self.line_drops += 1;
             if line.dirty {
                 // Flushes walk line indices in order: streaming writeback.
                 done = done.max(dram.write(done, kind, self.line_bytes, AccessPattern::Sequential));
@@ -584,6 +673,7 @@ impl Dmb {
         let addrs = std::mem::take(&mut self.drain_scratch);
         for &addr in &addrs {
             self.lines.remove(addr).expect("listed line is resident");
+            self.line_drops += 1;
         }
         self.drain_scratch = addrs;
     }
@@ -621,6 +711,18 @@ impl Dmb {
     /// Hit/miss counters.
     pub fn hit_stats(&self) -> HitStats {
         self.hits
+    }
+
+    /// Lines ever inserted into the buffer (read fills + write allocations).
+    pub fn line_fills(&self) -> u64 {
+        self.line_fills
+    }
+
+    /// Lines removed by [`Self::flush_kind`]/[`Self::invalidate_kind`]
+    /// rather than evicted. `line_fills() == evictions() + line_drops() +
+    /// occupancy()` at all times; the audit layer enforces it.
+    pub fn line_drops(&self) -> u64 {
+        self.line_drops
     }
 
     /// Total evictions (dirty or clean).
@@ -997,6 +1099,171 @@ mod tests {
                     (i + round) % 2 == 0,
                     "round {round} key {i}"
                 );
+            }
+        }
+    }
+
+    /// Occupancy conservation: every line that ever entered the buffer is
+    /// accounted for as evicted, dropped (flush/invalidate) or resident.
+    #[test]
+    fn fills_balance_evictions_drops_and_occupancy() {
+        let cfg = small_config(4);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        for i in 0..12u64 {
+            now = dmb
+                .read(
+                    now,
+                    addr(MatrixKind::Combination, i),
+                    &mut dram,
+                    AccessPattern::Random,
+                )
+                .ready;
+            dmb.write(
+                now,
+                addr(MatrixKind::Output, i % 5),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
+        }
+        dmb.flush_kind(now, MatrixKind::Output, &mut dram);
+        dmb.invalidate_kind(MatrixKind::Combination);
+        assert!(dmb.line_fills() > 0);
+        assert_eq!(
+            dmb.line_fills(),
+            dmb.evictions() + dmb.line_drops() + dmb.occupancy() as u64
+        );
+    }
+
+    /// Backward-shift deletion with a probe chain that wraps past the end of
+    /// the bucket array: keys homing at the last bucket spill into buckets
+    /// 0, 1, ... and removing from the middle of the chain must pull the
+    /// wrapped entries back across the boundary (the `wrapping_sub` distance
+    /// comparisons in `remove` are only exercised here). Interleaves removes
+    /// with fresh inserts on the same home bucket to churn the chain.
+    #[test]
+    fn backward_shift_deletion_handles_wraparound() {
+        let mut table = LineTable::with_capacity(8); // 16 buckets
+        let last = table.buckets.len() - 1;
+        // Brute-force line indices whose home bucket is the last one.
+        let same_home: Vec<LineAddr> = (0..10_000u64)
+            .map(|i| addr(MatrixKind::Combination, i))
+            .filter(|&a| table.home_bucket(a) == last)
+            .take(8)
+            .collect();
+        assert_eq!(same_home.len(), 8, "need 8 colliding keys for the test");
+
+        let mut tick = 0u64;
+        let mut resident: Vec<LineAddr> = Vec::new();
+        // Seed a chain of 4: occupies buckets {last, 0, 1, 2}.
+        for &k in &same_home[..4] {
+            tick += 1;
+            table.insert(k, false, 0, tick);
+            resident.push(k);
+        }
+        // Churn: remove from alternating ends of the chain, insert the next
+        // colliding key, and cross-check the whole table each step.
+        for (round, &fresh) in same_home[4..].iter().enumerate() {
+            let victim = if round % 2 == 0 {
+                resident.remove(0) // head of chain: sits at the last bucket
+            } else {
+                resident.pop().unwrap() // tail: sits past the wraparound
+            };
+            assert!(table.remove(victim).is_some(), "round {round}");
+            table.check();
+            tick += 1;
+            table.insert(fresh, false, 0, tick);
+            resident.push(fresh);
+            table.check();
+            for &k in &resident {
+                assert!(table.get(k).is_some(), "round {round} lost {k:?}");
+            }
+            assert!(table.get(victim).is_none(), "round {round}");
+        }
+        // Drain completely through the wrapped chain.
+        for &k in &resident {
+            assert!(table.remove(k).is_some());
+            table.check();
+        }
+        assert_eq!(table.len, 0);
+    }
+
+    /// Model-based property harness: drives the open-addressed line table
+    /// through randomized insert/touch/remove sequences and cross-checks
+    /// membership, occupancy and full per-class LRU order against a naive
+    /// `HashMap` + `Vec` reference model after every operation.
+    #[test]
+    fn line_table_matches_reference_model_over_randomized_sequences() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+
+        const SEQUENCES: u64 = 1200;
+        const KINDS: [MatrixKind; 3] = [
+            MatrixKind::Weight,
+            MatrixKind::Combination,
+            MatrixKind::Output,
+        ];
+
+        for seq in 0..SEQUENCES {
+            let mut rng = rand_pcg::Pcg64::seed_from_u64(0xD1FF_B0A7 ^ seq);
+            let mut table = LineTable::with_capacity(8);
+            let mut member: HashMap<LineAddr, bool> = HashMap::new();
+            // Reference recency order per class, oldest first.
+            let mut order: [Vec<LineAddr>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut tick = 0u64;
+            // Small index spaces force collisions and wraparound chains.
+            let index_space = 1 + seq % 41;
+            let steps = 30 + (seq % 3) * 10;
+            for step in 0..steps {
+                let a = addr(
+                    KINDS[rng.gen_range(0..3usize)],
+                    rng.gen_range(0..index_space),
+                );
+                let class = a.kind.evict_class() as usize;
+                match rng.gen_range(0..4u32) {
+                    0 | 1 => {
+                        // Insert-if-absent with a random dirty bit.
+                        if table.get(a).is_none() {
+                            tick += 1;
+                            table.insert(a, rng.gen_bool(0.5), tick, tick);
+                            member.insert(a, true);
+                            order[class].push(a);
+                        }
+                    }
+                    2 => {
+                        tick += 1;
+                        table.touch(a, tick);
+                        if member.get(&a).copied().unwrap_or(false) {
+                            order[class].retain(|&x| x != a);
+                            order[class].push(a);
+                        }
+                    }
+                    _ => {
+                        let got = table.remove(a).is_some();
+                        let want = member.remove(&a).is_some();
+                        assert_eq!(got, want, "seq {seq} step {step} remove {a:?}");
+                        if want {
+                            order[class].retain(|&x| x != a);
+                        }
+                    }
+                }
+                table.check();
+                assert_eq!(table.len, member.len(), "seq {seq} step {step}");
+            }
+            // Final deep comparison: membership and exact LRU order.
+            for &a in member.keys() {
+                assert!(table.get(a).is_some(), "seq {seq} model has {a:?}");
+            }
+            for (class, expect) in order.iter().enumerate() {
+                let mut walked = Vec::new();
+                let mut idx = table.heads[class];
+                while idx != NIL {
+                    walked.push(table.slots[idx as usize].addr);
+                    idx = table.slots[idx as usize].next;
+                }
+                assert_eq!(&walked, expect, "seq {seq} class {class} LRU order");
             }
         }
     }

@@ -28,9 +28,17 @@ impl Traffic {
 }
 
 /// Per-matrix-kind traffic table (the paper's Fig. 11 data).
+///
+/// The grand total is tracked in its own counter, updated alongside the
+/// per-kind entries, rather than derived by summation on demand. That
+/// redundancy is deliberate: the audit layer compares [`Self::total`]
+/// against [`Self::per_kind_sum`], which catches kind-indexing bugs (a
+/// request booked under the wrong kind still sums correctly, but a request
+/// dropped from or double-counted in the table does not).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     per_kind: [Traffic; 5],
+    total: Traffic,
 }
 
 impl TrafficStats {
@@ -44,6 +52,8 @@ impl TrafficStats {
         let t = &mut self.per_kind[kind.index()];
         t.reads += 1;
         t.read_bytes += bytes;
+        self.total.reads += 1;
+        self.total.read_bytes += bytes;
     }
 
     /// Records a write of `bytes` for `kind`.
@@ -51,6 +61,8 @@ impl TrafficStats {
         let t = &mut self.per_kind[kind.index()];
         t.writes += 1;
         t.write_bytes += bytes;
+        self.total.writes += 1;
+        self.total.write_bytes += bytes;
     }
 
     /// Counters for one kind.
@@ -58,8 +70,15 @@ impl TrafficStats {
         self.per_kind[kind.index()]
     }
 
-    /// Sum over all kinds.
+    /// Grand total over all kinds, tracked independently of the per-kind
+    /// table (see the type docs).
     pub fn total(&self) -> Traffic {
+        self.total
+    }
+
+    /// Sum of the per-kind entries. Must equal [`Self::total`]; the audit
+    /// layer checks exactly that.
+    pub fn per_kind_sum(&self) -> Traffic {
         let mut acc = Traffic::default();
         for t in &self.per_kind {
             acc.reads += t.reads;
@@ -80,6 +99,10 @@ impl TrafficStats {
             t.writes += o.writes;
             t.write_bytes += o.write_bytes;
         }
+        self.total.reads += other.total.reads;
+        self.total.read_bytes += other.total.read_bytes;
+        self.total.writes += other.total.writes;
+        self.total.write_bytes += other.total.write_bytes;
     }
 }
 
@@ -154,6 +177,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.kind(MatrixKind::SparseA).reads, 2);
         assert_eq!(a.kind(MatrixKind::Combination).write_bytes, 128);
+    }
+
+    #[test]
+    fn tracked_total_matches_per_kind_sum() {
+        let mut s = TrafficStats::new();
+        for (i, k) in MatrixKind::ALL.into_iter().enumerate() {
+            s.record_read(k, 64 * (i as u64 + 1));
+            s.record_write(k, 32);
+        }
+        let mut other = TrafficStats::new();
+        other.record_read(MatrixKind::Output, 64);
+        s.merge(&other);
+        assert_eq!(s.total(), s.per_kind_sum());
+        assert_eq!(s.total().reads, 6);
     }
 
     #[test]

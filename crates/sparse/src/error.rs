@@ -36,6 +36,9 @@ pub enum SparseError {
     },
     /// Raw CSR/CSC component arrays were mutually inconsistent.
     MalformedFormat(String),
+    /// A configuration parameter was outside its valid domain (e.g. a NaN
+    /// tiling fraction or a zero DMB row capacity).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for SparseError {
@@ -67,6 +70,9 @@ impl fmt::Display for SparseError {
             ),
             SparseError::MalformedFormat(msg) => {
                 write!(f, "malformed sparse format: {msg}")
+            }
+            SparseError::InvalidConfig(msg) => {
+                write!(f, "invalid configuration: {msg}")
             }
         }
     }
@@ -109,6 +115,15 @@ mod tests {
             actual_len: 2,
         };
         assert!(e.to_string().contains("0..3"));
+    }
+
+    #[test]
+    fn display_invalid_config() {
+        let e = SparseError::InvalidConfig("threshold_fraction is NaN".to_string());
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: threshold_fraction is NaN"
+        );
     }
 
     #[test]

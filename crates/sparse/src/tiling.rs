@@ -67,6 +67,39 @@ impl Default for TilingConfig {
 }
 
 impl TilingConfig {
+    /// Checks the configuration's parameter domains.
+    ///
+    /// A NaN `threshold_fraction` would otherwise propagate through
+    /// `f64::clamp` (which returns NaN for a NaN input) and the `as usize`
+    /// cast would silently collapse the threshold to `T = 0`, turning the
+    /// hybrid dataflow into pure RWP with no diagnostic. A zero
+    /// `dmb_capacity_rows` clamps `T` to zero the same silent way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidConfig`] for a NaN, infinite or
+    /// negative `threshold_fraction`, or `dmb_capacity_rows == Some(0)`.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if !self.threshold_fraction.is_finite() {
+            return Err(SparseError::InvalidConfig(format!(
+                "threshold_fraction must be finite, got {}",
+                self.threshold_fraction
+            )));
+        }
+        if self.threshold_fraction < 0.0 {
+            return Err(SparseError::InvalidConfig(format!(
+                "threshold_fraction must be non-negative, got {}",
+                self.threshold_fraction
+            )));
+        }
+        if self.dmb_capacity_rows == Some(0) {
+            return Err(SparseError::InvalidConfig(
+                "dmb_capacity_rows must be positive when set".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
     /// The tiling threshold `T` for a graph with `n` nodes.
     pub fn threshold(&self, n: usize) -> usize {
         let frac = self.threshold_fraction.clamp(0.0, 1.0);
@@ -149,9 +182,12 @@ impl TiledMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError::ShapeMismatch`] if the matrix is not square and
-    /// [`SparseError::EmptyDimension`] if it is empty.
+    /// Returns [`SparseError::ShapeMismatch`] if the matrix is not square,
+    /// [`SparseError::EmptyDimension`] if it is empty, and
+    /// [`SparseError::InvalidConfig`] if the tiling configuration fails
+    /// [`TilingConfig::validate`].
     pub fn new(sorted_adj: &Coo, config: &TilingConfig) -> Result<TiledMatrix, SparseError> {
+        config.validate()?;
         if sorted_adj.rows() != sorted_adj.cols() {
             return Err(SparseError::ShapeMismatch {
                 left: (sorted_adj.rows(), sorted_adj.cols()),
@@ -379,6 +415,104 @@ mod tests {
         };
         let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
         assert_eq!(tiled.region(RegionId::SparseRest).nnz(), adj.nnz());
+    }
+
+    #[test]
+    fn rejects_nan_threshold_fraction() {
+        let adj = power_lawish();
+        let cfg = TilingConfig {
+            threshold_fraction: f64::NAN,
+            dmb_capacity_rows: None,
+        };
+        match TiledMatrix::new(&adj, &cfg) {
+            Err(SparseError::InvalidConfig(msg)) => assert!(msg.contains("finite"), "{msg}"),
+            other => panic!("NaN fraction must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_threshold_fraction() {
+        let adj = power_lawish();
+        let cfg = TilingConfig {
+            threshold_fraction: -0.1,
+            dmb_capacity_rows: None,
+        };
+        assert!(matches!(
+            TiledMatrix::new(&adj, &cfg),
+            Err(SparseError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_infinite_threshold_fraction() {
+        let adj = power_lawish();
+        let cfg = TilingConfig {
+            threshold_fraction: f64::INFINITY,
+            dmb_capacity_rows: None,
+        };
+        assert!(matches!(
+            TiledMatrix::new(&adj, &cfg),
+            Err(SparseError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_dmb_capacity_rows() {
+        let adj = power_lawish();
+        let cfg = TilingConfig {
+            threshold_fraction: 0.2,
+            dmb_capacity_rows: Some(0),
+        };
+        assert!(matches!(
+            TiledMatrix::new(&adj, &cfg),
+            Err(SparseError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn n_zero_is_unrepresentable() {
+        // A 0x0 adjacency cannot even be constructed; the tiling layer never
+        // sees it. Pin the contract here so a future Coo relaxation fails
+        // loudly.
+        assert!(matches!(Coo::new(0, 0), Err(SparseError::EmptyDimension)));
+    }
+
+    #[test]
+    fn single_node_graph_tiles() {
+        let adj = Coo::from_triplets(1, 1, [(0, 0, 1.0)]).unwrap();
+        let tiled = TiledMatrix::new(&adj, &TilingConfig::default()).unwrap();
+        // ceil(1 * 0.2) = 1, so the whole (single-row) matrix is region 1.
+        assert_eq!(tiled.threshold(), 1);
+        assert_eq!(tiled.total_nnz(), 1);
+        assert_eq!(tiled.region(RegionId::HighDegreeRows).nnz(), 1);
+        assert_eq!(Csr::from_coo(&tiled.to_coo()), Csr::from_coo(&adj));
+    }
+
+    #[test]
+    fn single_node_graph_with_zero_threshold() {
+        let adj = Coo::from_triplets(1, 1, [(0, 0, 1.0)]).unwrap();
+        let cfg = TilingConfig {
+            threshold_fraction: 0.0,
+            dmb_capacity_rows: None,
+        };
+        let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
+        assert_eq!(tiled.threshold(), 0);
+        assert_eq!(tiled.region(RegionId::SparseRest).nnz(), 1);
+        assert_eq!(Csr::from_coo(&tiled.to_coo()), Csr::from_coo(&adj));
+    }
+
+    #[test]
+    fn threshold_equal_to_n_round_trips() {
+        // threshold == n: regions 2/3 have zero (padded) rows of real data.
+        let adj = power_lawish();
+        let cfg = TilingConfig {
+            threshold_fraction: 1.0,
+            dmb_capacity_rows: None,
+        };
+        let tiled = TiledMatrix::new(&adj, &cfg).unwrap();
+        assert_eq!(tiled.threshold(), adj.rows());
+        assert_eq!(tiled.total_nnz(), adj.nnz());
+        assert_eq!(Csr::from_coo(&tiled.to_coo()), Csr::from_coo(&adj));
     }
 
     #[test]
