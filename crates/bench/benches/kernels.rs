@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the blocked numeric kernels against their scalar
+//! references, and of the DMB read hot paths those kernels feed.
+//!
+//! The blocked kernels are bit-identical to the scalar ones by construction
+//! (see `hymm_sparse::kernels`); this bench exists to keep the *speed* claim
+//! honest — if a future change defeats the auto-vectoriser, `blocked` stops
+//! beating `scalar` here long before it shows up in suite wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hymm_mem::dram::AccessPattern;
+use hymm_mem::{Dmb, Dram, LineAddr, MatrixKind, MemConfig};
+use hymm_sparse::kernels;
+
+/// Row widths in elements: one 64-byte line (the GCN layer dimension), a
+/// mid-size row, and a row long enough for vector throughput to dominate.
+const WIDTHS: [usize; 3] = [16, 64, 256];
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axpy");
+    for width in WIDTHS {
+        let src: Vec<f32> = (0..width).map(|i| (i as f32).sin()).collect();
+        let mut blocked = vec![0.0f32; width];
+        group.bench_with_input(BenchmarkId::new("blocked", width), &width, |b, _| {
+            b.iter(|| kernels::axpy(&mut blocked, 0.5, &src))
+        });
+        let mut scalar = vec![0.0f32; width];
+        group.bench_with_input(BenchmarkId::new("scalar", width), &width, |b, _| {
+            b.iter(|| kernels::axpy_scalar(&mut scalar, 0.5, &src))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    for width in WIDTHS {
+        let mut blocked = vec![1.0f32; width];
+        group.bench_with_input(BenchmarkId::new("blocked", width), &width, |b, _| {
+            b.iter(|| kernels::scale(&mut blocked, 0.999_999))
+        });
+        let mut scalar = vec![1.0f32; width];
+        group.bench_with_input(BenchmarkId::new("scalar", width), &width, |b, _| {
+            b.iter(|| kernels::scale_scalar(&mut scalar, 0.999_999))
+        });
+    }
+    group.finish();
+}
+
+/// Reads per iteration of the DMB benchmarks.
+const DMB_BATCH: u64 = 256;
+
+fn bench_dmb_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmb_read");
+
+    // Resident working set: every read hits, and runs of consecutive reads
+    // touch the same line — the last-line MRU probe plus the LRU tail-skip
+    // carry the whole batch.
+    group.bench_function("resident_hit", |b| {
+        let config = MemConfig::default();
+        let mut dmb = Dmb::new(&config);
+        let mut dram = Dram::new(&config);
+        let mut now = 0u64;
+        for i in 0..DMB_BATCH / 4 {
+            dmb.read(
+                now,
+                LineAddr::new(MatrixKind::Weight, i),
+                &mut dram,
+                AccessPattern::Sequential,
+            );
+            now += 1;
+        }
+        b.iter(|| {
+            let mut last = 0u64;
+            for i in 0..DMB_BATCH {
+                let o = dmb.read(
+                    now,
+                    LineAddr::new(MatrixKind::Weight, i / 4),
+                    &mut dram,
+                    AccessPattern::Sequential,
+                );
+                now += 1;
+                last = o.ready;
+            }
+            last
+        })
+    });
+
+    // Cold stream: every read is a primary miss — MSHR allocation, DRAM
+    // issue, insert and eviction churn once the table fills.
+    group.bench_function("streaming_miss", |b| {
+        let config = MemConfig::default();
+        let mut dmb = Dmb::new(&config);
+        let mut dram = Dram::new(&config);
+        let mut now = 0u64;
+        let mut next_line = 0u64;
+        b.iter(|| {
+            let mut last = 0u64;
+            for _ in 0..DMB_BATCH {
+                let o = dmb.read(
+                    now,
+                    LineAddr::new(MatrixKind::Combination, next_line),
+                    &mut dram,
+                    AccessPattern::Sequential,
+                );
+                next_line += 1;
+                now = o.ready;
+                last = o.ready;
+            }
+            last
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_axpy, bench_scale, bench_dmb_read);
+criterion_main!(benches);

@@ -5,21 +5,33 @@
 //! cargo run --release -p hymm-bench --bin perf_report -- [--scale N] [--datasets CR,AP] [--threads N]
 //! ```
 //!
-//! The two runs must produce identical simulation results (parallelism is
-//! wall-clock-only by construction); the report records that check alongside
-//! the timings, so the JSON doubles as evidence for the timing-invariance
-//! guarantee. Speedup is whatever the host actually delivers — on a
-//! single-core container it is ~1.0 by physics, not by bug.
+//! Both passes run [`REPS`] times and report the minimum — on a shared host
+//! the minimum is the only statistic that converges to the true cost; means
+//! and single shots absorb neighbour noise. Every repetition (and the
+//! parallel pass) must produce identical simulation results; the report
+//! records that check alongside the timings, so the JSON doubles as
+//! evidence for the timing-invariance guarantee. Parallel speedup is
+//! whatever the host actually delivers — on a single-core container it is
+//! ~1.0 by physics, not by bug.
+//!
+//! Besides the wall-clock split per dataset, the report carries a
+//! `sim_cycles_per_second` throughput metric (simulated cycles summed over
+//! every run, divided by the serial wall-clock) so the perf trajectory
+//! stays comparable across PRs even when the suite's composition changes.
 
-use hymm_bench::{pool, run_suite, BenchArgs, DatasetResults};
+use hymm_bench::{pool, run_dataset, run_suite, BenchArgs, DatasetResults};
 use std::io::Write;
 use std::time::Instant;
 
-fn timed_suite(args: &BenchArgs) -> (Vec<DatasetResults>, f64) {
-    let t0 = Instant::now();
-    let results = run_suite(args);
-    (results, t0.elapsed().as_secs_f64())
-}
+/// Repetitions per pass; the minimum is reported.
+const REPS: usize = 5;
+
+/// Serial wall-clock of the reference configuration (`--scale 600`, all
+/// seven datasets, `--threads 1`, minimum of 5) measured at the previous
+/// commit on this host, kept as the "before" of the current optimisation
+/// round. Re-baseline when regenerating `BENCH_host.json` after landing a
+/// perf change.
+const BASELINE_SERIAL_SECONDS: f64 = 0.658;
 
 fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
     a.len() == b.len()
@@ -33,37 +45,99 @@ fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
         })
 }
 
+/// One serial pass over the datasets, timing each individually.
+fn serial_pass(args: &BenchArgs) -> (Vec<DatasetResults>, Vec<f64>, f64) {
+    let t0 = Instant::now();
+    let mut per_dataset = Vec::with_capacity(args.datasets.len());
+    let results = args
+        .datasets
+        .iter()
+        .map(|&d| {
+            let t = Instant::now();
+            let r = run_dataset(d, args.scale);
+            per_dataset.push(t.elapsed().as_secs_f64());
+            r
+        })
+        .collect();
+    (results, per_dataset, t0.elapsed().as_secs_f64())
+}
+
 fn main() {
     let args = BenchArgs::from_env();
     let threads = args.worker_threads();
 
-    eprintln!("[perf_report] serial pass (--threads 1) ...");
-    let serial_args = BenchArgs {
-        threads: 1,
-        ..args.clone()
-    };
-    let (serial_results, serial_s) = timed_suite(&serial_args);
+    eprintln!("[perf_report] serial pass (--threads 1, best of {REPS}) ...");
+    let (serial_results, mut per_dataset_s, mut serial_s) = serial_pass(&args);
+    for _ in 1..REPS {
+        let (results, per, total) = serial_pass(&args);
+        assert!(
+            results_match(&serial_results, &results),
+            "repeated serial runs diverged — the simulator is not deterministic"
+        );
+        if total < serial_s {
+            serial_s = total;
+            per_dataset_s = per;
+        }
+    }
 
-    eprintln!("[perf_report] parallel pass (--threads {threads}) ...");
+    eprintln!("[perf_report] parallel pass (--threads {threads}, best of {REPS}) ...");
+    // The serial pass runs un-audited (`run_dataset`); audit the parallel
+    // pass identically so the two timings stay comparable.
     let parallel_args = BenchArgs {
         threads,
+        audit: false,
         ..args.clone()
     };
-    let (parallel_results, parallel_s) = timed_suite(&parallel_args);
+    let mut parallel_s = f64::MAX;
+    let mut parallel_results = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let results = run_suite(&parallel_args);
+        parallel_s = parallel_s.min(t0.elapsed().as_secs_f64());
+        parallel_results = results;
+    }
 
     let identical = results_match(&serial_results, &parallel_results);
-    let speedup = serial_s / parallel_s.max(1e-9);
+    let parallel_speedup = serial_s / parallel_s.max(1e-9);
+
+    let sim_cycles_total: u64 = serial_results
+        .iter()
+        .flat_map(|d| &d.runs)
+        .map(|r| r.report.cycles)
+        .sum();
+    let sim_cycles_per_second = sim_cycles_total as f64 / serial_s.max(1e-9);
+
+    // The committed baseline was measured on the reference configuration;
+    // a before/after comparison on any other scale or dataset subset would
+    // be meaningless, so it is reported as null there.
+    let reference_config = args.scale == Some(600) && args.datasets.len() == 7;
+    let (baseline, vs_baseline) = if reference_config {
+        (
+            format!("{BASELINE_SERIAL_SECONDS:.3}"),
+            format!("{:.3}", BASELINE_SERIAL_SECONDS / serial_s.max(1e-9)),
+        )
+    } else {
+        ("null".to_string(), "null".to_string())
+    };
+
     let datasets: Vec<String> = args
         .datasets
         .iter()
         .map(|d| format!("\"{}\"", d.abbrev()))
         .collect();
+    let per_dataset: Vec<String> = args
+        .datasets
+        .iter()
+        .zip(&per_dataset_s)
+        .map(|(d, s)| format!("\"{}\": {s:.3}", d.abbrev()))
+        .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),
+        per_dataset.join(", "),
     );
 
     let path = "BENCH_host.json";

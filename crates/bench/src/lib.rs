@@ -38,4 +38,4 @@ pub mod runner;
 pub mod table;
 
 pub use args::BenchArgs;
-pub use runner::{run_suite, DataflowRun, DatasetResults};
+pub use runner::{run_dataset, run_suite, DataflowRun, DatasetResults};

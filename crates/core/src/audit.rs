@@ -255,9 +255,9 @@ mod tests {
     use crate::config::AcceleratorConfig;
     use hymm_mem::stats::HitStats;
 
-    fn phase(name: &str, start: u64, end: u64) -> PhaseReport {
+    fn phase(name: &'static str, start: u64, end: u64) -> PhaseReport {
         PhaseReport {
-            name: name.into(),
+            name,
             start_cycle: start,
             end_cycle: end,
             nnz: 1,

@@ -13,8 +13,9 @@
 //!    high-degree columns give hot `XW` reuse, region 3's sparse tail avoids
 //!    any partial-output merging.
 
-use crate::engine::op::{run_op, OpJob};
-use crate::engine::rwp::{run_rwp, RwpJob};
+use crate::engine::op::{run_op_sink, OpJob};
+use crate::engine::rwp::{run_rwp_sink, RwpJob};
+use crate::engine::NumericSink;
 use crate::machine::Machine;
 use hymm_mem::MatrixKind;
 use hymm_sparse::tiling::{RegionFormat, RegionId, TiledMatrix};
@@ -33,6 +34,36 @@ pub fn run_hybrid_aggregation(
     tiled: &TiledMatrix,
     dense: &Dense,
     out: &mut Dense,
+) -> u64 {
+    let bottom = (tiled.threshold() < tiled.n()).then(|| merge_bottom_regions(tiled));
+    run_hybrid_aggregation_sink(
+        m,
+        start,
+        tiled,
+        bottom.as_ref(),
+        dense,
+        NumericSink::Accumulate(out),
+    )
+}
+
+/// [`run_hybrid_aggregation`] with the merged regions-2/3 CSR supplied by
+/// the caller (so `crate::prepared::PreparedAdjacency` can build it once per
+/// tiling instead of once per layer run) and a [`NumericSink`] output.
+///
+/// `bottom` must be the [`merge_bottom_regions`] of `tiled`; it is required
+/// whenever `tiled.threshold() < tiled.n()`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the tiled matrix, or if `bottom`
+/// is `None` while regions 2/3 are non-empty.
+pub fn run_hybrid_aggregation_sink(
+    m: &mut Machine,
+    start: u64,
+    tiled: &TiledMatrix,
+    bottom: Option<&Csr>,
+    dense: &Dense,
+    mut out: NumericSink<'_>,
 ) -> u64 {
     let n = tiled.n();
     let t = tiled.threshold();
@@ -61,16 +92,16 @@ pub fn run_hybrid_aggregation(
             tile_rows: t,
             name: "aggregation/op-region1",
         };
-        now = run_op(m, now, &job, out);
+        now = run_op_sink(m, now, &job, out.reborrow());
     }
 
     // Phase 2: row-wise product over regions 2 + 3, merged row-by-row into
     // a single CSR in global sorted coordinates.
     if t < n {
-        let bottom = merge_bottom_regions(tiled);
+        let bottom = bottom.expect("caller supplies regions 2/3 when threshold < n");
         if bottom.nnz() > 0 {
             let job = RwpJob {
-                sparse: &bottom,
+                sparse: bottom,
                 sparse_kind: MatrixKind::SparseA,
                 dense,
                 dense_kind: MatrixKind::Combination,
@@ -80,7 +111,7 @@ pub fn run_hybrid_aggregation(
                 out_allocate: false,
                 name: "aggregation/rwp-region23",
             };
-            now = run_rwp(m, now, &job, out);
+            now = run_rwp_sink(m, now, &job, out);
         }
     }
     now
@@ -194,7 +225,7 @@ mod tests {
         let mut m = Machine::new(&AcceleratorConfig::default());
         let mut out = Dense::zeros(20, 16);
         run_hybrid_aggregation(&mut m, 0, &tiled, &dense, &mut out);
-        let names: Vec<_> = m.phases.iter().map(|p| p.name.as_str()).collect();
+        let names: Vec<_> = m.phases.iter().map(|p| p.name).collect();
         assert!(names.contains(&"aggregation/op-region1"));
         assert!(names.contains(&"aggregation/rwp-region23"));
     }

@@ -18,6 +18,68 @@ pub mod op;
 pub mod rwp;
 
 use hymm_mem::{LineAddr, MatrixKind};
+use hymm_sparse::Dense;
+
+/// Where an engine's numeric results go.
+///
+/// Engine timing depends only on the sparse structure and the memory
+/// system, never on the `f32` values, so a caller that already knows the
+/// numeric result bit-exactly (from a memoised run with an identical
+/// numeric trajectory — see `crate::prepared`) can replay a phase in
+/// [`NumericSink::Timing`] mode: every SMQ/LSQ/DMB/PE event is issued
+/// exactly as in [`NumericSink::Accumulate`] mode and the report is
+/// bit-identical; only the per-nonzero `axpy` into the output is skipped.
+#[derive(Debug)]
+pub enum NumericSink<'a> {
+    /// Accumulate numeric results into this output matrix.
+    Accumulate(&'a mut Dense),
+    /// Timing-only replay; the output shape is kept for the engines' shape
+    /// assertions.
+    Timing {
+        /// Output rows.
+        rows: usize,
+        /// Output columns.
+        cols: usize,
+    },
+}
+
+impl NumericSink<'_> {
+    /// Output row count.
+    pub fn rows(&self) -> usize {
+        match self {
+            NumericSink::Accumulate(out) => out.rows(),
+            NumericSink::Timing { rows, .. } => *rows,
+        }
+    }
+
+    /// Output column count.
+    pub fn cols(&self) -> usize {
+        match self {
+            NumericSink::Accumulate(out) => out.cols(),
+            NumericSink::Timing { cols, .. } => *cols,
+        }
+    }
+
+    /// The per-nonzero MAC: `out[r] += v * src` in accumulate mode, a no-op
+    /// in timing mode.
+    #[inline]
+    pub fn axpy_row(&mut self, r: usize, v: f32, src: &[f32]) {
+        if let NumericSink::Accumulate(out) = self {
+            out.axpy_row(r, v, src);
+        }
+    }
+
+    /// Reborrows the sink for a nested engine invocation.
+    pub fn reborrow(&mut self) -> NumericSink<'_> {
+        match self {
+            NumericSink::Accumulate(out) => NumericSink::Accumulate(out),
+            NumericSink::Timing { rows, cols } => NumericSink::Timing {
+                rows: *rows,
+                cols: *cols,
+            },
+        }
+    }
+}
 
 /// Line address of chunk `chunk` of dense row `row` in a matrix whose rows
 /// span `lines_per_row` lines.

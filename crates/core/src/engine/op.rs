@@ -17,7 +17,7 @@
 //! in §IV-E.
 
 use crate::config::MergePolicy;
-use crate::engine::row_line;
+use crate::engine::{row_line, NumericSink};
 use crate::machine::Machine;
 use hymm_mem::dram::AccessPattern;
 use hymm_mem::smq::{SmqStream, SparseFormat};
@@ -64,6 +64,14 @@ pub struct OpJob<'a> {
 // loop reads better than enumerate here.
 #[allow(clippy::needless_range_loop)]
 pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> u64 {
+    run_op_sink(m, start, job, NumericSink::Accumulate(out))
+}
+
+/// [`run_op`] writing into a [`NumericSink`]: timing-identical to the
+/// accumulate mode, with the numeric axpy optionally elided (see the sink's
+/// docs for when that is legal).
+#[allow(clippy::needless_range_loop)]
+pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: NumericSink<'_>) -> u64 {
     assert!(job.tile_rows > 0, "tile_rows must be positive");
     assert!(
         job.sparse.cols() + job.col_offset <= job.dense.rows(),
@@ -175,8 +183,9 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                         let mut done = mult_done;
                         for chunk in 0..out_lines {
                             let addr = row_line(job.out_kind, global_row, out_lines, chunk);
-                            let was_resident = m.dmb.contains(addr);
                             let drained = m.lsq.store(done, addr, done);
+                            // The store does not touch the DMB, so the write's
+                            // hit flag equals residency before this iteration.
                             let w = m.dmb.write(
                                 drained,
                                 addr,
@@ -186,7 +195,7 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                             );
                             done = w.ready;
                             if !first_touch {
-                                if was_resident {
+                                if w.hit {
                                     m.dmb.record_accumulator_merge();
                                 } else {
                                     // Partial spilled earlier: merge through
@@ -226,8 +235,8 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                                 // Read-modify-write through the PE adder; the
                                 // LSQ forwards from a still-queued partial
                                 // store to the same address (paper §IV-B).
-                                let resident = m.dmb.contains(addr);
-                                let ready = m.load_line(done, addr, AccessPattern::Random);
+                                let (ready, resident) =
+                                    m.load_line_resident(done, addr, AccessPattern::Random);
                                 if !resident {
                                     m.partials.dram_merges += 1;
                                 }
@@ -287,8 +296,7 @@ pub fn run_op(m: &mut Machine, start: u64, job: &OpJob<'_>, out: &mut Dense) -> 
                     t = t.max(oldest);
                 }
                 let addr = hymm_mem::LineAddr::new(job.out_kind, log_index);
-                let resident = m.dmb.contains(addr);
-                let ready = m.load_line(t, addr, AccessPattern::Random);
+                let (ready, resident) = m.load_line_resident(t, addr, AccessPattern::Random);
                 if !resident {
                     m.partials.dram_merges += 1;
                 }

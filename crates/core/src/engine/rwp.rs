@@ -9,7 +9,7 @@
 //! finished output rows are never re-read, so they are streamed out without
 //! polluting the unified buffer.
 
-use crate::engine::row_line;
+use crate::engine::{row_line, NumericSink};
 use crate::machine::Machine;
 use hymm_mem::dram::AccessPattern;
 use hymm_mem::smq::{SmqStream, SparseFormat};
@@ -51,6 +51,18 @@ pub struct RwpJob<'a> {
 /// Panics if shapes are inconsistent (sparse columns + offset exceeding
 /// dense rows, output too small, or differing widths).
 pub fn run_rwp(m: &mut Machine, start: u64, job: &RwpJob<'_>, out: &mut Dense) -> u64 {
+    run_rwp_sink(m, start, job, NumericSink::Accumulate(out))
+}
+
+/// [`run_rwp`] writing into a [`NumericSink`]: timing-identical to the
+/// accumulate mode, with the numeric axpy optionally elided (see the sink's
+/// docs for when that is legal).
+pub fn run_rwp_sink(
+    m: &mut Machine,
+    start: u64,
+    job: &RwpJob<'_>,
+    mut out: NumericSink<'_>,
+) -> u64 {
     assert!(
         job.sparse.cols() + job.col_offset <= job.dense.rows(),
         "sparse columns exceed dense rows"

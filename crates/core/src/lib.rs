@@ -46,9 +46,11 @@ pub mod energy;
 pub mod engine;
 pub mod machine;
 pub mod pe;
+pub mod prepared;
 pub mod sim;
 pub mod stats;
 
 pub use config::{AcceleratorConfig, Dataflow, MergePolicy};
+pub use prepared::{CombinationMemo, PreparedAdjacency};
 pub use sim::{run_gcn_layer, LayerOutcome};
 pub use stats::SimReport;

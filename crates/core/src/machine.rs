@@ -71,6 +71,34 @@ impl Machine {
         }
     }
 
+    /// [`Machine::load_line`] that also reports whether the line was
+    /// resident in the DMB when the request was presented (before any fill
+    /// the load itself causes) — what a `dmb.contains` probe immediately
+    /// before the load would have returned, without the extra lookup. A
+    /// forwarded load never touches the DMB, so the read-only probe is
+    /// still exact there.
+    pub fn load_line_resident(
+        &mut self,
+        now: u64,
+        addr: hymm_mem::LineAddr,
+        pattern: AccessPattern,
+    ) -> (u64, bool) {
+        use hymm_mem::lsq::LoadPath;
+        if self.config.lsq_forwarding {
+            match self.lsq.load(now, addr) {
+                LoadPath::Forwarded { ready } => (ready, self.dmb.contains(addr)),
+                LoadPath::Issue { at } => {
+                    let outcome = self.dmb.read(at, addr, &mut self.dram, pattern);
+                    self.lsq.complete_load(addr, outcome.ready);
+                    (outcome.ready, outcome.hit)
+                }
+            }
+        } else {
+            let outcome = self.dmb.read(now, addr, &mut self.dram, pattern);
+            (outcome.ready, outcome.hit)
+        }
+    }
+
     /// Stores one line through LSQ → DMB; `allocate` selects write-allocate
     /// versus streaming write-through. Returns the cycle at which the store
     /// is accepted.
@@ -93,7 +121,7 @@ impl Machine {
 
     /// Records a finished phase, attributing the DMB hit and DRAM traffic
     /// counters accumulated since the previous phase boundary to it.
-    pub fn record_phase(&mut self, name: &str, start: u64, end: u64, nnz: u64) {
+    pub fn record_phase(&mut self, name: &'static str, start: u64, end: u64, nnz: u64) {
         let hits_now = self.dmb.hit_stats();
         let dram_now = self.dram.stats().total().total_bytes();
         let delta = hymm_mem::stats::HitStats {
@@ -103,7 +131,7 @@ impl Machine {
             write_misses: hits_now.write_misses - self.hit_snapshot.write_misses,
         };
         self.phases.push(PhaseReport {
-            name: name.to_string(),
+            name,
             start_cycle: start,
             end_cycle: end,
             nnz,

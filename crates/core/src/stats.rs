@@ -36,7 +36,9 @@ impl PartialStats {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseReport {
     /// Human-readable phase name, e.g. `"combination"` or `"aggregation/op"`.
-    pub name: String,
+    /// Interned: every caller passes a literal, so the report borrows it and
+    /// `record_phase` stays allocation-free.
+    pub name: &'static str,
     /// First cycle of the phase.
     pub start_cycle: u64,
     /// Last cycle of the phase.
@@ -158,7 +160,7 @@ mod tests {
     #[test]
     fn phase_cycles() {
         let p = PhaseReport {
-            name: "x".into(),
+            name: "x",
             start_cycle: 10,
             end_cycle: 25,
             nnz: 3,
@@ -178,7 +180,7 @@ mod tests {
         b.mac_cycles = 3;
         b.partials.peak_bytes = 50;
         b.phases.push(PhaseReport {
-            name: "p".into(),
+            name: "p",
             start_cycle: 0,
             end_cycle: 5,
             nnz: 1,

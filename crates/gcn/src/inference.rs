@@ -10,7 +10,8 @@
 
 use crate::model::GcnModel;
 use hymm_core::config::{AcceleratorConfig, Dataflow};
-use hymm_core::sim::run_gcn_layer;
+use hymm_core::prepared::{CombinationMemo, PreparedAdjacency};
+use hymm_core::sim::run_gcn_layer_prepared;
 use hymm_core::stats::SimReport;
 use hymm_graph::normalize::gcn_normalize;
 use hymm_sparse::{Coo, Dense, SparseError};
@@ -66,14 +67,47 @@ pub fn run_inference(
     features: &Coo,
     model: &GcnModel,
 ) -> Result<InferenceOutcome, SparseError> {
-    let a_hat = gcn_normalize(adj)?;
+    let prep = prepare_adjacency(adj)?;
+    run_inference_prepared(config, dataflow, &prep, features, model, None)
+}
+
+/// Normalises `adj` and wraps it in a [`PreparedAdjacency`], so the
+/// normalisation, format conversions, degree sort and tiling are shared by
+/// every [`run_inference_prepared`] call over the same graph.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] if `adj` is not square.
+pub fn prepare_adjacency(adj: &Coo) -> Result<PreparedAdjacency, SparseError> {
+    PreparedAdjacency::new(gcn_normalize(adj)?)
+}
+
+/// [`run_inference`] over a shared [`PreparedAdjacency`]. Timing-identical
+/// to [`run_inference`]; only host-side preprocessing is amortised.
+///
+/// `memo` may be shared exclusively between runs whose numeric trajectories
+/// are bit-identical (same prepared graph, features, model, dataflow and
+/// tiling — merge policy may differ); see `hymm_core::prepared`.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] if operand shapes are inconsistent.
+pub fn run_inference_prepared(
+    config: &AcceleratorConfig,
+    dataflow: Dataflow,
+    prep: &PreparedAdjacency,
+    features: &Coo,
+    model: &GcnModel,
+    memo: Option<&CombinationMemo>,
+) -> Result<InferenceOutcome, SparseError> {
     let mut x = features.clone();
     let mut output = None;
     let mut report = SimReport::empty();
     let mut layer_reports = Vec::with_capacity(model.layers().len());
 
-    for (spec, w) in model.layers().iter().zip(model.weights()) {
-        let outcome = run_gcn_layer(config, dataflow, &a_hat, &x, w)?;
+    for (layer, (spec, w)) in model.layers().iter().zip(model.weights()).enumerate() {
+        let outcome =
+            run_gcn_layer_prepared(config, dataflow, prep, &x, w, memo.map(|m| (m, layer)))?;
         let mut h = outcome.output;
         if spec.relu {
             relu(&mut h);

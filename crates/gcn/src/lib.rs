@@ -18,5 +18,5 @@ pub mod inference;
 pub mod model;
 pub mod reference;
 
-pub use inference::{run_inference, InferenceOutcome};
+pub use inference::{prepare_adjacency, run_inference, run_inference_prepared, InferenceOutcome};
 pub use model::{GcnModel, LayerSpec};

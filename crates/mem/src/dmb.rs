@@ -46,6 +46,11 @@ struct LineSlot {
     prev: u32,
     /// Intrusive per-class LRU list: towards the newer neighbour.
     next: u32,
+    /// Bucket currently pointing at this slot, kept in step by insert,
+    /// backward-shift deletion and growth. Lets eviction — which walks LRU
+    /// lists and therefore knows the slot, not the bucket — remove without
+    /// re-probing the hash table.
+    bucket: u32,
 }
 
 /// Fixed-capacity open-addressed map from [`LineAddr`] to arena slots, with
@@ -68,6 +73,14 @@ struct LineTable {
     heads: [u32; 3],
     /// Newest resident line per eviction class.
     tails: [u32; 3],
+    /// MRU probe hint: arena slot of the most recently looked-up or
+    /// inserted line, `NIL` when invalid. Engines touch the same line
+    /// repeatedly (per-column dense rows, per-row output lines), so one
+    /// address compare usually replaces the whole hash walk. The hint is
+    /// cleared whenever its slot is removed, so a valid hint always names a
+    /// live slot and the `slots[mru].addr == addr` check is sound even
+    /// after arena slots are recycled.
+    mru: u32,
 }
 
 fn hash_addr(addr: LineAddr) -> u64 {
@@ -88,6 +101,7 @@ impl LineTable {
             len: 0,
             heads: [NIL; 3],
             tails: [NIL; 3],
+            mru: NIL,
         }
     }
 
@@ -110,16 +124,21 @@ impl LineTable {
         }
     }
 
-    fn get(&self, addr: LineAddr) -> Option<&LineSlot> {
-        self.find_bucket(addr)
-            .map(|b| &self.slots[self.buckets[b] as usize])
+    /// Arena slot currently holding `addr`, if resident. Probes the MRU
+    /// hint first — one compare against a live slot — and falls back to the
+    /// hash walk, refreshing the hint on success.
+    fn find_slot(&mut self, addr: LineAddr) -> Option<u32> {
+        if self.mru != NIL && self.slots[self.mru as usize].addr == addr {
+            return Some(self.mru);
+        }
+        let idx = self.buckets[self.find_bucket(addr)?];
+        self.mru = idx;
+        Some(idx)
     }
 
-    fn get_mut(&mut self, addr: LineAddr) -> Option<&mut LineSlot> {
-        self.find_bucket(addr).map(|b| {
-            let idx = self.buckets[b] as usize;
-            &mut self.slots[idx]
-        })
+    #[cfg(test)]
+    fn get(&mut self, addr: LineAddr) -> Option<&LineSlot> {
+        self.find_slot(addr).map(|idx| &self.slots[idx as usize])
     }
 
     fn unlink(&mut self, idx: u32) {
@@ -148,15 +167,27 @@ impl LineTable {
 
     /// Moves a resident line to the newest end of its class list with a
     /// fresh timestamp.
+    #[cfg(test)]
     fn touch(&mut self, addr: LineAddr, tick: u64) {
-        if let Some(b) = self.find_bucket(addr) {
-            let idx = self.buckets[b];
-            self.unlink(idx);
-            self.slots[idx as usize].lru = tick;
-            let class = self.slots[idx as usize].addr.kind.evict_class() as usize;
-            self.push_newest(idx, class);
-            self.check_after_mutation();
+        if let Some(idx) = self.find_slot(addr) {
+            self.touch_slot(idx, tick);
         }
+    }
+
+    /// [`Self::touch`] for a slot already located by [`Self::find_slot`] —
+    /// the hot read/write paths look the line up exactly once.
+    fn touch_slot(&mut self, idx: u32, tick: u64) {
+        let class = self.slots[idx as usize].addr.kind.evict_class() as usize;
+        // Already the newest of its class: unlink + re-append would put it
+        // right back, so only the timestamp needs refreshing. Engines hit
+        // the same line repeatedly (dense-row chunks, output rows), making
+        // this the common case.
+        if self.tails[class] != idx {
+            self.unlink(idx);
+            self.push_newest(idx, class);
+        }
+        self.slots[idx as usize].lru = tick;
+        self.check_after_mutation();
     }
 
     fn insert(&mut self, addr: LineAddr, dirty: bool, ready_at: u64, tick: u64) {
@@ -170,6 +201,7 @@ impl LineTable {
             lru: tick,
             prev: NIL,
             next: NIL,
+            bucket: NIL,
         };
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -186,8 +218,10 @@ impl LineTable {
             b = (b + 1) & self.mask;
         }
         self.buckets[b] = idx;
+        self.slots[idx as usize].bucket = b as u32;
         self.len += 1;
         self.push_newest(idx, addr.kind.evict_class() as usize);
+        self.mru = idx;
         self.check_after_mutation();
     }
 
@@ -195,10 +229,23 @@ impl LineTable {
     /// every remaining probe chain intact without tombstones.
     fn remove(&mut self, addr: LineAddr) -> Option<LineSlot> {
         let bucket = self.find_bucket(addr)?;
+        Some(self.remove_bucket(bucket))
+    }
+
+    /// [`Self::remove`] for a slot already located (eviction walks the LRU
+    /// lists, so it has the slot and its back-referenced bucket — no probe).
+    fn remove_slot(&mut self, idx: u32) -> LineSlot {
+        self.remove_bucket(self.slots[idx as usize].bucket as usize)
+    }
+
+    fn remove_bucket(&mut self, bucket: usize) -> LineSlot {
         let idx = self.buckets[bucket];
         self.unlink(idx);
         self.free.push(idx);
         self.len -= 1;
+        if self.mru == idx {
+            self.mru = NIL;
+        }
         let removed = self.slots[idx as usize];
 
         let mask = self.mask;
@@ -216,12 +263,13 @@ impl LineTable {
             // contiguous from each entry's home).
             if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
                 self.buckets[hole] = r;
+                self.slots[r as usize].bucket = hole as u32;
                 hole = j;
             }
         }
         self.buckets[hole] = NIL;
         self.check_after_mutation();
-        Some(removed)
+        removed
     }
 
     fn grow(&mut self) {
@@ -238,6 +286,7 @@ impl LineTable {
                     b = (b + 1) & self.mask;
                 }
                 self.buckets[b] = idx;
+                self.slots[idx as usize].bucket = b as u32;
                 idx = self.slots[idx as usize].next;
             }
         }
@@ -260,6 +309,11 @@ impl LineTable {
             }
             live += 1;
             let slot = &self.slots[r as usize];
+            assert_eq!(
+                slot.bucket as usize, j,
+                "audit: bucket back-reference of {:?} is stale",
+                slot.addr
+            );
             assert!(
                 seen.insert(slot.addr),
                 "audit: duplicate resident address {:?}",
@@ -310,6 +364,14 @@ impl LineTable {
             assert_eq!(self.tails[class], prev, "audit: tail of class {class}");
         }
         assert_eq!(listed, self.len, "audit: class lists cover residents");
+        if self.mru != NIL {
+            let hinted = self.slots[self.mru as usize].addr;
+            let via_walk = self
+                .find_bucket(hinted)
+                .map(|b| self.buckets[b])
+                .expect("audit: MRU hint names a non-resident address");
+            assert_eq!(via_walk, self.mru, "audit: MRU hint points at a stale slot");
+        }
     }
 
     /// Mutation epilogue: a no-op unless the `audit` feature is on.
@@ -328,6 +390,10 @@ struct MshrSlot {
     addr: LineAddr,
     ready: u64,
     valid: bool,
+    /// `sig_bit(addr)`, computed once at insertion so signature rebuilds in
+    /// [`Dmb::reap_mshrs`] OR cached bits instead of re-hashing every
+    /// surviving address.
+    sig: u64,
 }
 
 /// Outcome of a [`Dmb::read`].
@@ -376,6 +442,23 @@ pub struct Dmb {
     lines: LineTable,
     lru_tick: u64,
     mshrs: Vec<MshrSlot>,
+    /// Number of valid MSHR slots, so the hot paths never scan the array to
+    /// count.
+    mshr_live: usize,
+    /// Invalid MSHR slot indices, so allocation pops instead of scanning.
+    /// Which slot an outstanding fill occupies is unobservable (lookups are
+    /// by address), so the pop order is free.
+    mshr_free: Vec<u32>,
+    /// OR-signature of the live MSHR addresses (one hash-selected bit each).
+    /// A clear bit proves absence, so the miss-heavy paths skip the slot
+    /// scan for addresses with no outstanding fill; a set bit only means
+    /// "maybe" and falls through to the exact scan. Rebuilt by
+    /// [`Self::reap_mshrs`], the sole place fills are invalidated.
+    mshr_sig: u64,
+    /// Earliest `ready` cycle among valid MSHRs (`u64::MAX` when none):
+    /// [`Self::reap_mshrs`] is a single compare until a fill actually
+    /// completes.
+    mshr_min_ready: u64,
     read_port_free: u64,
     write_port_free: u64,
     /// Reused by `flush_kind`/`invalidate_kind` so drains don't allocate.
@@ -413,10 +496,15 @@ impl Dmb {
                 MshrSlot {
                     addr: LineAddr::new(MatrixKind::Weight, 0),
                     ready: 0,
-                    valid: false
+                    valid: false,
+                    sig: 0
                 };
                 mshr_count
             ],
+            mshr_live: 0,
+            mshr_free: (0..mshr_count as u32).collect(),
+            mshr_sig: 0,
+            mshr_min_ready: u64::MAX,
             read_port_free: 0,
             write_port_free: 0,
             drain_scratch: Vec::new(),
@@ -431,30 +519,99 @@ impl Dmb {
         }
     }
 
-    fn touch(&mut self, addr: LineAddr) {
+    fn touch_slot(&mut self, idx: u32) {
         self.lru_tick += 1;
         let tick = self.lru_tick;
-        self.lines.touch(addr, tick);
+        self.lines.touch_slot(idx, tick);
+    }
+
+    /// Signature bit of one address (the filter's hash-selected position).
+    fn sig_bit(addr: LineAddr) -> u64 {
+        1u64 << (hash_addr(addr) >> 58)
+    }
+
+    /// Audit: the cached MSHR aggregates (live count, earliest completion,
+    /// membership signature) must agree with the slot array. The signature
+    /// may be a superset of the live bits (bits of reaped fills persist
+    /// until the next rebuild) — it must never miss a live address.
+    #[cfg(any(test, feature = "audit"))]
+    fn check_mshr_tracking(&self) {
+        let live = self.mshrs.iter().filter(|m| m.valid).count();
+        assert_eq!(live, self.mshr_live, "audit: mshr_live vs slot array");
+        assert_eq!(
+            live + self.mshr_free.len(),
+            self.mshrs.len(),
+            "audit: free list plus live slots vs MSHR array"
+        );
+        for &i in &self.mshr_free {
+            assert!(
+                !self.mshrs[i as usize].valid,
+                "audit: free list names a live MSHR slot"
+            );
+        }
+        let min = self
+            .mshrs
+            .iter()
+            .filter(|m| m.valid)
+            .map(|m| m.ready)
+            .min()
+            .unwrap_or(u64::MAX);
+        assert!(
+            self.mshr_min_ready <= min,
+            "audit: mshr_min_ready {} above true minimum {}",
+            self.mshr_min_ready,
+            min
+        );
+        for m in self.mshrs.iter().filter(|m| m.valid) {
+            assert_eq!(
+                m.sig,
+                Self::sig_bit(m.addr),
+                "audit: cached signature bit of {:?} is stale",
+                m.addr
+            );
+            assert!(
+                self.mshr_sig & m.sig != 0,
+                "audit: live MSHR {:?} missing from signature",
+                m.addr
+            );
+        }
+    }
+
+    /// MSHR mutation epilogue: a no-op unless the `audit` feature is on.
+    #[inline]
+    fn check_mshr_after_mutation(&self) {
+        #[cfg(feature = "audit")]
+        self.check_mshr_tracking();
+    }
+
+    /// Whether `addr` can possibly be a live MSHR (clear bit = proven
+    /// absent; set bit = must scan).
+    fn mshr_may_contain(&self, addr: LineAddr) -> bool {
+        self.mshr_sig & Self::sig_bit(addr) != 0
     }
 
     fn mshr_lookup(&self, addr: LineAddr) -> Option<u64> {
+        if self.mshr_live == 0 || !self.mshr_may_contain(addr) {
+            return None;
+        }
         self.mshrs
             .iter()
             .find(|m| m.valid && m.addr == addr)
             .map(|m| m.ready)
     }
 
-    fn mshr_len(&self) -> usize {
-        self.mshrs.iter().filter(|m| m.valid).count()
-    }
-
     fn mshr_insert(&mut self, addr: LineAddr, ready: u64) {
-        match self.mshrs.iter_mut().find(|m| !m.valid) {
-            Some(slot) => {
-                *slot = MshrSlot {
+        let sig = Self::sig_bit(addr);
+        self.mshr_live += 1;
+        self.mshr_sig |= sig;
+        self.mshr_min_ready = self.mshr_min_ready.min(ready);
+        match self.mshr_free.pop() {
+            Some(i) => {
+                self.mshrs[i as usize] = MshrSlot {
                     addr,
                     ready,
                     valid: true,
+                    sig,
                 }
             }
             // Unreachable: the stall path always frees a slot first. Grow
@@ -463,8 +620,10 @@ impl Dmb {
                 addr,
                 ready,
                 valid: true,
+                sig,
             }),
         }
+        self.check_mshr_after_mutation();
     }
 
     fn insert_line(
@@ -492,13 +651,22 @@ impl Dmb {
     fn evict_one(&mut self, now: u64, dram: &mut Dram) -> bool {
         // Oldest line in `class` that is not an outstanding fill. Walks from
         // the LRU end; the walk is bounded by the number of in-flight lines
-        // (at most `mshr_count`), keeping eviction O(1) in buffer size.
+        // (at most `mshr_count`), keeping eviction O(1) in buffer size. With
+        // no fill outstanding (the common case for write-allocate streams)
+        // the class head is the victim with no MSHR scan at all.
+        let no_inflight = self.mshr_live == 0;
+        let sig = self.mshr_sig;
         let victim_of = |lines: &LineTable, mshrs: &[MshrSlot], class: usize| {
             let mut idx = lines.heads[class];
             while idx != NIL {
                 let slot = &lines.slots[idx as usize];
-                if !mshrs.iter().any(|m| m.valid && m.addr == slot.addr) {
-                    return Some((slot.lru, slot.addr));
+                // The signature filter proves most candidates unpinned
+                // without touching the MSHR array.
+                if no_inflight
+                    || sig & Self::sig_bit(slot.addr) == 0
+                    || !mshrs.iter().any(|m| m.valid && m.addr == slot.addr)
+                {
+                    return Some((slot.lru, idx));
                 }
                 idx = slot.next;
             }
@@ -512,13 +680,13 @@ impl Dmb {
                 .filter_map(|c| victim_of(&self.lines, &self.mshrs, c))
                 .min_by_key(|&(tick, _)| tick)
         };
-        if let Some((_, addr)) = victim {
-            let line = self.lines.remove(addr).expect("victim is resident");
+        if let Some((_, idx)) = victim {
+            let line = self.lines.remove_slot(idx);
             self.evictions += 1;
             if line.dirty {
                 self.dirty_evictions += 1;
                 // Evicted victims scatter: charged as random traffic.
-                dram.write(now, addr.kind, self.line_bytes, AccessPattern::Random);
+                dram.write(now, line.addr.kind, self.line_bytes, AccessPattern::Random);
             }
             return true;
         }
@@ -526,11 +694,27 @@ impl Dmb {
     }
 
     fn reap_mshrs(&mut self, now: u64) {
-        for m in &mut self.mshrs {
-            if m.valid && m.ready <= now {
-                m.valid = false;
+        // No valid slot has `ready <= now`: the scan would be a no-op.
+        if now < self.mshr_min_ready {
+            return;
+        }
+        let mut min = u64::MAX;
+        let mut sig = 0u64;
+        for (i, m) in self.mshrs.iter_mut().enumerate() {
+            if m.valid {
+                if m.ready <= now {
+                    m.valid = false;
+                    self.mshr_live -= 1;
+                    self.mshr_free.push(i as u32);
+                } else {
+                    min = min.min(m.ready);
+                    sig |= m.sig;
+                }
             }
         }
+        self.mshr_min_ready = min;
+        self.mshr_sig = sig;
+        self.check_mshr_after_mutation();
     }
 
     /// Presents a read request at cycle `now`; `pattern` describes how a
@@ -547,10 +731,10 @@ impl Dmb {
         self.read_port_free = start + 1;
         self.reap_mshrs(start);
 
-        if let Some(line) = self.lines.get(addr) {
-            let ready = (start + self.hit_latency).max(line.ready_at);
+        if let Some(idx) = self.lines.find_slot(addr) {
+            let ready = (start + self.hit_latency).max(self.lines.slots[idx as usize].ready_at);
             self.hits.read_hits += 1;
-            self.touch(addr);
+            self.touch_slot(idx);
             return ReadOutcome { ready, hit: true };
         }
         if let Some(fill) = self.mshr_lookup(addr) {
@@ -564,16 +748,11 @@ impl Dmb {
         }
         // Primary miss: allocate an MSHR, stalling if none is free.
         let mut issue = start;
-        if self.mshr_len() >= self.mshr_count {
-            let earliest = self
-                .mshrs
-                .iter()
-                .filter(|m| m.valid)
-                .map(|m| m.ready)
-                .min()
-                .unwrap_or(issue);
+        if self.mshr_live >= self.mshr_count {
+            // All slots are valid, so the tracked minimum IS the earliest
+            // completion — no scan needed to find it.
             self.mshr_stalls += 1;
-            issue = issue.max(earliest);
+            issue = issue.max(self.mshr_min_ready);
             self.reap_mshrs(issue);
         }
         let ready = dram.read(issue, addr.kind, self.line_bytes, pattern);
@@ -600,10 +779,10 @@ impl Dmb {
         self.write_port_free = start + 1;
         self.reap_mshrs(start);
 
-        if let Some(line) = self.lines.get_mut(addr) {
-            line.dirty = true;
+        if let Some(idx) = self.lines.find_slot(addr) {
+            self.lines.slots[idx as usize].dirty = true;
             self.hits.write_hits += 1;
-            self.touch(addr);
+            self.touch_slot(idx);
             return WriteOutcome {
                 ready: start + self.hit_latency,
                 hit: true,
@@ -680,7 +859,11 @@ impl Dmb {
 
     /// Whether a line is currently resident.
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.lines.get(addr).is_some()
+        // Read-only MRU probe (a valid hint always names a live slot), then
+        // the hash walk; residency queries must not disturb LRU state, so
+        // the hint is not refreshed here.
+        (self.lines.mru != NIL && self.lines.slots[self.lines.mru as usize].addr == addr)
+            || self.lines.find_bucket(addr).is_some()
     }
 
     /// Number of resident lines of `kind`.
@@ -987,6 +1170,32 @@ mod tests {
     }
 
     #[test]
+    fn mshr_tracking_survives_mixed_traffic() {
+        // Drive misses, merges, stalls and reaps through a tiny MSHR file,
+        // re-checking the cached aggregates (live count, free list,
+        // earliest completion, signature filter) against the slot array at
+        // every step.
+        let mut cfg = small_config(16);
+        cfg.mshr_count = 2;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        for i in 0..64u64 {
+            let o = dmb.read(
+                now,
+                addr(MatrixKind::Combination, i % 24),
+                &mut dram,
+                AccessPattern::Random,
+            );
+            dmb.check_mshr_tracking();
+            // Alternate between racing ahead of the fills and waiting them
+            // out, so both the stall path and the reap path are exercised.
+            now = if i % 3 == 0 { o.ready } else { now + 1 };
+        }
+        assert!(dmb.mshr_stalls() > 0, "stall path was not exercised");
+    }
+
+    #[test]
     fn mshr_limit_stalls() {
         let mut cfg = small_config(64);
         cfg.mshr_count = 2;
@@ -1264,6 +1473,80 @@ mod tests {
                     idx = table.slots[idx as usize].next;
                 }
                 assert_eq!(&walked, expect, "seq {seq} class {class} LRU order");
+            }
+        }
+    }
+
+    /// MRU fast path vs. hash-walk path, cross-checked against the naive
+    /// `HashMap` model: after every operation, a probe through
+    /// [`LineTable::find_slot`] (hint first) must agree with a cold hash
+    /// walk and with the model — including immediately after removes, which
+    /// recycle arena slots and would turn a stale hint into a false hit.
+    #[test]
+    fn mru_fast_path_matches_hash_walk_model() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+
+        const KINDS: [MatrixKind; 3] = [
+            MatrixKind::Weight,
+            MatrixKind::Combination,
+            MatrixKind::Output,
+        ];
+        for seq in 0..400u64 {
+            let mut rng = rand_pcg::Pcg64::seed_from_u64(0x5EED_FA57 ^ seq);
+            let mut table = LineTable::with_capacity(8);
+            let mut model: HashMap<LineAddr, ()> = HashMap::new();
+            let mut tick = 0u64;
+            let index_space = 1 + seq % 17;
+            for step in 0..60 {
+                let a = addr(
+                    KINDS[rng.gen_range(0..3usize)],
+                    rng.gen_range(0..index_space),
+                );
+                match rng.gen_range(0..5u32) {
+                    0 | 1 => {
+                        if table.get(a).is_none() {
+                            tick += 1;
+                            table.insert(a, false, 0, tick);
+                            model.insert(a, ());
+                        }
+                    }
+                    2 => {
+                        tick += 1;
+                        table.touch(a, tick);
+                    }
+                    _ => {
+                        assert_eq!(
+                            table.remove(a).is_some(),
+                            model.remove(&a).is_some(),
+                            "seq {seq} step {step} remove {a:?}"
+                        );
+                    }
+                }
+                // Probe a sample of addresses twice: the first find_slot may
+                // take the hash walk and set the hint, the second must take
+                // the hint — both have to agree with a cold walk and the
+                // model.
+                for probe_i in 0..3u64 {
+                    let p = addr(KINDS[(probe_i % 3) as usize], rng.gen_range(0..index_space));
+                    let walk = table.find_bucket(p).map(|b| table.buckets[b]);
+                    for round in 0..2 {
+                        let fast = table.find_slot(p);
+                        assert_eq!(
+                            fast, walk,
+                            "seq {seq} step {step} round {round} probe {p:?}"
+                        );
+                        assert_eq!(
+                            fast.is_some(),
+                            model.contains_key(&p),
+                            "seq {seq} step {step} model disagrees on {p:?}"
+                        );
+                    }
+                    if let Some(idx) = walk {
+                        assert_eq!(table.slots[idx as usize].addr, p);
+                    }
+                }
+                table.check();
             }
         }
     }

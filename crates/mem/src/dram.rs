@@ -78,14 +78,19 @@ impl Dram {
     }
 
     fn occupy(&mut self, now: u64, bytes: u64, pattern: AccessPattern) -> u64 {
-        // Earliest-free channel.
-        let (idx, &free) = self
-            .channel_busy
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &b)| b)
-            .expect("at least one channel");
-        let start = now.max(free);
+        // Earliest-free channel (trivially channel 0 in the default
+        // single-channel configuration — skip the scan there).
+        let idx = if self.channel_busy.len() == 1 {
+            0
+        } else {
+            self.channel_busy
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &b)| b)
+                .map(|(i, _)| i)
+                .expect("at least one channel")
+        };
+        let start = now.max(self.channel_busy[idx]);
         let mut transfer = bytes.div_ceil(self.bytes_per_cycle);
         if pattern == AccessPattern::Random {
             transfer += self.random_penalty;

@@ -176,6 +176,12 @@ pub struct Lsq {
     capacity: usize,
     entries: VecDeque<Entry>,
     forwards: ForwardIndex,
+    /// Queued (un-retired) stores per [`MatrixKind`], indexed by
+    /// `kind.index()`. A load may skip the forward-index probe entirely when
+    /// its kind's count is zero: forwarding matches the exact `LineAddr`
+    /// (kind + index), so no queued store of another kind can ever forward
+    /// to it.
+    queued_stores: [u32; 5],
     stats: LsqStats,
 }
 
@@ -188,6 +194,7 @@ impl Lsq {
             // Occupancy never exceeds capacity, so neither buffer ever grows.
             entries: VecDeque::with_capacity(capacity),
             forwards: ForwardIndex::with_capacity(capacity),
+            queued_stores: [0; 5],
             stats: LsqStats::default(),
         }
     }
@@ -203,6 +210,7 @@ impl Lsq {
         let oldest = self.entries.pop_front().expect("queue is full");
         if oldest.is_store {
             self.forwards.retire_store(oldest.addr);
+            self.queued_stores[oldest.addr.kind.index()] -= 1;
         }
         now.max(oldest.ready)
     }
@@ -216,6 +224,10 @@ impl Lsq {
     pub fn load(&mut self, now: u64, addr: LineAddr) -> LoadPath {
         let at = self.admit(now);
         self.stats.loads += 1;
+        if self.queued_stores[addr.kind.index()] == 0 {
+            // No queued store of this kind exists, so no address can match.
+            return LoadPath::Issue { at };
+        }
         if let Some(store_ready) = self.forwards.youngest_store(addr) {
             self.stats.forwards += 1;
             let ready = at.max(store_ready) + 1;
@@ -253,6 +265,7 @@ impl Lsq {
             is_store: true,
         });
         self.forwards.push_store(addr, ready);
+        self.queued_stores[addr.kind.index()] += 1;
         ready
     }
 
@@ -276,6 +289,7 @@ impl Lsq {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.forwards.clear();
+        self.queued_stores = [0; 5];
     }
 }
 

@@ -59,6 +59,14 @@ pub struct SmqStream {
     fetched_ptr_lines: usize,
     /// Ready cycles of fetched-but-unconsumed index lines.
     line_ready: VecDeque<u64>,
+    /// Entries still to stream from the current (front) index line. When it
+    /// hits zero, the next `next_entry` call crosses a line boundary: only
+    /// then can `issue_fetches` have any effect (its target depends solely
+    /// on `next_entry / entries_per_line`), so intra-line calls skip the
+    /// prefetcher and reuse `line_ready_cached`.
+    line_entries_left: usize,
+    /// Ready cycle of the current (front) index line.
+    line_ready_cached: u64,
     entries_streamed: u64,
     line_bytes: u64,
 }
@@ -97,6 +105,8 @@ impl SmqStream {
             // The window holds at most `prefetch_lines` in-flight lines, so
             // streaming never grows it.
             line_ready: VecDeque::with_capacity(prefetch_lines),
+            line_entries_left: 0,
+            line_ready_cached: 0,
             entries_streamed: 0,
             line_bytes: config.line_bytes as u64,
         }
@@ -148,31 +158,26 @@ impl SmqStream {
         if self.next_entry >= self.total_entries {
             return None;
         }
-        self.issue_fetches(now, dram);
-        let line = self.next_entry / self.entries_per_line;
-        // Lines ahead of `line` may already be popped; line_ready's front
-        // corresponds to the first unconsumed line.
-        let lines_consumed = line.saturating_sub(self.fetched_idx_lines - self.line_ready.len());
-        let ready = self
-            .line_ready
-            .get(lines_consumed)
-            .copied()
-            .expect("prefetcher covers the consumption point");
+        if self.line_entries_left == 0 {
+            // First entry of a new index line: top up the prefetch window
+            // (this is the only call where its target can have moved) and
+            // cache the front line's ready cycle for the whole line.
+            self.issue_fetches(now, dram);
+            self.line_ready_cached = *self
+                .line_ready
+                .front()
+                .expect("prefetcher covers the consumption point");
+            let line_start = self.next_entry - self.next_entry % self.entries_per_line;
+            self.line_entries_left = self.entries_per_line.min(self.total_entries - line_start);
+        }
+        self.line_entries_left -= 1;
         self.next_entry += 1;
         self.entries_streamed += 1;
-        // Drop fully consumed lines from the window.
-        if self.next_entry.is_multiple_of(self.entries_per_line)
-            || self.next_entry == self.total_entries
-        {
-            if lines_consumed == 0 {
-                self.line_ready.pop_front();
-            } else {
-                // Shouldn't happen with in-order consumption, but keep the
-                // window consistent.
-                self.line_ready.drain(..=lines_consumed);
-            }
+        // Drop the line from the window once fully consumed.
+        if self.line_entries_left == 0 {
+            self.line_ready.pop_front();
         }
-        Some(ready.max(now))
+        Some(self.line_ready_cached.max(now))
     }
 
     /// Pointer records per 64-byte line (16 with 4-byte pointers).

@@ -42,6 +42,9 @@ pub struct Csc {
 impl Csc {
     /// Builds a CSC matrix from a [`Coo`], summing duplicate coordinates.
     pub fn from_coo(coo: &Coo) -> Csc {
+        if let Some(csc) = Csc::from_unique_keys(coo) {
+            return csc;
+        }
         // A CSC of M is structurally a CSR of Mᵀ.
         let t = Csr::from_coo(&coo.transpose());
         Csc {
@@ -51,6 +54,66 @@ impl Csc {
             row_idx: t.col_idx().to_vec(),
             values: t.values().to_vec(),
         }
+    }
+
+    /// [`Csc::from_coo`] for duplicate-free inputs: a counting scatter by
+    /// column in O(nnz). The scatter is stable, so any input whose rows
+    /// arrive grouped in ascending order (sparsified activations,
+    /// synthesized features — whatever their within-row column order)
+    /// lands with ascending rows in every column and needs no sort at all;
+    /// columns that come out unordered are sorted locally. With unique
+    /// coordinates the per-column ascending-row order is a function of the
+    /// key set alone, so the result is bit-identical to the general
+    /// transposed-CSR path. A duplicate key — where summation order would
+    /// matter — shows up as an equal adjacent pair after the local sort and
+    /// is reported as `None`, deferring to the general path.
+    fn from_unique_keys(coo: &Coo) -> Option<Csc> {
+        let cols = coo.cols();
+        let mut col_ptr = vec![0usize; cols + 1];
+        for (_, c, _) in coo.iter() {
+            col_ptr[c + 1] += 1;
+        }
+        for i in 0..cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut row_idx = vec![0u32; coo.nnz()];
+        let mut values = vec![0f32; coo.nnz()];
+        let mut next = col_ptr.clone();
+        for (r, c, v) in coo.iter() {
+            let pos = next[c];
+            next[c] += 1;
+            row_idx[pos] = r as u32;
+            values[pos] = v;
+        }
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for c in 0..cols {
+            let (s, e) = (col_ptr[c], col_ptr[c + 1]);
+            if row_idx[s..e].windows(2).all(|w| w[0] < w[1]) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(
+                row_idx[s..e]
+                    .iter()
+                    .copied()
+                    .zip(values[s..e].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            if scratch.windows(2).any(|w| w[0].0 == w[1].0) {
+                return None;
+            }
+            for (i, &(r, v)) in scratch.iter().enumerate() {
+                row_idx[s + i] = r;
+                values[s + i] = v;
+            }
+        }
+        Some(Csc {
+            rows: coo.rows(),
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Builds a CSC matrix with the same contents as a [`Csr`].
@@ -227,6 +290,38 @@ mod tests {
         let m = Csc::from_coo(&coo);
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn counting_scatter_matches_general_path() {
+        // A seeded random sparse matrix, converted once from row-major
+        // sorted triplets (counting-scatter fast path) and once from the
+        // same triplets shuffled (general transpose+sort path): the two
+        // constructions must agree exactly, including the value bits.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(7);
+        let (rows, cols) = (37, 23);
+        let mut sorted = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(0.15) {
+                    sorted.push((r, c, rng.gen_range(-2.0f32..2.0)));
+                }
+            }
+        }
+        let mut shuffled = sorted.clone();
+        // Deterministic shuffle: swap each element with a seeded partner.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let fast = Csc::from_coo(&Coo::from_triplets(rows, cols, sorted).unwrap());
+        let general = Csc::from_coo(&Coo::from_triplets(rows, cols, shuffled).unwrap());
+        assert_eq!(fast.col_ptr(), general.col_ptr());
+        assert_eq!(fast.row_idx(), general.row_idx());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(fast.values()), bits(general.values()));
     }
 
     #[test]

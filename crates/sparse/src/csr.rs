@@ -39,6 +39,9 @@ pub struct Csr {
 impl Csr {
     /// Builds a CSR matrix from a [`Coo`], summing duplicate coordinates.
     pub fn from_coo(coo: &Coo) -> Csr {
+        if let Some(csr) = Csr::from_unique_keys(coo) {
+            return csr;
+        }
         let mut triplets: Vec<(u32, u32, f32)> = coo
             .iter()
             .map(|(r, c, v)| (r as u32, c as u32, v))
@@ -75,6 +78,66 @@ impl Csr {
             col_idx,
             values,
         }
+    }
+
+    /// [`Csr::from_coo`] for duplicate-free inputs, in *any* entry order:
+    /// a counting scatter groups entries by row in O(nnz), then each row
+    /// whose columns are not already ascending (entries within a row keep
+    /// their input order, so sorted inputs skip this entirely) is sorted
+    /// locally. With unique keys the globally sorted triplet order is a
+    /// function of the key set alone, so this produces bit-identical arrays
+    /// to the comparison-sort path. A duplicate key — the one case where
+    /// summation order matters — is detected as an equal adjacent pair
+    /// after the local sort and reported as `None`, deferring to the
+    /// general path.
+    fn from_unique_keys(coo: &Coo) -> Option<Csr> {
+        let rows = coo.rows();
+        let nnz = coo.nnz();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for (r, _, _) in coo.iter() {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0f32; nnz];
+        let mut next = row_ptr.clone();
+        for (r, c, v) in coo.iter() {
+            let pos = next[r];
+            next[r] += 1;
+            col_idx[pos] = c as u32;
+            values[pos] = v;
+        }
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+            if col_idx[s..e].windows(2).all(|w| w[0] < w[1]) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(
+                col_idx[s..e]
+                    .iter()
+                    .copied()
+                    .zip(values[s..e].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            if scratch.windows(2).any(|w| w[0].0 == w[1].0) {
+                return None;
+            }
+            for (i, &(c, v)) in scratch.iter().enumerate() {
+                col_idx[s + i] = c;
+                values[s + i] = v;
+            }
+        }
+        Some(Csr {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Constructs a CSR matrix from raw component arrays, validating all
@@ -321,6 +384,41 @@ mod tests {
     fn from_raw_parts_rejects_col_out_of_bounds() {
         let err = Csr::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::MalformedFormat(_)));
+    }
+
+    #[test]
+    fn counting_path_matches_sort_path() {
+        // A seeded random matrix built once from shuffled triplets (the
+        // counting-scatter fast path handles arbitrary order) and once from
+        // the same triplets with a duplicate appended (forcing the general
+        // comparison-sort path): structure must agree exactly, and the
+        // unique-key prefix must agree in value bits.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(11);
+        let (rows, cols) = (41, 19);
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(0.2) {
+                    triplets.push((r, c, rng.gen_range(-2.0f32..2.0)));
+                }
+            }
+        }
+        for i in (1..triplets.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            triplets.swap(i, j);
+        }
+        let fast = Csr::from_coo(&Coo::from_triplets(rows, cols, triplets.clone()).unwrap());
+        // Appending a zero-valued duplicate of an existing entry changes no
+        // value but defeats the unique-key precondition.
+        let (dr, dc, _) = triplets[0];
+        triplets.push((dr, dc, 0.0));
+        let general = Csr::from_coo(&Coo::from_triplets(rows, cols, triplets).unwrap());
+        assert_eq!(fast.row_ptr(), general.row_ptr());
+        assert_eq!(fast.col_idx(), general.col_idx());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(fast.values()), bits(general.values()));
     }
 
     #[test]

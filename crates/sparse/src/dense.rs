@@ -127,15 +127,28 @@ impl Dense {
     }
 
     /// Adds `scalar * src` into row `r` (the scalar-vector MAC the PE array
-    /// performs).
+    /// performs). Routed through the blocked [`crate::kernels::axpy`]
+    /// kernel, which is bit-identical to the scalar loop.
     ///
     /// # Panics
     ///
     /// Panics if `src.len() != self.cols()` or `r` is out of bounds.
     pub fn axpy_row(&mut self, r: usize, scalar: f32, src: &[f32]) {
         assert_eq!(src.len(), self.cols, "vector width must equal matrix width");
-        for (dst, &s) in self.row_mut(r).iter_mut().zip(src) {
-            *dst += scalar * s;
+        crate::kernels::axpy(self.row_mut(r), scalar, src);
+    }
+
+    /// Accumulates the sparse outer product of one CSC column: for each
+    /// `(row, value)` pair, adds `value * src` into row `row`. This is the
+    /// OP dataflow's per-column update, expressed as repeated blocked
+    /// [`Dense::axpy_row`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.cols()` or any row is out of bounds.
+    pub fn outer_accumulate(&mut self, col: &[(usize, f32)], src: &[f32]) {
+        for &(r, v) in col {
+            self.axpy_row(r, v, src);
         }
     }
 

@@ -38,6 +38,7 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod kernels;
 pub mod permute;
 pub mod spdemm;
 pub mod storage;
