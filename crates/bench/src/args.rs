@@ -5,7 +5,7 @@ use std::fmt;
 
 /// Usage string printed by `--help` and alongside argument errors.
 pub const USAGE: &str =
-    "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] [--audit]";
+    "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] [--audit] [--stalls]";
 
 /// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
 /// with status 2.
@@ -38,6 +38,9 @@ pub struct BenchArgs {
     /// Enable the simulator's runtime invariant audit (see
     /// `hymm_core::audit`); any violation aborts the run.
     pub audit: bool,
+    /// Print the per-dataflow stall-attribution table (see
+    /// `hymm_core::stats::StallBreakdown`) after the figures.
+    pub stalls: bool,
 }
 
 impl Default for BenchArgs {
@@ -47,6 +50,7 @@ impl Default for BenchArgs {
             datasets: Dataset::ALL.to_vec(),
             threads: 0,
             audit: false,
+            stalls: false,
         }
     }
 }
@@ -100,6 +104,7 @@ impl BenchArgs {
                     })?;
                 }
                 "--audit" => out.audit = true,
+                "--stalls" => out.stalls = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -156,6 +161,12 @@ mod tests {
         assert_eq!(a.scale, None);
         assert_eq!(a.datasets.len(), 7);
         assert!(!a.audit);
+        assert!(!a.stalls);
+    }
+
+    #[test]
+    fn parses_stalls_flag() {
+        assert!(parse(&["--stalls"]).unwrap().stalls);
     }
 
     #[test]

@@ -35,4 +35,7 @@ fn main() {
     for s in sections {
         println!("{s}");
     }
+    if args.stalls {
+        println!("{}", figures::stalls(&results));
+    }
 }

@@ -1,6 +1,10 @@
 //! Regenerates the paper's Fig. 7.
 use hymm_bench::{figures, runner, BenchArgs};
 fn main() {
-    let results = runner::run_suite(&BenchArgs::from_env());
+    let args = BenchArgs::from_env();
+    let results = runner::run_suite(&args);
     println!("{}", figures::fig7(&results));
+    if args.stalls {
+        println!("{}", figures::stalls(&results));
+    }
 }

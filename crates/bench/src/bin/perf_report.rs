@@ -20,6 +20,7 @@
 //! stays comparable across PRs even when the suite's composition changes.
 
 use hymm_bench::{pool, run_dataset, run_suite, BenchArgs, DatasetResults};
+use hymm_core::stats::StallBreakdown;
 use std::io::Write;
 use std::time::Instant;
 
@@ -107,6 +108,25 @@ fn main() {
         .sum();
     let sim_cycles_per_second = sim_cycles_total as f64 / serial_s.max(1e-9);
 
+    // Stall-attribution totals per dataflow variant, summed over the suite's
+    // datasets — tracks where the simulated machines spend their cycles so
+    // perf work can target the dominant class.
+    let stall_cycles: Vec<String> = ["OP", "RWP", "HyMM", "HyMM-noacc"]
+        .iter()
+        .map(|label| {
+            let mut total = StallBreakdown::default();
+            for d in &serial_results {
+                total.merge(&d.run(label).report.stalls);
+            }
+            let classes: Vec<String> = StallBreakdown::CLASSES
+                .iter()
+                .zip(total.as_array())
+                .map(|(name, v)| format!("\"{name}\": {v}"))
+                .collect();
+            format!("\"{label}\": {{ {} }}", classes.join(", "))
+        })
+        .collect();
+
     // The committed baseline was measured on the reference configuration;
     // a before/after comparison on any other scale or dataset subset would
     // be meaningless, so it is reported as null there.
@@ -133,11 +153,12 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"stall_cycles\": {{ {} }},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),
         per_dataset.join(", "),
+        stall_cycles.join(", "),
     );
 
     let path = "BENCH_host.json";

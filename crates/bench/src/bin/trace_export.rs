@@ -1,0 +1,177 @@
+//! Exports a cycle-level Chrome-trace/Perfetto JSON for one dataset.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin trace_export -- \
+//!     [--dataset CR] [--scale N] [--dataflow op|rwp|cwp|hymm|all] \
+//!     [--out TRACE.json] [--check]
+//! ```
+//!
+//! Runs the two-layer GCN inference with tracing enabled and writes one
+//! trace document (open it at <https://ui.perfetto.dev> or in
+//! `chrome://tracing`): each requested dataflow becomes one process whose
+//! threads are the simulator's clock domains (phases, DMB ports, DRAM
+//! channels, LSQ, SMQ streams), with MSHR-occupancy / miss-latency /
+//! LSQ-depth histograms embedded under the `hymmHistograms` key.
+//!
+//! `--check` re-reads the written file through the dependency-free JSON
+//! validator ([`trace_json::validate_chrome_trace`]) — the CI smoke step
+//! runs with it on.
+
+use hymm_bench::trace_json;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_core::trace::TraceData;
+use hymm_gcn::{run_inference, GcnModel};
+use hymm_graph::datasets::Dataset;
+use std::io::Write as _;
+use std::process::exit;
+
+const USAGE: &str = "usage: trace_export [options]
+
+Options:
+  --dataset ABBR   dataset to synthesise (CR, CS, PB, AC, AP, CF, ND; default CR)
+  --scale N        cap the dataset at N nodes (default: paper-size)
+  --dataflow MODE  op | rwp | cwp | hymm | all   (default all)
+  --out PATH       output file (default TRACE.json)
+  --check          validate the written JSON and fail on malformed output
+  --help           show this help
+";
+
+struct Options {
+    dataset: Dataset,
+    scale: Option<usize>,
+    dataflows: Vec<Dataflow>,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Options {
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        exit(2);
+    };
+    let mut opts = Options {
+        dataset: Dataset::Cora,
+        scale: None,
+        dataflows: Dataflow::EXTENDED.to_vec(),
+        out: "TRACE.json".to_string(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--dataset" => {
+                let abbr = value("--dataset");
+                opts.dataset = Dataset::ALL
+                    .into_iter()
+                    .find(|d| d.abbrev().eq_ignore_ascii_case(abbr.trim()))
+                    .unwrap_or_else(|| fail(&format!("unknown dataset {abbr:?}")));
+            }
+            "--scale" => {
+                let n = value("--scale");
+                opts.scale = Some(
+                    n.parse()
+                        .unwrap_or_else(|_| fail(&format!("bad --scale value {n:?}"))),
+                );
+            }
+            "--dataflow" => {
+                opts.dataflows = match value("--dataflow").as_str() {
+                    "op" | "outer" => vec![Dataflow::Outer],
+                    "rwp" | "row" => vec![Dataflow::RowWise],
+                    "cwp" | "column" => vec![Dataflow::ColumnWise],
+                    "hymm" | "hybrid" => vec![Dataflow::Hybrid],
+                    "all" => Dataflow::EXTENDED.to_vec(),
+                    other => fail(&format!("unknown dataflow {other:?}")),
+                };
+            }
+            "--out" => opts.out = value("--out"),
+            "--check" => opts.check = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let spec = match opts.scale {
+        Some(n) => opts.dataset.spec().scaled(n),
+        None => opts.dataset.spec(),
+    };
+    eprintln!(
+        "[trace_export] synthesising {} ({} nodes) ...",
+        spec.dataset.name(),
+        spec.nodes
+    );
+    let workload = spec.synthesize();
+    let model = GcnModel::two_layer(spec.feature_len, spec.layer_dim, spec.layer_dim, 42);
+
+    let mut config = AcceleratorConfig::default();
+    config.mem.trace = true;
+
+    let mut runs: Vec<(String, TraceData)> = Vec::new();
+    for df in &opts.dataflows {
+        eprintln!("[trace_export] simulating {} ...", df.label());
+        let outcome = run_inference(
+            &config,
+            *df,
+            &workload.adjacency,
+            &workload.features,
+            &model,
+        )
+        .expect("inference succeeds");
+        let report = outcome.report;
+        let trace = report
+            .trace
+            .as_deref()
+            .cloned()
+            .expect("tracing was enabled, so the report carries a trace");
+        let top = hymm_core::StallBreakdown::CLASSES
+            .iter()
+            .zip(report.stalls.as_array())
+            .max_by_key(|(_, v)| *v)
+            .map(|(name, v)| {
+                format!(
+                    "{name} {:.1}%",
+                    100.0 * v as f64 / report.cycles.max(1) as f64
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "[trace_export]   {}: {} cycles, {} events ({} dropped), top stall class: {top}",
+            df.label(),
+            report.cycles,
+            trace.events.len(),
+            trace.dropped
+        );
+        runs.push((df.label().to_string(), trace));
+    }
+
+    let borrowed: Vec<(String, &TraceData)> = runs.iter().map(|(l, t)| (l.clone(), t)).collect();
+    let json = trace_json::chrome_trace(&borrowed);
+    let mut f = std::fs::File::create(&opts.out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write trace JSON");
+    println!(
+        "wrote {} ({} bytes, {} runs)",
+        opts.out,
+        json.len(),
+        runs.len()
+    );
+
+    if opts.check {
+        match trace_json::validate_chrome_trace(&json) {
+            Ok(n) => println!("validated: {n} trace events, all with ph + ts"),
+            Err(e) => {
+                eprintln!("error: written trace failed validation: {e}");
+                exit(1);
+            }
+        }
+    }
+}

@@ -162,6 +162,7 @@ mod tests {
             datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
             threads,
             audit: false,
+            stalls: false,
         };
         let serial_dir = std::env::temp_dir().join("hymm_csv_serial");
         let parallel_dir = std::env::temp_dir().join("hymm_csv_parallel");

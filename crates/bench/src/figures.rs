@@ -335,6 +335,39 @@ pub fn fig10(results: &[DatasetResults]) -> String {
     )
 }
 
+/// Stall-attribution table (printed by `--stalls`): for every dataset and
+/// dataflow variant, the share of total cycles each stall class absorbs
+/// (waterfall attribution — see `hymm_core::stats::StallBreakdown`).
+pub fn stalls(results: &[DatasetResults]) -> String {
+    use hymm_core::stats::StallBreakdown;
+    let mut header = vec!["Dataset", "Dataflow", "cycles"];
+    header.extend(StallBreakdown::CLASSES);
+    let mut t = TextTable::new(header);
+    for r in results {
+        for run in &r.runs {
+            let cycles = run.report.cycles.max(1);
+            let mut row = vec![
+                r.spec.dataset.abbrev().to_string(),
+                run.label.to_string(),
+                run.report.cycles.to_string(),
+            ];
+            row.extend(
+                run.report
+                    .stalls
+                    .as_array()
+                    .iter()
+                    .map(|&c| pct(c as f64 / cycles as f64)),
+            );
+            t.row(row);
+        }
+    }
+    format!(
+        "Stall attribution: where every simulated cycle went, per dataflow\n\
+         (waterfall order: a class only claims cycles the classes before it left)\n{}",
+        t.render()
+    )
+}
+
 /// Fig. 11: DRAM access breakdown by matrix kind.
 pub fn fig11(results: &[DatasetResults]) -> String {
     let mut t = TextTable::new(vec![
@@ -404,6 +437,18 @@ mod tests {
             fig11(&results),
         ] {
             assert!(s.contains("CR"), "figure missing dataset row:\n{s}");
+        }
+    }
+
+    #[test]
+    fn stalls_table_covers_every_variant_and_class() {
+        let results = tiny();
+        let s = stalls(&results);
+        for label in ["OP", "RWP", "HyMM", "HyMM-noacc"] {
+            assert!(s.contains(label), "missing variant {label}:\n{s}");
+        }
+        for class in hymm_core::stats::StallBreakdown::CLASSES {
+            assert!(s.contains(class), "missing class {class}:\n{s}");
         }
     }
 

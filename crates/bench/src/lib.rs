@@ -36,6 +36,7 @@ pub mod figures;
 pub mod pool;
 pub mod runner;
 pub mod table;
+pub mod trace_json;
 
 pub use args::BenchArgs;
 pub use runner::{run_dataset, run_suite, DataflowRun, DatasetResults};

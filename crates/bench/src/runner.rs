@@ -258,6 +258,7 @@ mod tests {
             datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
             threads,
             audit: true,
+            stalls: false,
         };
         let serial = run_suite(&mk(1));
         let parallel = run_suite(&mk(4));

@@ -1,0 +1,711 @@
+//! Chrome-trace/Perfetto export of simulator event traces.
+//!
+//! [`chrome_trace`] serialises one or more labelled [`TraceData`]s (one per
+//! dataflow run) into a single Chrome-trace JSON document — loadable in
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) — with each
+//! run as its own process and each event [`Track`] as a named thread:
+//!
+//! - phases and DRAM channel occupancy become duration (`"ph": "X"`) slices;
+//! - DMB accesses become slices spanning request → data-ready (hits, with
+//!   zero latency span, become instants);
+//! - MSHR occupancy and LSQ queue depth become counter (`"ph": "C"`) tracks;
+//! - everything else (evictions, MSHR stalls, SMQ fetches) becomes instant
+//!   (`"ph": "i"`) events.
+//!
+//! The document also carries a non-standard top-level `hymmHistograms`
+//! object ([`histograms`]: MSHR occupancy, read-miss latency, LSQ queue
+//! depth), which trace viewers ignore.
+//!
+//! [`validate_chrome_trace`] is a small, dependency-free JSON reader used by
+//! the CI smoke check: it parses the whole document and verifies every
+//! trace event carries a string `ph` and a numeric `ts`.
+
+use hymm_core::trace::{AccessClass, LsqOpKind, TraceData, TraceKind, Track};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Thread id of a track inside its run's process.
+fn track_tid(track: Track) -> u32 {
+    match track {
+        Track::Phase => 0,
+        Track::DmbRead => 1,
+        Track::DmbWrite => 2,
+        Track::MshrRetire => 3,
+        Track::Lsq => 4,
+        Track::DramChannel(c) => 10 + c as u32,
+        Track::Smq(s) => 100 + s as u32,
+    }
+}
+
+/// Human-readable thread name of a track.
+fn track_label(track: Track) -> String {
+    match track {
+        Track::Phase => "phases".into(),
+        Track::DmbRead => "dmb-read-port".into(),
+        Track::DmbWrite => "dmb-write-port".into(),
+        Track::MshrRetire => "mshr-retire".into(),
+        Track::Lsq => "lsq".into(),
+        Track::DramChannel(c) => format!("dram-ch{c}"),
+        Track::Smq(s) => format!("smq-{s}"),
+    }
+}
+
+fn access_label(class: AccessClass) -> &'static str {
+    match class {
+        AccessClass::ReadHit => "read-hit",
+        AccessClass::ReadMissFill => "read-miss-fill",
+        AccessClass::ReadMissMerge => "read-miss-merge",
+        AccessClass::WriteHit => "write-hit",
+        AccessClass::WriteMissAlloc => "write-miss-alloc",
+        AccessClass::WriteMissBypass => "write-miss-bypass",
+    }
+}
+
+fn lsq_label(op: LsqOpKind) -> &'static str {
+    match op {
+        LsqOpKind::Load => "lsq-load",
+        LsqOpKind::LoadForwarded => "lsq-forward",
+        LsqOpKind::Store => "lsq-store",
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one event object; `extra` is raw JSON appended after the common
+/// fields (either empty or beginning with a comma).
+fn push_event(events: &mut Vec<String>, name: &str, ph: &str, ts: u64, pid: usize, extra: String) {
+    events.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid}{extra}}}",
+        esc(name)
+    ));
+}
+
+/// Serialises labelled traces into one Chrome-trace JSON document.
+///
+/// Every `(label, trace)` pair becomes one process (pid = slice index) whose
+/// tracks appear as named threads; see the module docs for the event
+/// mapping. Timestamps are simulated cycles reported as microseconds (the
+/// format's native unit), so viewer durations read directly as cycles.
+pub fn chrome_trace(runs: &[(String, &TraceData)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (pid, (label, trace)) in runs.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(label)
+        ));
+        let mut tracks_seen: BTreeMap<u32, Track> = BTreeMap::new();
+        for e in &trace.events {
+            tracks_seen.entry(track_tid(e.track)).or_insert(e.track);
+        }
+        for (tid, track) in &tracks_seen {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(&track_label(*track))
+            ));
+        }
+
+        // Open phase begins awaiting their end event (paired by name).
+        let mut open_phases: Vec<(&'static str, u64)> = Vec::new();
+        for e in &trace.events {
+            let tid = track_tid(e.track);
+            match e.kind {
+                TraceKind::PhaseBegin { name } => open_phases.push((name, e.ts)),
+                TraceKind::PhaseEnd { name } => {
+                    let Some(pos) = open_phases.iter().rposition(|(n, _)| *n == name) else {
+                        continue;
+                    };
+                    let (_, begin) = open_phases.remove(pos);
+                    push_event(
+                        &mut events,
+                        name,
+                        "X",
+                        begin,
+                        pid,
+                        format!(",\"dur\":{},\"tid\":{tid}", e.ts.saturating_sub(begin)),
+                    );
+                }
+                TraceKind::DmbAccess { addr, class, ready } => {
+                    let dur = ready.saturating_sub(e.ts);
+                    let args = format!(
+                        ",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{}}}",
+                        addr.kind.label(),
+                        addr.index
+                    );
+                    if dur > 0 {
+                        push_event(
+                            &mut events,
+                            access_label(class),
+                            "X",
+                            e.ts,
+                            pid,
+                            format!(",\"dur\":{dur}{args}"),
+                        );
+                    } else {
+                        push_event(
+                            &mut events,
+                            access_label(class),
+                            "i",
+                            e.ts,
+                            pid,
+                            format!(",\"s\":\"t\"{args}"),
+                        );
+                    }
+                }
+                TraceKind::DmbEvict { addr, dirty } => push_event(
+                    &mut events,
+                    if dirty { "evict-dirty" } else { "evict" },
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{}}}",
+                        addr.kind.label(),
+                        addr.index
+                    ),
+                ),
+                TraceKind::MshrAllocate { occupancy, .. }
+                | TraceKind::MshrRetire { occupancy, .. } => push_event(
+                    &mut events,
+                    "mshr-occupancy",
+                    "C",
+                    e.ts,
+                    pid,
+                    format!(",\"args\":{{\"mshrs\":{occupancy}}}"),
+                ),
+                TraceKind::MshrStall { waited } => push_event(
+                    &mut events,
+                    "mshr-stall",
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"waited\":{waited}}}"),
+                ),
+                TraceKind::DramBusy {
+                    kind,
+                    bytes,
+                    is_write,
+                } => push_event(
+                    &mut events,
+                    if is_write { "dram-write" } else { "dram-read" },
+                    "X",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"dur\":{},\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"bytes\":{bytes}}}",
+                        e.dur,
+                        kind.label()
+                    ),
+                ),
+                TraceKind::LsqOp { op, occupancy } => {
+                    push_event(
+                        &mut events,
+                        lsq_label(op),
+                        "i",
+                        e.ts,
+                        pid,
+                        format!(",\"s\":\"t\",\"tid\":{tid}"),
+                    );
+                    push_event(
+                        &mut events,
+                        "lsq-depth",
+                        "C",
+                        e.ts,
+                        pid,
+                        format!(",\"args\":{{\"entries\":{occupancy}}}"),
+                    );
+                }
+                TraceKind::SmqFetch { kind, ready } => push_event(
+                    &mut events,
+                    "smq-fetch",
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"ready\":{ready}}}",
+                        kind.label()
+                    ),
+                ),
+            }
+        }
+    }
+
+    let histograms: Vec<String> = runs
+        .iter()
+        .map(|(label, trace)| {
+            let hs: Vec<String> = histograms(trace)
+                .into_iter()
+                .map(|h| {
+                    let buckets: Vec<String> = h
+                        .buckets
+                        .iter()
+                        .map(|(lo, count)| format!("[{lo},{count}]"))
+                        .collect();
+                    format!("\"{}\":[{}]", h.name, buckets.join(","))
+                })
+                .collect();
+            format!("\"{}\":{{{}}}", esc(label), hs.join(","))
+        })
+        .collect();
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\"hymmHistograms\":{{{}}}}}\n",
+        events.join(",\n"),
+        histograms.join(",")
+    )
+}
+
+/// One histogram: sorted `(bucket lower bound, count)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Stable metric name.
+    pub name: &'static str,
+    /// Sorted `(bucket lower bound, count)` pairs; occupancy metrics use
+    /// exact-value buckets, latency metrics power-of-two buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Lower bound of the power-of-two bucket containing `v`.
+fn pow2_bucket(v: u64) -> u64 {
+    if v <= 1 {
+        v
+    } else {
+        1 << (63 - v.leading_zeros())
+    }
+}
+
+/// Computes the three latency/occupancy histograms from a trace: MSHR
+/// occupancy at allocate/retire, DMB read-miss latency (request to data
+/// ready, power-of-two buckets), and LSQ queue depth at each operation.
+pub fn histograms(trace: &TraceData) -> Vec<Histogram> {
+    let mut mshr: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut miss: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lsq: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            TraceKind::MshrAllocate { occupancy, .. } | TraceKind::MshrRetire { occupancy, .. } => {
+                *mshr.entry(occupancy as u64).or_default() += 1;
+            }
+            TraceKind::DmbAccess {
+                class: AccessClass::ReadMissFill | AccessClass::ReadMissMerge,
+                ready,
+                ..
+            } => {
+                *miss
+                    .entry(pow2_bucket(ready.saturating_sub(e.ts)))
+                    .or_default() += 1;
+            }
+            TraceKind::LsqOp { occupancy, .. } => {
+                *lsq.entry(occupancy as u64).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    let collect = |name, m: BTreeMap<u64, u64>| Histogram {
+        name,
+        buckets: m.into_iter().collect(),
+    };
+    vec![
+        collect("mshr-occupancy", mshr),
+        collect("miss-latency", miss),
+        collect("lsq-depth", lsq),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Validating JSON reader (CI smoke check).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while matches!(
+            self.b.get(self.i),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            // Surrogates outside the BMP are not produced by
+                            // the writer; map them to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => {
+                    // Copy the contiguous run of plain characters in one
+                    // slice (the input is a &str, so any span that stops at
+                    // an ASCII delimiter is on a char boundary).
+                    let start = self.i;
+                    while matches!(self.b.get(self.i), Some(&c) if c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.i += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a full JSON document.
+fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Validates a Chrome-trace document: the JSON must parse completely, carry
+/// a `traceEvents` array, and every event must be an object with a
+/// non-empty string `ph` and a finite numeric `ts`. Returns the event count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn validate_chrome_trace(src: &str) -> Result<usize, String> {
+    let doc = parse_json(src)?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("missing top-level \"traceEvents\" array".into());
+    };
+    for (i, e) in events.iter().enumerate() {
+        match e.get("ph") {
+            Some(Json::Str(ph)) if !ph.is_empty() => {}
+            other => return Err(format!("event {i}: bad \"ph\" field: {other:?}")),
+        }
+        match e.get("ts") {
+            Some(Json::Num(_)) => {}
+            other => return Err(format!("event {i}: bad \"ts\" field: {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymm_core::trace::TraceEvent;
+    use hymm_mem::{LineAddr, MatrixKind};
+
+    fn ev(track: Track, kind: TraceKind, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            track,
+            kind,
+            ts,
+            dur,
+        }
+    }
+
+    fn sample() -> TraceData {
+        let mut t = TraceData::new();
+        let addr = LineAddr::new(MatrixKind::Combination, 3);
+        t.events.extend([
+            ev(Track::Phase, TraceKind::PhaseBegin { name: "comb" }, 0, 0),
+            ev(
+                Track::DmbRead,
+                TraceKind::MshrAllocate {
+                    addr,
+                    occupancy: 1,
+                    ready: 104,
+                },
+                2,
+                0,
+            ),
+            ev(
+                Track::DmbRead,
+                TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::ReadMissFill,
+                    ready: 104,
+                },
+                2,
+                0,
+            ),
+            ev(
+                Track::DramChannel(0),
+                TraceKind::DramBusy {
+                    kind: MatrixKind::Combination,
+                    bytes: 64,
+                    is_write: false,
+                },
+                2,
+                1,
+            ),
+            ev(
+                Track::Lsq,
+                TraceKind::LsqOp {
+                    op: LsqOpKind::Store,
+                    occupancy: 1,
+                },
+                5,
+                0,
+            ),
+            ev(
+                Track::Smq(0),
+                TraceKind::SmqFetch {
+                    kind: MatrixKind::SparseA,
+                    ready: 7,
+                },
+                6,
+                0,
+            ),
+            ev(Track::Phase, TraceKind::PhaseEnd { name: "comb" }, 110, 0),
+        ]);
+        t
+    }
+
+    #[test]
+    fn exported_trace_is_valid_and_named() {
+        let data = sample();
+        let json = chrome_trace(&[("HyMM".into(), &data)]);
+        let n = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(
+            n >= data.events.len(),
+            "expected at least one JSON event per trace event"
+        );
+        for needle in [
+            "\"comb\"",
+            "read-miss-fill",
+            "dram-read",
+            "mshr-occupancy",
+            "lsq-depth",
+            "smq-fetch",
+            "process_name",
+            "hymmHistograms",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn phase_pairs_become_complete_events() {
+        let data = sample();
+        let json = chrome_trace(&[("x".into(), &data)]);
+        // The phase slice spans begin → end.
+        assert!(
+            json.contains("{\"name\":\"comb\",\"ph\":\"X\",\"ts\":0,\"pid\":0,\"dur\":110"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn histograms_bucket_latency_by_power_of_two() {
+        let data = sample();
+        let hs = histograms(&data);
+        assert_eq!(hs.len(), 3);
+        let miss = hs.iter().find(|h| h.name == "miss-latency").unwrap();
+        // latency 102 lands in the [64, 128) bucket
+        assert_eq!(miss.buckets, vec![(64, 1)]);
+        let mshr = hs.iter().find(|h| h.name == "mshr-occupancy").unwrap();
+        assert_eq!(mshr.buckets, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn pow2_buckets_are_stable() {
+        assert_eq!(pow2_bucket(0), 0);
+        assert_eq!(pow2_bucket(1), 1);
+        assert_eq!(pow2_bucket(2), 2);
+        assert_eq!(pow2_bucket(3), 2);
+        assert_eq!(pow2_bucket(64), 64);
+        assert_eq!(pow2_bucket(127), 64);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{").is_err());
+        assert!(validate_chrome_trace("{\"x\": 1}").is_err());
+        // ph present but not a string
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":1,\"ts\":0}]}").is_err());
+        // ts missing
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert_eq!(
+            validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0}]}"),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn validator_handles_escapes_and_nesting() {
+        let src = "{\"traceEvents\":[{\"ph\":\"i\",\"ts\":1.5e2,\
+                   \"args\":{\"k\":[null,true,\"a\\\\\\\"b\\u0041\"]}}]}";
+        assert_eq!(validate_chrome_trace(src), Ok(1));
+        assert!(validate_chrome_trace("{\"traceEvents\":[]} junk").is_err());
+    }
+}

@@ -19,6 +19,9 @@
 //! - **LSQ forward-vs-store consistency**: forwards cannot outnumber loads
 //!   and require at least one store in flight. Catches stale entries in the
 //!   open-addressed forward index.
+//! - **Stall attribution completeness**: every phase's stall classes sum
+//!   exactly to the phase's cycles, and the report's classes sum to the
+//!   report's total. Catches counter-snapshot drift in the stall waterfall.
 //!
 //! The checks are observation-only: they read counters, never advance time
 //! or touch state, so enabling [`AcceleratorConfig::audit`] cannot change
@@ -141,6 +144,17 @@ fn check_phases(phases: &[PhaseReport], out: &mut Vec<AuditViolation>) {
                 ),
             });
         }
+        if p.stalls.total() != p.cycles() {
+            out.push(AuditViolation {
+                invariant: "stall-attribution",
+                details: format!(
+                    "phase {i} {:?} stall classes sum to {} but the phase spans {} cycles",
+                    p.name,
+                    p.stalls.total(),
+                    p.cycles()
+                ),
+            });
+        }
     }
     for (i, pair) in phases.windows(2).enumerate() {
         let (a, b) = (&pair[0], &pair[1]);
@@ -184,6 +198,25 @@ pub fn check_report(r: &SimReport) -> Vec<AuditViolation> {
         out.push(AuditViolation {
             invariant: "lsq-forwarding",
             details: format!("forwards {} > loads {}", r.lsq.forwards, r.lsq.loads),
+        });
+    }
+    if r.lsq.capacity_stall_cycles > 0 && r.lsq.capacity_stalls == 0 {
+        out.push(AuditViolation {
+            invariant: "lsq-capacity",
+            details: format!(
+                "{} capacity-stall cycles recorded with zero stall events",
+                r.lsq.capacity_stall_cycles
+            ),
+        });
+    }
+    if r.stalls.total() != r.cycles {
+        out.push(AuditViolation {
+            invariant: "stall-attribution",
+            details: format!(
+                "report stall classes sum to {} but the report spans {} cycles",
+                r.stalls.total(),
+                r.cycles
+            ),
         });
     }
     if let Some(last_end) = r.phases.iter().map(|p| p.end_cycle).max() {
@@ -256,6 +289,7 @@ mod tests {
     use hymm_mem::stats::HitStats;
 
     fn phase(name: &'static str, start: u64, end: u64) -> PhaseReport {
+        use crate::stats::StallBreakdown;
         PhaseReport {
             name,
             start_cycle: start,
@@ -263,6 +297,8 @@ mod tests {
             nnz: 1,
             dmb_hits: HitStats::default(),
             dram_bytes: 0,
+            // All-idle attribution keeps the stall-sum invariant satisfied.
+            stalls: StallBreakdown::attribute(end.saturating_sub(start), 0, 0, 0, 0, 0, 0),
         }
     }
 
@@ -321,6 +357,46 @@ mod tests {
         r.lsq.forwards = 2;
         let v = check_report(&r);
         assert!(v.iter().any(|v| v.invariant == "lsq-forwarding"), "{v:?}");
+    }
+
+    #[test]
+    fn stall_sum_mismatch_is_flagged() {
+        let mut r = SimReport::empty();
+        r.cycles = 10;
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "stall-attribution"),
+            "{v:?}"
+        );
+        r.stalls.idle = 10;
+        let v = check_report(&r);
+        assert!(
+            v.iter().all(|v| v.invariant != "stall-attribution"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn phase_stall_sum_mismatch_is_flagged() {
+        let mut r = SimReport::empty();
+        r.cycles = 100;
+        r.stalls.idle = 100;
+        let mut p = phase("a", 0, 50);
+        p.stalls.idle = 0; // break the per-phase sum
+        r.phases.push(p);
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "stall-attribution"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn stall_cycles_without_events_is_flagged() {
+        let mut r = SimReport::empty();
+        r.lsq.capacity_stall_cycles = 7;
+        let v = check_report(&r);
+        assert!(v.iter().any(|v| v.invariant == "lsq-capacity"), "{v:?}");
     }
 
     #[test]

@@ -166,6 +166,7 @@ pub fn run_cwp(m: &mut Machine, start: u64, job: &CwpJob<'_>, out: &mut Dense) -
                     m.pe.execute_mac(entry_ready.max(dense_line_ready), op_cycles);
                 end = end.max(done);
             }
+            m.absorb_smq(&mut smq);
             // Flush the tile's slice of output column j (accumulated in
             // PE-local storage) as a sequential stream.
             let lo_line = (tile * job.tile_rows) / elems;

@@ -330,6 +330,7 @@ pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: Numeri
             // buffer to itself.
             end = end.max(m.dmb.flush_kind(end, job.out_kind, &mut m.dram));
         }
+        m.absorb_smq(&mut smq);
         end = end.max(now);
     }
     end = end.max(now);

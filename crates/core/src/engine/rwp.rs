@@ -131,6 +131,7 @@ pub fn run_rwp_sink(
         end = end.max(row_done);
     }
     end = end.max(issue);
+    m.absorb_smq(&mut smq);
     m.record_phase(job.name, start, end, job.sparse.nnz() as u64);
     end
 }

@@ -49,8 +49,9 @@ pub mod pe;
 pub mod prepared;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 
 pub use config::{AcceleratorConfig, Dataflow, MergePolicy};
 pub use prepared::{CombinationMemo, PreparedAdjacency};
 pub use sim::{run_gcn_layer, LayerOutcome};
-pub use stats::SimReport;
+pub use stats::{SimReport, StallBreakdown};

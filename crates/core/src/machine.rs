@@ -8,9 +8,23 @@
 
 use crate::config::AcceleratorConfig;
 use crate::pe::PeArray;
-use crate::stats::{PartialStats, PhaseReport, SimReport};
+use crate::stats::{PartialStats, PhaseReport, SimReport, StallBreakdown};
 use hymm_mem::dram::AccessPattern;
+use hymm_mem::smq::SmqStream;
+use hymm_mem::trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};
 use hymm_mem::{Dmb, Dram, Lsq, MatrixKind};
+
+/// Raw component-counter totals sampled at a phase boundary. Deltas between
+/// two snapshots feed [`StallBreakdown::attribute`].
+#[derive(Debug, Default, Clone, Copy)]
+struct StallCounters {
+    mac: u64,
+    merge: u64,
+    dmb_miss: u64,
+    dram_busy: u64,
+    lsq_stall: u64,
+    smq_wait: u64,
+}
 
 /// One assembled accelerator instance.
 #[derive(Debug)]
@@ -33,6 +47,17 @@ pub struct Machine {
     hit_snapshot: hymm_mem::stats::HitStats,
     /// DRAM bytes at the end of the previous phase.
     dram_snapshot: u64,
+    /// Stall-source counter totals at the end of the previous phase.
+    stall_snapshot: StallCounters,
+    /// SMQ starvation cycles folded in from finished streams (engines create
+    /// one stream per pass and hand it to [`Machine::absorb_smq`]).
+    smq_wait_cycles: u64,
+    /// Machine-wide id of the next absorbed SMQ stream.
+    smq_streams: u16,
+    /// Trace events from absorbed SMQ streams, renumbered per stream.
+    smq_trace: TraceData,
+    /// Ring for machine-level (phase) events; `None` when tracing is off.
+    trace: Option<Box<TraceRing>>,
 }
 
 impl Machine {
@@ -48,6 +73,42 @@ impl Machine {
             phases: Vec::new(),
             hit_snapshot: hymm_mem::stats::HitStats::default(),
             dram_snapshot: 0,
+            stall_snapshot: StallCounters::default(),
+            smq_wait_cycles: 0,
+            smq_streams: 0,
+            smq_trace: TraceData::new(),
+            trace: config.mem.trace_ring(),
+        }
+    }
+
+    /// Current totals of every stall-source counter.
+    fn stall_counters(&self) -> StallCounters {
+        StallCounters {
+            mac: self.pe.mac_cycles(),
+            merge: self.pe.merge_cycles(),
+            dmb_miss: self.dmb.miss_latency_cycles() + self.dmb.mshr_stall_cycles(),
+            dram_busy: self.dram.busy_cycles(),
+            lsq_stall: self.lsq.stats().capacity_stall_cycles,
+            smq_wait: self.smq_wait_cycles,
+        }
+    }
+
+    /// Folds a finished SMQ stream's starvation cycles and trace events into
+    /// the machine. Engines create one stream per pass (one per RWP job, one
+    /// per OP/CWP tile walk) and must absorb it before recording the phase so
+    /// the starvation cycles land in the right [`StallBreakdown`]. Each
+    /// stream stamps its events `Track::Smq(0)`; the machine renumbers them
+    /// with a machine-wide stream id here.
+    pub fn absorb_smq(&mut self, smq: &mut SmqStream) {
+        self.smq_wait_cycles += smq.wait_cycles();
+        let id = self.smq_streams;
+        self.smq_streams = self.smq_streams.wrapping_add(1);
+        if self.config.mem.trace {
+            let start = self.smq_trace.events.len();
+            smq.drain_trace(&mut self.smq_trace);
+            for e in &mut self.smq_trace.events[start..] {
+                e.track = Track::Smq(id);
+            }
         }
     }
 
@@ -130,6 +191,17 @@ impl Machine {
             write_hits: hits_now.write_hits - self.hit_snapshot.write_hits,
             write_misses: hits_now.write_misses - self.hit_snapshot.write_misses,
         };
+        let counters = self.stall_counters();
+        let prev = self.stall_snapshot;
+        let stalls = StallBreakdown::attribute(
+            end.saturating_sub(start),
+            counters.mac - prev.mac,
+            counters.merge - prev.merge,
+            counters.dmb_miss - prev.dmb_miss,
+            counters.dram_busy - prev.dram_busy,
+            counters.lsq_stall - prev.lsq_stall,
+            counters.smq_wait - prev.smq_wait,
+        );
         self.phases.push(PhaseReport {
             name,
             start_cycle: start,
@@ -137,9 +209,25 @@ impl Machine {
             nnz,
             dmb_hits: delta,
             dram_bytes: dram_now - self.dram_snapshot,
+            stalls,
         });
         self.hit_snapshot = hits_now;
         self.dram_snapshot = dram_now;
+        self.stall_snapshot = counters;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: Track::Phase,
+                kind: TraceKind::PhaseBegin { name },
+                ts: start,
+                dur: 0,
+            });
+            t.push(TraceEvent {
+                track: Track::Phase,
+                kind: TraceKind::PhaseEnd { name },
+                ts: end,
+                dur: 0,
+            });
+        }
         if self.config.audit {
             crate::audit::enforce(name, &crate::audit::check_machine(self));
         }
@@ -156,8 +244,32 @@ impl Machine {
         let flushed = self
             .dmb
             .flush_kind(total_cycles, MatrixKind::Output, &mut self.dram);
+        let cycles = flushed.max(total_cycles);
+        // Report-level attribution: the per-phase breakdowns plus whatever
+        // falls outside any phase window (drain tail, gaps) as idle.
+        let mut stalls = StallBreakdown::default();
+        for p in &self.phases {
+            stalls.merge(&p.stalls);
+        }
+        stalls.idle += cycles.saturating_sub(stalls.total());
+        // Collect every component's event ring into one flat trace. The DRAM
+        // ring must drain before `into_stats` consumes the model below.
+        let trace = if self.config.mem.trace {
+            let mut data = TraceData::new();
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.drain_into(&mut data);
+            }
+            data.events.append(&mut self.smq_trace.events);
+            data.dropped += self.smq_trace.dropped;
+            self.dmb.drain_trace(&mut data);
+            self.lsq.drain_trace(&mut data);
+            self.dram.drain_trace(&mut data);
+            Some(Box::new(data))
+        } else {
+            None
+        };
         let report = SimReport {
-            cycles: flushed.max(total_cycles),
+            cycles,
             mac_cycles: self.pe.mac_cycles(),
             merge_cycles: self.pe.merge_cycles(),
             dram: self.dram.into_stats(),
@@ -167,7 +279,9 @@ impl Machine {
             accumulator_merges: self.dmb.accumulator_merges(),
             lsq: self.lsq.stats(),
             partials: self.partials,
+            stalls,
             phases: self.phases,
+            trace,
         };
         if audit {
             crate::audit::enforce("report", &crate::audit::check_report(&report));
@@ -235,5 +349,81 @@ mod tests {
         let report = m.into_report(10);
         assert_eq!(report.phases.len(), 1);
         assert_eq!(report.phases[0].cycles(), 10);
+    }
+
+    #[test]
+    fn phase_stalls_sum_to_phase_cycles() {
+        let mut m = machine();
+        let addr = LineAddr::new(MatrixKind::Combination, 1);
+        let end = m.load_line(0, addr, AccessPattern::Random);
+        m.record_phase("p", 0, end, 1);
+        let p = &m.phases[0];
+        assert_eq!(p.stalls.total(), p.cycles());
+        assert!(p.stalls.dmb_miss > 0, "a cold miss must be attributed");
+    }
+
+    #[test]
+    fn report_stalls_cover_cycles_outside_phases_as_idle() {
+        let mut m = machine();
+        m.record_phase("p", 0, 10, 1);
+        let report = m.into_report(50);
+        assert_eq!(report.stalls.total(), report.cycles);
+        assert!(report.stalls.idle >= 40, "post-phase tail must be idle");
+    }
+
+    #[test]
+    fn trace_collects_phase_and_component_events() {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.trace = true;
+        let mut m = Machine::new(&cfg);
+        let addr = LineAddr::new(MatrixKind::Combination, 2);
+        let end = m.load_line(0, addr, AccessPattern::Random);
+        m.record_phase("p", 0, end, 1);
+        let report = m.into_report(end);
+        let trace = report.trace.expect("tracing enabled");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::PhaseBegin { name: "p" })));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::PhaseEnd { name: "p" })));
+        assert!(trace.events.iter().any(|e| e.track == Track::DmbRead));
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn tracing_off_yields_no_trace() {
+        let mut m = machine();
+        let addr = LineAddr::new(MatrixKind::Combination, 2);
+        let end = m.load_line(0, addr, AccessPattern::Random);
+        m.record_phase("p", 0, end, 1);
+        assert!(m.into_report(end).trace.is_none());
+    }
+
+    #[test]
+    fn absorb_smq_renumbers_streams_and_sums_waits() {
+        use hymm_mem::smq::{SmqStream, SparseFormat};
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.trace = true;
+        let mut m = Machine::new(&cfg);
+        for _ in 0..2 {
+            let mut smq = SmqStream::new(&cfg.mem, MatrixKind::SparseA, SparseFormat::Csr, 3, 2);
+            let mut now = 0;
+            while let Some(e) = smq.next_entry(now, &mut m.dram) {
+                now = now.max(e) + 1;
+            }
+            m.absorb_smq(&mut smq);
+        }
+        let report = m.into_report(100);
+        let trace = report.trace.expect("tracing enabled");
+        for id in [0u16, 1] {
+            assert!(
+                trace.events.iter().any(|e| e.track == Track::Smq(id)),
+                "stream {id} missing from trace"
+            );
+        }
+        assert!(!trace.events.iter().any(|e| e.track == Track::Smq(2)));
     }
 }

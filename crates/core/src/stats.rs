@@ -7,7 +7,122 @@
 
 use hymm_mem::lsq::LsqStats;
 use hymm_mem::stats::HitStats;
+use hymm_mem::trace::TraceData;
 use hymm_mem::TrafficStats;
+
+/// Per-phase (and per-report) cycle attribution: every simulated cycle
+/// classified into one stall/work class.
+///
+/// Classes are attributed from component counter **deltas** over the phase
+/// window with a fixed-priority waterfall (see [`StallBreakdown::attribute`]):
+/// each class claims at most the cycles the previous classes left, so the
+/// seven fields always sum exactly to the phase's cycle count — the audit
+/// layer enforces this. Because concurrent components overlap (a MAC can
+/// execute under a miss), the waterfall is an *attribution policy*, not a
+/// measurement of exclusive busy time: classes earlier in the order absorb
+/// overlapped cycles first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Useful MAC work in the PE array.
+    pub mac: u64,
+    /// Partial-output merge work in the PE array.
+    pub merge: u64,
+    /// Waiting on DMB read misses (fill latency + MSHR-full stalls).
+    pub dmb_miss: u64,
+    /// DRAM channel busy (bandwidth-bound).
+    pub dram_bw: u64,
+    /// Waiting on LSQ capacity.
+    pub lsq_capacity: u64,
+    /// Waiting on the SMQ sparse stream (starvation).
+    pub smq_starve: u64,
+    /// Nothing above claims the cycle: drain, dependency gaps, idle.
+    pub idle: u64,
+}
+
+impl StallBreakdown {
+    /// Class labels, in waterfall order, matching [`StallBreakdown::as_array`].
+    pub const CLASSES: [&'static str; 7] = [
+        "mac",
+        "merge",
+        "dmb-miss",
+        "dram-bw",
+        "lsq-cap",
+        "smq-starve",
+        "idle",
+    ];
+
+    /// Distributes `cycles` over the classes: each raw component count is
+    /// capped by whatever the classes before it left unclaimed (a component
+    /// counter like total MAC cycles across 16 PEs can legitimately exceed
+    /// the wall-clock window), and the remainder is idle. By construction
+    /// `total() == cycles`.
+    pub fn attribute(
+        cycles: u64,
+        mac: u64,
+        merge: u64,
+        dmb_miss: u64,
+        dram_bw: u64,
+        lsq_capacity: u64,
+        smq_starve: u64,
+    ) -> StallBreakdown {
+        let mut left = cycles;
+        let mut take = |raw: u64| {
+            let t = raw.min(left);
+            left -= t;
+            t
+        };
+        let mac = take(mac);
+        let merge = take(merge);
+        let dmb_miss = take(dmb_miss);
+        let dram_bw = take(dram_bw);
+        let lsq_capacity = take(lsq_capacity);
+        let smq_starve = take(smq_starve);
+        StallBreakdown {
+            mac,
+            merge,
+            dmb_miss,
+            dram_bw,
+            lsq_capacity,
+            smq_starve,
+            idle: left,
+        }
+    }
+
+    /// Sum of all classes — equals the attributed cycle count.
+    pub fn total(&self) -> u64 {
+        self.mac
+            + self.merge
+            + self.dmb_miss
+            + self.dram_bw
+            + self.lsq_capacity
+            + self.smq_starve
+            + self.idle
+    }
+
+    /// The classes as an array, ordered like [`StallBreakdown::CLASSES`].
+    pub fn as_array(&self) -> [u64; 7] {
+        [
+            self.mac,
+            self.merge,
+            self.dmb_miss,
+            self.dram_bw,
+            self.lsq_capacity,
+            self.smq_starve,
+            self.idle,
+        ]
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.mac += other.mac;
+        self.merge += other.merge;
+        self.dmb_miss += other.dmb_miss;
+        self.dram_bw += other.dram_bw;
+        self.lsq_capacity += other.lsq_capacity;
+        self.smq_starve += other.smq_starve;
+        self.idle += other.idle;
+    }
+}
 
 /// Partial-output footprint accounting (paper Fig. 10).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +164,8 @@ pub struct PhaseReport {
     pub dmb_hits: HitStats,
     /// DRAM bytes moved during this phase only.
     pub dram_bytes: u64,
+    /// Where this phase's cycles went; always sums to [`PhaseReport::cycles`].
+    pub stalls: StallBreakdown,
 }
 
 impl PhaseReport {
@@ -83,8 +200,13 @@ pub struct SimReport {
     pub lsq: LsqStats,
     /// Partial-output footprint (Fig. 10).
     pub partials: PartialStats,
+    /// Where every cycle went; always sums to [`SimReport::cycles`].
+    pub stalls: StallBreakdown,
     /// Per-phase breakdown.
     pub phases: Vec<PhaseReport>,
+    /// Structured event trace, present only when `MemConfig::trace` was set.
+    /// Boxed so the common (disabled) path costs one pointer.
+    pub trace: Option<Box<TraceData>>,
 }
 
 impl SimReport {
@@ -101,7 +223,9 @@ impl SimReport {
             accumulator_merges: 0,
             lsq: LsqStats::default(),
             partials: PartialStats::default(),
+            stalls: StallBreakdown::default(),
             phases: Vec::new(),
+            trace: None,
         }
     }
 
@@ -127,6 +251,9 @@ impl SimReport {
     /// Accumulates a subsequent layer's report into this one (cycles add,
     /// peak footprints take the max).
     pub fn merge(&mut self, other: &SimReport) {
+        // Layers run back to back, so the merged trace places the other
+        // layer's events after this one's last cycle.
+        let base = self.cycles;
         self.cycles += other.cycles;
         self.mac_cycles += other.mac_cycles;
         self.merge_cycles += other.merge_cycles;
@@ -135,12 +262,15 @@ impl SimReport {
         self.dmb_evictions += other.dmb_evictions;
         self.dmb_dirty_evictions += other.dmb_dirty_evictions;
         self.accumulator_merges += other.accumulator_merges;
-        self.lsq.loads += other.lsq.loads;
-        self.lsq.stores += other.lsq.stores;
-        self.lsq.forwards += other.lsq.forwards;
-        self.lsq.capacity_stalls += other.lsq.capacity_stalls;
+        self.lsq.merge(&other.lsq);
         self.partials.merge(&other.partials);
+        self.stalls.merge(&other.stalls);
         self.phases.extend(other.phases.iter().cloned());
+        if let Some(other_trace) = other.trace.as_deref() {
+            self.trace
+                .get_or_insert_with(Default::default)
+                .extend_shifted(other_trace, base);
+        }
     }
 }
 
@@ -166,8 +296,38 @@ mod tests {
             nnz: 3,
             dmb_hits: HitStats::default(),
             dram_bytes: 0,
+            stalls: StallBreakdown::default(),
         };
         assert_eq!(p.cycles(), 15);
+    }
+
+    #[test]
+    fn waterfall_caps_each_class_and_sums_to_cycles() {
+        // mac claims 60, merge the remaining 40, everything after is starved.
+        let s = StallBreakdown::attribute(100, 60, 70, 5, 5, 5, 5);
+        assert_eq!(s.mac, 60);
+        assert_eq!(s.merge, 40);
+        assert_eq!(s.dmb_miss, 0);
+        assert_eq!(s.idle, 0);
+        assert_eq!(s.total(), 100);
+
+        // Under-subscribed window: remainder is idle.
+        let s = StallBreakdown::attribute(100, 10, 0, 20, 5, 0, 1);
+        assert_eq!(s.idle, 64);
+        assert_eq!(s.total(), 100);
+
+        // Empty window attributes nothing.
+        assert_eq!(StallBreakdown::attribute(0, 9, 9, 9, 9, 9, 9).total(), 0);
+    }
+
+    #[test]
+    fn breakdown_merge_and_array_agree() {
+        let mut a = StallBreakdown::attribute(10, 4, 0, 6, 0, 0, 0);
+        let b = StallBreakdown::attribute(7, 0, 2, 0, 0, 0, 5);
+        a.merge(&b);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.as_array().iter().sum::<u64>(), 17);
+        assert_eq!(StallBreakdown::CLASSES.len(), a.as_array().len());
     }
 
     #[test]
@@ -186,6 +346,7 @@ mod tests {
             nnz: 1,
             dmb_hits: HitStats::default(),
             dram_bytes: 0,
+            stalls: StallBreakdown::default(),
         });
         a.merge(&b);
         assert_eq!(a.cycles, 15);

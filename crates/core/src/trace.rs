@@ -1,0 +1,23 @@
+//! Structured event tracing — re-exported from `hymm-mem` so consumers of
+//! a [`crate::stats::SimReport`] can inspect its trace without depending on
+//! the memory crate directly.
+//!
+//! Tracing is **opt-in and observation-only**: set
+//! [`hymm_mem::MemConfig::trace`] before building the machine and the
+//! report's [`crate::stats::SimReport::trace`] field carries every event;
+//! leave it off (the default) and the hooks reduce to one branch on a `None`
+//! per instrumented site — timing and counters are bit-identical either way.
+//!
+//! # Event ordering
+//!
+//! Events carry absolute cycle timestamps, grouped into [`Track`]s. The
+//! tracks modelling a single arbitrated resource — [`Track::Phase`],
+//! [`Track::DmbRead`], [`Track::DmbWrite`], [`Track::DramChannel`] and
+//! [`Track::Smq`] — are emitted in non-decreasing timestamp order.
+//! [`Track::MshrRetire`] and [`Track::Lsq`] are completion-ordered streams
+//! fed from both DMB ports' diverging clocks, so their timestamps are not
+//! monotone; sort by `ts` before interval analysis there.
+
+pub use hymm_mem::trace::{
+    AccessClass, LsqOpKind, TraceData, TraceEvent, TraceKind, TraceRing, Track,
+};

@@ -39,6 +39,13 @@ pub struct MemConfig {
     /// paper §IV-D). When `false` the DMB falls back to plain global LRU,
     /// the ablation baseline.
     pub class_eviction: bool,
+    /// Record structured trace events (see [`crate::trace`]). Off by
+    /// default; the disabled path is cycle- and allocation-identical to a
+    /// build without tracing.
+    pub trace: bool,
+    /// Per-component event-ring capacity when tracing is on. Oldest events
+    /// are dropped (and counted) once a ring fills.
+    pub trace_capacity: usize,
 }
 
 impl Default for MemConfig {
@@ -57,6 +64,8 @@ impl Default for MemConfig {
             smq_idx_bytes: 12 * 1024,
             smq_prefetch_lines: 32,
             class_eviction: true,
+            trace: false,
+            trace_capacity: 1 << 20,
         }
     }
 }
@@ -75,6 +84,14 @@ impl MemConfig {
     /// Lines needed to hold one dense row of `dim` `f32` elements.
     pub fn lines_per_row(&self, dim: usize) -> usize {
         dim.div_ceil(self.elems_per_line())
+    }
+
+    /// A fresh event ring when tracing is enabled, `None` otherwise — the
+    /// shape every component stores (`Option<Box<_>>` keeps the disabled
+    /// path to a single pointer-null test).
+    pub fn trace_ring(&self) -> Option<Box<crate::trace::TraceRing>> {
+        self.trace
+            .then(|| Box::new(crate::trace::TraceRing::new(self.trace_capacity)))
     }
 }
 

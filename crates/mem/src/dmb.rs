@@ -29,6 +29,7 @@ use crate::address::{LineAddr, MatrixKind};
 use crate::config::MemConfig;
 use crate::dram::{AccessPattern, Dram};
 use crate::stats::HitStats;
+use crate::trace::{AccessClass, TraceData, TraceEvent, TraceKind, TraceRing, Track};
 
 /// Niche marker for intrusive links and bucket entries.
 const NIL: u32 = u32::MAX;
@@ -474,7 +475,21 @@ pub struct Dmb {
     dirty_evictions: u64,
     mshr_merges: u64,
     mshr_stalls: u64,
+    /// Total cycles primary misses waited for a free MSHR (the depth behind
+    /// `mshr_stalls`).
+    mshr_stall_cycles: u64,
+    /// Total cycles between presentation and data-ready across read misses
+    /// (primary and secondary) — the miss-latency component of the stall
+    /// waterfall.
+    miss_latency_cycles: u64,
     accumulator_merges: u64,
+    trace: Option<Box<TraceRing>>,
+    /// Port-grant cycle of the access currently being served; events emitted
+    /// by shared helpers (eviction, MSHR allocation) are stamped with it so
+    /// each port's track stays in non-decreasing timestamp order.
+    port_ts: u64,
+    /// Track of the port currently being served (read or write).
+    port_track: Track,
 }
 
 impl Dmb {
@@ -515,7 +530,12 @@ impl Dmb {
             dirty_evictions: 0,
             mshr_merges: 0,
             mshr_stalls: 0,
+            mshr_stall_cycles: 0,
+            miss_latency_cycles: 0,
             accumulator_merges: 0,
+            trace: config.trace_ring(),
+            port_ts: 0,
+            port_track: Track::DmbRead,
         }
     }
 
@@ -523,6 +543,19 @@ impl Dmb {
         self.lru_tick += 1;
         let tick = self.lru_tick;
         self.lines.touch_slot(idx, tick);
+    }
+
+    /// Emits an event on the track of the port currently being served,
+    /// stamped at that port's grant cycle.
+    fn trace_port_event(&mut self, kind: TraceKind) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: self.port_track,
+                kind,
+                ts: self.port_ts,
+                dur: 0,
+            });
+        }
     }
 
     /// Signature bit of one address (the filter's hash-selected position).
@@ -605,6 +638,13 @@ impl Dmb {
         self.mshr_live += 1;
         self.mshr_sig |= sig;
         self.mshr_min_ready = self.mshr_min_ready.min(ready);
+        if self.trace.is_some() {
+            self.trace_port_event(TraceKind::MshrAllocate {
+                addr,
+                occupancy: self.mshr_live as u32,
+                ready,
+            });
+        }
         match self.mshr_free.pop() {
             Some(i) => {
                 self.mshrs[i as usize] = MshrSlot {
@@ -688,6 +728,12 @@ impl Dmb {
                 // Evicted victims scatter: charged as random traffic.
                 dram.write(now, line.addr.kind, self.line_bytes, AccessPattern::Random);
             }
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbEvict {
+                    addr: line.addr,
+                    dirty: line.dirty,
+                });
+            }
             return true;
         }
         false
@@ -700,12 +746,27 @@ impl Dmb {
         }
         let mut min = u64::MAX;
         let mut sig = 0u64;
-        for (i, m) in self.mshrs.iter_mut().enumerate() {
+        for i in 0..self.mshrs.len() {
+            let m = &mut self.mshrs[i];
             if m.valid {
                 if m.ready <= now {
                     m.valid = false;
+                    let addr = m.addr;
                     self.mshr_live -= 1;
                     self.mshr_free.push(i as u32);
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        // Completion-ordered stream: both ports reap on
+                        // their own clocks, so this track is not monotone.
+                        t.push(TraceEvent {
+                            track: Track::MshrRetire,
+                            kind: TraceKind::MshrRetire {
+                                addr,
+                                occupancy: self.mshr_live as u32,
+                            },
+                            ts: now,
+                            dur: 0,
+                        });
+                    }
                 } else {
                     min = min.min(m.ready);
                     sig |= m.sig;
@@ -729,22 +790,37 @@ impl Dmb {
     ) -> ReadOutcome {
         let start = now.max(self.read_port_free);
         self.read_port_free = start + 1;
+        self.port_ts = start;
+        self.port_track = Track::DmbRead;
         self.reap_mshrs(start);
 
         if let Some(idx) = self.lines.find_slot(addr) {
             let ready = (start + self.hit_latency).max(self.lines.slots[idx as usize].ready_at);
             self.hits.read_hits += 1;
             self.touch_slot(idx);
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::ReadHit,
+                    ready,
+                });
+            }
             return ReadOutcome { ready, hit: true };
         }
         if let Some(fill) = self.mshr_lookup(addr) {
             // Secondary miss merged into the outstanding fill.
             self.mshr_merges += 1;
             self.hits.read_misses += 1;
-            return ReadOutcome {
-                ready: fill.max(start + self.hit_latency),
-                hit: false,
-            };
+            let ready = fill.max(start + self.hit_latency);
+            self.miss_latency_cycles += ready - start;
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::ReadMissMerge,
+                    ready,
+                });
+            }
+            return ReadOutcome { ready, hit: false };
         }
         // Primary miss: allocate an MSHR, stalling if none is free.
         let mut issue = start;
@@ -753,12 +829,26 @@ impl Dmb {
             // completion — no scan needed to find it.
             self.mshr_stalls += 1;
             issue = issue.max(self.mshr_min_ready);
+            self.mshr_stall_cycles += issue - start;
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::MshrStall {
+                    waited: issue - start,
+                });
+            }
             self.reap_mshrs(issue);
         }
         let ready = dram.read(issue, addr.kind, self.line_bytes, pattern);
         self.mshr_insert(addr, ready);
         self.insert_line(addr, false, ready, issue, dram);
         self.hits.read_misses += 1;
+        self.miss_latency_cycles += ready - start;
+        if self.trace.is_some() {
+            self.trace_port_event(TraceKind::DmbAccess {
+                addr,
+                class: AccessClass::ReadMissFill,
+                ready,
+            });
+        }
         ReadOutcome { ready, hit: false }
     }
 
@@ -777,12 +867,21 @@ impl Dmb {
     ) -> WriteOutcome {
         let start = now.max(self.write_port_free);
         self.write_port_free = start + 1;
+        self.port_ts = start;
+        self.port_track = Track::DmbWrite;
         self.reap_mshrs(start);
 
         if let Some(idx) = self.lines.find_slot(addr) {
             self.lines.slots[idx as usize].dirty = true;
             self.hits.write_hits += 1;
             self.touch_slot(idx);
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::WriteHit,
+                    ready: start + self.hit_latency,
+                });
+            }
             return WriteOutcome {
                 ready: start + self.hit_latency,
                 hit: true,
@@ -791,12 +890,26 @@ impl Dmb {
         self.hits.write_misses += 1;
         if allocate {
             self.insert_line(addr, true, start + self.hit_latency, start, dram);
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::WriteMissAlloc,
+                    ready: start + self.hit_latency,
+                });
+            }
             WriteOutcome {
                 ready: start + self.hit_latency,
                 hit: false,
             }
         } else {
             dram.write(start, addr.kind, self.line_bytes, pattern);
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbAccess {
+                    addr,
+                    class: AccessClass::WriteMissBypass,
+                    ready: start + 1,
+                });
+            }
             WriteOutcome {
                 ready: start + 1,
                 hit: false,
@@ -926,6 +1039,24 @@ impl Dmb {
     /// Requests that stalled waiting for a free MSHR.
     pub fn mshr_stalls(&self) -> u64 {
         self.mshr_stalls
+    }
+
+    /// Total cycles primary misses spent waiting for a free MSHR.
+    pub fn mshr_stall_cycles(&self) -> u64 {
+        self.mshr_stall_cycles
+    }
+
+    /// Total cycles between presentation and data-ready across read misses.
+    pub fn miss_latency_cycles(&self) -> u64 {
+        self.miss_latency_cycles
+    }
+
+    /// Moves any buffered trace events into `into` (no-op when tracing is
+    /// disabled).
+    pub fn drain_trace(&mut self, into: &mut TraceData) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.drain_into(into);
+        }
     }
 
     /// Near-memory accumulator merges recorded by the engines.
@@ -1595,6 +1726,108 @@ mod tests {
             "hot path reallocated backing storage"
         );
         assert!(dmb.evictions() > 1000, "stream was not eviction-heavy");
+    }
+
+    #[test]
+    fn miss_and_stall_cycle_counters_accumulate() {
+        let mut cfg = small_config(64);
+        cfg.mshr_count = 2;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let m = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        // Primary miss: latency charged from presentation to data-ready.
+        assert_eq!(dmb.miss_latency_cycles(), m.ready);
+        let _ = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        // Third miss with both MSHRs busy waits for the earliest fill.
+        let _ = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 2),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert_eq!(dmb.mshr_stalls(), 1);
+        assert!(dmb.mshr_stall_cycles() > 0);
+        // A hit adds no miss latency.
+        let before = dmb.miss_latency_cycles();
+        let far = dmb.read(
+            10_000,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert!(far.hit);
+        assert_eq!(dmb.miss_latency_cycles(), before);
+    }
+
+    #[test]
+    fn trace_port_tracks_are_monotone_and_classified() {
+        use crate::trace::{AccessClass, TraceData, TraceKind, Track};
+        let mut cfg = small_config(4);
+        cfg.mshr_count = 2;
+        cfg.trace = true;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        for i in 0..32u64 {
+            let a = addr(MatrixKind::Combination, i);
+            now = dmb.read(now, a, &mut dram, AccessPattern::Random).ready;
+            // Immediate re-read of the just-filled line: a guaranteed hit.
+            now = dmb.read(now, a, &mut dram, AccessPattern::Random).ready;
+            dmb.write(
+                now,
+                addr(MatrixKind::Output, i % 5),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
+        }
+        let mut data = TraceData::new();
+        dmb.drain_trace(&mut data);
+        assert!(!data.events.is_empty());
+        // Per-port timestamp monotonicity (MshrRetire is completion-ordered
+        // and exempt).
+        for track in [Track::DmbRead, Track::DmbWrite] {
+            let ts: Vec<u64> = data
+                .events
+                .iter()
+                .filter(|e| e.track == track)
+                .map(|e| e.ts)
+                .collect();
+            assert!(!ts.is_empty(), "no events on {track:?}");
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "{track:?} not monotone"
+            );
+        }
+        // The access stream exercises hits, fills and evictions.
+        let has = |pred: &dyn Fn(&TraceKind) -> bool| data.events.iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(
+            k,
+            TraceKind::DmbAccess {
+                class: AccessClass::ReadMissFill,
+                ..
+            }
+        )));
+        assert!(has(&|k| matches!(
+            k,
+            TraceKind::DmbAccess {
+                class: AccessClass::ReadHit,
+                ..
+            }
+        )));
+        assert!(has(&|k| matches!(k, TraceKind::DmbEvict { .. })));
+        assert!(has(&|k| matches!(k, TraceKind::MshrAllocate { .. })));
+        assert!(has(&|k| matches!(k, TraceKind::MshrRetire { .. })));
     }
 }
 

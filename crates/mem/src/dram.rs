@@ -14,6 +14,7 @@
 use crate::address::MatrixKind;
 use crate::config::MemConfig;
 use crate::stats::TrafficStats;
+use crate::trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};
 
 /// Whether a DRAM request streams sequential addresses (row-buffer hits) or
 /// scatters (row-buffer misses).
@@ -47,7 +48,9 @@ pub struct Dram {
     latency: u64,
     random_penalty: u64,
     channel_busy: Vec<u64>,
+    busy_cycles: u64,
     stats: TrafficStats,
+    trace: Option<Box<TraceRing>>,
 }
 
 impl Dram {
@@ -58,7 +61,9 @@ impl Dram {
             latency: config.dram_latency,
             random_penalty: config.dram_random_penalty,
             channel_busy: vec![0; config.dram_channels.max(1)],
+            busy_cycles: 0,
             stats: TrafficStats::new(),
+            trace: config.trace_ring(),
         }
     }
 
@@ -66,7 +71,7 @@ impl Dram {
     /// completion cycle (data available).
     pub fn read(&mut self, now: u64, kind: MatrixKind, bytes: u64, pattern: AccessPattern) -> u64 {
         self.stats.record_read(kind, bytes);
-        self.occupy(now, bytes, pattern) + self.latency
+        self.occupy(now, kind, bytes, pattern, false) + self.latency
     }
 
     /// Issues a write of `bytes` tagged `kind` at cycle `now`; returns the
@@ -74,10 +79,17 @@ impl Dram {
     /// the caller does not wait for the array update).
     pub fn write(&mut self, now: u64, kind: MatrixKind, bytes: u64, pattern: AccessPattern) -> u64 {
         self.stats.record_write(kind, bytes);
-        self.occupy(now, bytes, pattern)
+        self.occupy(now, kind, bytes, pattern, true)
     }
 
-    fn occupy(&mut self, now: u64, bytes: u64, pattern: AccessPattern) -> u64 {
+    fn occupy(
+        &mut self,
+        now: u64,
+        kind: MatrixKind,
+        bytes: u64,
+        pattern: AccessPattern,
+        is_write: bool,
+    ) -> u64 {
         // Earliest-free channel (trivially channel 0 in the default
         // single-channel configuration — skip the scan there).
         let idx = if self.channel_busy.len() == 1 {
@@ -96,6 +108,19 @@ impl Dram {
             transfer += self.random_penalty;
         }
         self.channel_busy[idx] = start + transfer;
+        self.busy_cycles += transfer;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: Track::DramChannel(idx as u16),
+                kind: TraceKind::DramBusy {
+                    kind,
+                    bytes,
+                    is_write,
+                },
+                ts: start,
+                dur: transfer,
+            });
+        }
         self.channel_busy[idx]
     }
 
@@ -107,6 +132,20 @@ impl Dram {
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.channel_busy.len()
+    }
+
+    /// Total channel-busy cycles accumulated across all channels (the
+    /// bandwidth-bound component of the stall waterfall).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Moves any buffered trace events into `into` (no-op when tracing is
+    /// disabled).
+    pub fn drain_trace(&mut self, into: &mut TraceData) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.drain_into(into);
+        }
     }
 
     /// Accumulated traffic counters.
@@ -214,6 +253,45 @@ mod tests {
         let c = d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential);
         assert_eq!(c, 102); // third queues behind one of them
         assert_eq!(d.channels(), 2);
+    }
+
+    #[test]
+    fn busy_cycles_accumulate_transfer_time() {
+        let mut d = dram();
+        d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential); // 1
+        d.read(0, MatrixKind::Weight, 64, AccessPattern::Random); // 3
+        d.write(0, MatrixKind::Output, 640, AccessPattern::Sequential); // 10
+        assert_eq!(d.busy_cycles(), 14);
+    }
+
+    #[test]
+    fn trace_records_channel_intervals() {
+        use crate::trace::{TraceData, TraceKind, Track};
+        let cfg = MemConfig {
+            trace: true,
+            ..MemConfig::default()
+        };
+        let mut d = Dram::new(&cfg);
+        d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential);
+        d.write(5, MatrixKind::Output, 64, AccessPattern::Random);
+        let mut data = TraceData::new();
+        d.drain_trace(&mut data);
+        assert_eq!(data.events.len(), 2);
+        assert!(data.events.iter().all(|e| e.track == Track::DramChannel(0)));
+        assert_eq!((data.events[0].ts, data.events[0].dur), (0, 1));
+        assert_eq!((data.events[1].ts, data.events[1].dur), (5, 3));
+        match data.events[1].kind {
+            TraceKind::DramBusy {
+                kind,
+                bytes,
+                is_write,
+            } => {
+                assert_eq!(kind, MatrixKind::Output);
+                assert_eq!(bytes, 64);
+                assert!(is_write);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod dram;
 pub mod lsq;
 pub mod smq;
 pub mod stats;
+pub mod trace;
 
 pub use address::{LineAddr, MatrixKind};
 pub use config::MemConfig;
@@ -42,3 +43,4 @@ pub use dram::Dram;
 pub use lsq::Lsq;
 pub use smq::SmqStream;
 pub use stats::TrafficStats;
+pub use trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};

@@ -16,6 +16,7 @@
 
 use crate::address::LineAddr;
 use crate::config::MemConfig;
+use crate::trace::{LsqOpKind, TraceData, TraceEvent, TraceKind, TraceRing, Track};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
@@ -153,6 +154,21 @@ pub struct LsqStats {
     pub forwards: u64,
     /// Admissions delayed by a full queue.
     pub capacity_stalls: u64,
+    /// Total cycles admissions waited for a full queue to drain (the stall
+    /// *depth* behind `capacity_stalls`).
+    pub capacity_stall_cycles: u64,
+}
+
+impl LsqStats {
+    /// Accumulates another counter set — the single place report merging
+    /// sums LSQ fields, so a new counter cannot silently be dropped.
+    pub fn merge(&mut self, other: &LsqStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.forwards += other.forwards;
+        self.capacity_stalls += other.capacity_stalls;
+        self.capacity_stall_cycles += other.capacity_stall_cycles;
+    }
 }
 
 /// The load/store queue.
@@ -183,6 +199,7 @@ pub struct Lsq {
     /// to it.
     queued_stores: [u32; 5],
     stats: LsqStats,
+    trace: Option<Box<TraceRing>>,
 }
 
 impl Lsq {
@@ -196,6 +213,7 @@ impl Lsq {
             forwards: ForwardIndex::with_capacity(capacity),
             queued_stores: [0; 5],
             stats: LsqStats::default(),
+            trace: config.trace_ring(),
         }
     }
 
@@ -212,7 +230,23 @@ impl Lsq {
             self.forwards.retire_store(oldest.addr);
             self.queued_stores[oldest.addr.kind.index()] -= 1;
         }
-        now.max(oldest.ready)
+        let at = now.max(oldest.ready);
+        self.stats.capacity_stall_cycles += at - now;
+        at
+    }
+
+    fn trace_op(&mut self, at: u64, op: LsqOpKind) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: Track::Lsq,
+                kind: TraceKind::LsqOp {
+                    op,
+                    occupancy: self.entries.len() as u32,
+                },
+                ts: at,
+                dur: 0,
+            });
+        }
     }
 
     /// Admits a load of `addr` at cycle `now`.
@@ -226,6 +260,7 @@ impl Lsq {
         self.stats.loads += 1;
         if self.queued_stores[addr.kind.index()] == 0 {
             // No queued store of this kind exists, so no address can match.
+            self.trace_op(at, LsqOpKind::Load);
             return LoadPath::Issue { at };
         }
         if let Some(store_ready) = self.forwards.youngest_store(addr) {
@@ -236,8 +271,10 @@ impl Lsq {
                 ready,
                 is_store: false,
             });
+            self.trace_op(at, LsqOpKind::LoadForwarded);
             LoadPath::Forwarded { ready }
         } else {
+            self.trace_op(at, LsqOpKind::Load);
             LoadPath::Issue { at }
         }
     }
@@ -266,6 +303,7 @@ impl Lsq {
         });
         self.forwards.push_store(addr, ready);
         self.queued_stores[addr.kind.index()] += 1;
+        self.trace_op(at, LsqOpKind::Store);
         ready
     }
 
@@ -282,6 +320,14 @@ impl Lsq {
     /// Counters.
     pub fn stats(&self) -> LsqStats {
         self.stats
+    }
+
+    /// Moves any buffered trace events into `into` (no-op when tracing is
+    /// disabled).
+    pub fn drain_trace(&mut self, into: &mut TraceData) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.drain_into(into);
+        }
     }
 
     /// Drops all entries (between GCN layers, when address spaces are
@@ -360,6 +406,58 @@ mod tests {
         };
         assert_eq!(at, 100);
         assert_eq!(q.stats().capacity_stalls, 1);
+        assert_eq!(q.stats().capacity_stall_cycles, 90); // waited 10 → 100
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = LsqStats {
+            loads: 1,
+            stores: 2,
+            forwards: 3,
+            capacity_stalls: 4,
+            capacity_stall_cycles: 5,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            LsqStats {
+                loads: 2,
+                stores: 4,
+                forwards: 6,
+                capacity_stalls: 8,
+                capacity_stall_cycles: 10,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_records_ops_when_enabled() {
+        use crate::trace::{LsqOpKind, TraceData, TraceKind};
+        let cfg = MemConfig {
+            lsq_entries: 4,
+            trace: true,
+            ..MemConfig::default()
+        };
+        let mut q = Lsq::new(&cfg);
+        q.store(0, a(3), 10);
+        let _ = q.load(2, a(3)); // forwarded
+        let _ = q.load(2, a(7)); // issue
+        let mut data = TraceData::new();
+        q.drain_trace(&mut data);
+        let ops: Vec<LsqOpKind> = data
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                TraceKind::LsqOp { op, .. } => op,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            [LsqOpKind::Store, LsqOpKind::LoadForwarded, LsqOpKind::Load]
+        );
     }
 
     #[test]

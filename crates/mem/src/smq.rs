@@ -12,6 +12,7 @@
 use crate::address::MatrixKind;
 use crate::config::MemConfig;
 use crate::dram::{AccessPattern, Dram};
+use crate::trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};
 use std::collections::VecDeque;
 
 /// Compressed format carried by a stream — the `flag` field of an SMQ entry.
@@ -69,6 +70,10 @@ pub struct SmqStream {
     line_ready_cached: u64,
     entries_streamed: u64,
     line_bytes: u64,
+    /// Cycles the consumer waited for entries that were not yet fetched —
+    /// the stream-starvation component of the stall waterfall.
+    wait_cycles: u64,
+    trace: Option<Box<TraceRing>>,
 }
 
 impl SmqStream {
@@ -109,6 +114,8 @@ impl SmqStream {
             line_ready_cached: 0,
             entries_streamed: 0,
             line_bytes: config.line_bytes as u64,
+            wait_cycles: 0,
+            trace: config.trace_ring(),
         }
     }
 
@@ -149,6 +156,18 @@ impl SmqStream {
             let ready = dram.read(now, self.kind, self.line_bytes, AccessPattern::Sequential);
             self.line_ready.push_back(ready);
             self.fetched_idx_lines += 1;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    // Renumbered to the machine-wide stream id on absorb.
+                    track: Track::Smq(0),
+                    kind: TraceKind::SmqFetch {
+                        kind: self.kind,
+                        ready,
+                    },
+                    ts: now,
+                    dur: 0,
+                });
+            }
         }
     }
 
@@ -177,7 +196,22 @@ impl SmqStream {
         if self.line_entries_left == 0 {
             self.line_ready.pop_front();
         }
+        self.wait_cycles += self.line_ready_cached.saturating_sub(now);
         Some(self.line_ready_cached.max(now))
+    }
+
+    /// Cycles consumers spent waiting on not-yet-fetched entries.
+    pub fn wait_cycles(&self) -> u64 {
+        self.wait_cycles
+    }
+
+    /// Moves any buffered trace events into `into` (no-op when tracing is
+    /// disabled). Events carry `Track::Smq(0)`; the absorbing machine
+    /// renumbers them with its stream counter.
+    pub fn drain_trace(&mut self, into: &mut TraceData) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.drain_into(into);
+        }
     }
 
     /// Pointer records per 64-byte line (16 with 4-byte pointers).
@@ -258,6 +292,44 @@ mod tests {
             assert!(ready <= now + 101, "stream fell unreasonably far behind");
             now = now.max(ready);
         }
+    }
+
+    #[test]
+    fn wait_cycles_count_starvation_only() {
+        let c = cfg();
+        let mut dram = Dram::new(&c);
+        let mut s = SmqStream::new(&c, MatrixKind::SparseA, SparseFormat::Csr, 8, 2);
+        // First entry waits the full fetch latency.
+        let t0 = s.next_entry(0, &mut dram).unwrap();
+        assert_eq!(s.wait_cycles(), t0);
+        // Consuming at (or after) the ready cycle adds no wait.
+        let _ = s.next_entry(t0, &mut dram).unwrap();
+        assert_eq!(s.wait_cycles(), t0);
+    }
+
+    #[test]
+    fn trace_records_fetches_when_enabled() {
+        use crate::trace::{TraceData, TraceKind};
+        let c = MemConfig {
+            trace: true,
+            ..MemConfig::default()
+        };
+        let mut dram = Dram::new(&c);
+        // 100 entries = 13 index lines (each traced once).
+        let mut s = SmqStream::new(&c, MatrixKind::SparseA, SparseFormat::Csr, 100, 40);
+        let mut now = 0;
+        while let Some(r) = s.next_entry(now, &mut dram) {
+            now = r;
+        }
+        let mut data = TraceData::new();
+        s.drain_trace(&mut data);
+        assert_eq!(data.events.len(), 13);
+        assert!(data
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, TraceKind::SmqFetch { .. })));
+        // Fetch issue cycles are monotone within one stream.
+        assert!(data.events.windows(2).all(|w| w[0].ts <= w[1].ts));
     }
 
     #[test]

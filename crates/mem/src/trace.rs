@@ -1,0 +1,299 @@
+//! Structured event tracing for the memory subsystem.
+//!
+//! Every component can carry an optional [`TraceRing`] — a bounded buffer of
+//! [`TraceEvent`]s — enabled by [`MemConfig::trace`](crate::MemConfig). The
+//! layer is strictly observation-only:
+//!
+//! - **Zero-cost when disabled.** Components hold an
+//!   `Option<Box<TraceRing>>` that is `None` unless tracing was requested;
+//!   the only overhead on the simulation path is one predictable branch per
+//!   hook site, and no timing arithmetic depends on the trace state.
+//! - **Cycle-identical when enabled.** Events record cycles that the
+//!   simulation already computed; pushing them never changes a returned
+//!   ready cycle.
+//!
+//! Events are grouped into [`Track`]s — one per hardware clock domain. Most
+//! tracks emit events in non-decreasing timestamp order because they are
+//! stamped with a monotone port or channel clock. The exceptions are
+//! [`Track::MshrRetire`] and [`Track::Lsq`]: both are fed from the DMB's
+//! *two* ports (read and write), whose clocks advance independently, so
+//! their streams are completion-ordered rather than time-ordered.
+//! Consumers that need global order must sort by `ts`.
+
+use crate::address::{LineAddr, MatrixKind};
+use std::collections::VecDeque;
+
+/// The clock domain (timeline) an event belongs to. Chrome-trace exports
+/// map each track to one `tid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Phase begin/end markers (engine-level clock).
+    Phase,
+    /// DMB read port (one access per cycle; stamped at port-grant time).
+    DmbRead,
+    /// DMB write port (one access per cycle; stamped at port-grant time).
+    DmbWrite,
+    /// MSHR retirement stream — **completion-ordered**, not time-ordered,
+    /// because both DMB ports reap MSHRs on their own clocks.
+    MshrRetire,
+    /// One DRAM channel's busy intervals.
+    DramChannel(u16),
+    /// Load/store-queue operations — **completion-ordered** (fed from both
+    /// DMB-port clock domains via the engines).
+    Lsq,
+    /// One SMQ stream's fetch batches, numbered in creation order by the
+    /// machine that absorbs it.
+    Smq(u16),
+}
+
+/// Hit/miss classification of one DMB access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Read found the line resident.
+    ReadHit,
+    /// Read missed and allocated a line (fill from DRAM).
+    ReadMissFill,
+    /// Read missed but merged into an in-flight MSHR (secondary miss).
+    ReadMissMerge,
+    /// Write found the line resident.
+    WriteHit,
+    /// Write missed and allocated a line.
+    WriteMissAlloc,
+    /// Write missed and bypassed straight to DRAM (no-allocate policy).
+    WriteMissBypass,
+}
+
+/// What the LSQ did with an admitted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqOpKind {
+    /// Load issued to the DMB.
+    Load,
+    /// Load satisfied by store-to-load forwarding.
+    LoadForwarded,
+    /// Store admitted.
+    Store,
+}
+
+/// Payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// An execution phase starts.
+    PhaseBegin {
+        /// Phase name (interned literal).
+        name: &'static str,
+    },
+    /// An execution phase ends.
+    PhaseEnd {
+        /// Phase name (interned literal).
+        name: &'static str,
+    },
+    /// A DMB port served an access.
+    DmbAccess {
+        /// Line accessed.
+        addr: LineAddr,
+        /// Hit/miss class.
+        class: AccessClass,
+        /// Cycle at which the data is available to the requester.
+        ready: u64,
+    },
+    /// The DMB evicted a line.
+    DmbEvict {
+        /// Line evicted.
+        addr: LineAddr,
+        /// Whether the eviction wrote dirty data back to DRAM.
+        dirty: bool,
+    },
+    /// A miss allocated an MSHR.
+    MshrAllocate {
+        /// Line being filled.
+        addr: LineAddr,
+        /// MSHRs live after the allocation.
+        occupancy: u32,
+        /// Cycle at which the fill completes.
+        ready: u64,
+    },
+    /// An MSHR retired (its fill completed and was reaped).
+    MshrRetire {
+        /// Line that was being filled.
+        addr: LineAddr,
+        /// MSHRs live after the retirement.
+        occupancy: u32,
+    },
+    /// A miss found all MSHRs busy and waited.
+    MshrStall {
+        /// Cycles the access waited for a free MSHR.
+        waited: u64,
+    },
+    /// A DRAM channel was busy transferring one request.
+    DramBusy {
+        /// Matrix the transfer belongs to.
+        kind: MatrixKind,
+        /// Bytes moved.
+        bytes: u64,
+        /// Write (posted) rather than read.
+        is_write: bool,
+    },
+    /// The LSQ admitted an operation.
+    LsqOp {
+        /// What happened to it.
+        op: LsqOpKind,
+        /// Queue occupancy after admission.
+        occupancy: u32,
+    },
+    /// The SMQ fetched one index line (plus its share of pointer lines).
+    SmqFetch {
+        /// Matrix being streamed.
+        kind: MatrixKind,
+        /// Cycle at which the fetched line's data is available.
+        ready: u64,
+    },
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Clock domain the event belongs to.
+    pub track: Track,
+    /// Event payload.
+    pub kind: TraceKind,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (zero for instantaneous events).
+    pub dur: u64,
+}
+
+/// A bounded ring of trace events. When full, the **oldest** events are
+/// dropped (the tail of a run is usually the interesting part) and the drop
+/// count is reported so consumers know the stream is truncated.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping the oldest one if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves all buffered events into `data`, leaving the ring empty (the
+    /// drop count is accumulated and reset).
+    pub fn drain_into(&mut self, data: &mut TraceData) {
+        data.events.extend(self.events.drain(..));
+        data.dropped += self.dropped;
+        self.dropped = 0;
+    }
+}
+
+/// A collected trace: events from every component ring, plus the total drop
+/// count. Attached to `SimReport` when tracing is enabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// All collected events. Ordered per track as each track guarantees;
+    /// tracks are concatenated in component order, so consumers needing a
+    /// global order must sort by `ts`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer overflow.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// An empty trace.
+    pub fn new() -> TraceData {
+        TraceData::default()
+    }
+
+    /// Appends another trace with every timestamp shifted by `base` cycles —
+    /// used when merging per-layer reports into a whole-inference report.
+    pub fn extend_shifted(&mut self, other: &TraceData, base: u64) {
+        self.events.extend(other.events.iter().map(|e| TraceEvent {
+            ts: e.ts + base,
+            ..*e
+        }));
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            track: Track::Phase,
+            kind: TraceKind::PhaseBegin { name: "t" },
+            ts,
+            dur: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let mut data = TraceData::new();
+        r.drain_into(&mut data);
+        let ts: Vec<u64> = data.events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, [2, 3, 4]);
+        assert_eq!(data.dropped, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0, "drain resets the drop counter");
+    }
+
+    #[test]
+    fn extend_shifted_offsets_timestamps() {
+        let mut a = TraceData::new();
+        a.events.push(ev(1));
+        let mut b = TraceData::new();
+        b.events.push(ev(2));
+        b.dropped = 7;
+        a.extend_shifted(&b, 100);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.events[1].ts, 102);
+        assert_eq!(a.dropped, 7);
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_holds_one() {
+        let mut r = TraceRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}
