@@ -1,11 +1,13 @@
 //! Minimal command-line conventions shared by every experiment binary.
 
 use hymm_graph::datasets::Dataset;
+use hymm_mem::PrefetchPolicy;
 use std::fmt;
 
 /// Usage string printed by `--help` and alongside argument errors.
-pub const USAGE: &str =
-    "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] [--audit] [--stalls]";
+pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] \
+     [--audit] [--stalls] [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
+     [--prefetch-mshr-cap K]";
 
 /// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
 /// with status 2.
@@ -41,6 +43,14 @@ pub struct BenchArgs {
     /// Print the per-dataflow stall-attribution table (see
     /// `hymm_core::stats::StallBreakdown`) after the figures.
     pub stalls: bool,
+    /// Hardware-prefetch policy on the DMB miss path (`off` keeps timing
+    /// bit-identical to a build without the prefetcher).
+    pub prefetch: PrefetchPolicy,
+    /// Prefetch degree override (`None` = the `MemConfig` default).
+    pub prefetch_degree: Option<usize>,
+    /// Prefetch MSHR occupancy cap override (`None` = the `MemConfig`
+    /// default).
+    pub prefetch_mshr_cap: Option<usize>,
 }
 
 impl Default for BenchArgs {
@@ -51,6 +61,9 @@ impl Default for BenchArgs {
             threads: 0,
             audit: false,
             stalls: false,
+            prefetch: PrefetchPolicy::Off,
+            prefetch_degree: None,
+            prefetch_mshr_cap: None,
         }
     }
 }
@@ -105,6 +118,40 @@ impl BenchArgs {
                 }
                 "--audit" => out.audit = true,
                 "--stalls" => out.stalls = true,
+                "--prefetch" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--prefetch needs a policy name"))?;
+                    out.prefetch = PrefetchPolicy::parse(&v).ok_or_else(|| {
+                        ArgError::new(format!(
+                            "unknown prefetch policy {v:?} (off, next-line, smq-stream)"
+                        ))
+                    })?;
+                }
+                "--prefetch-degree" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--prefetch-degree needs a line count"))?;
+                    let n: usize = v.parse().map_err(|_| {
+                        ArgError::new(format!("--prefetch-degree needs an integer, got {v:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--prefetch-degree must be at least 1"));
+                    }
+                    out.prefetch_degree = Some(n);
+                }
+                "--prefetch-mshr-cap" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--prefetch-mshr-cap needs an MSHR count"))?;
+                    let n: usize = v.parse().map_err(|_| {
+                        ArgError::new(format!("--prefetch-mshr-cap needs an integer, got {v:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--prefetch-mshr-cap must be at least 1"));
+                    }
+                    out.prefetch_mshr_cap = Some(n);
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -125,6 +172,18 @@ impl BenchArgs {
         match BenchArgs::parse(std::env::args().skip(1)) {
             Ok(args) => args,
             Err(e) => exit_usage(&e),
+        }
+    }
+
+    /// Applies the `--prefetch*` options onto a memory configuration,
+    /// leaving unset overrides at the config's own defaults.
+    pub fn apply_prefetch(&self, mem: &mut hymm_mem::MemConfig) {
+        mem.prefetch = self.prefetch;
+        if let Some(d) = self.prefetch_degree {
+            mem.prefetch_degree = d;
+        }
+        if let Some(k) = self.prefetch_mshr_cap {
+            mem.prefetch_mshr_cap = k;
         }
     }
 
@@ -229,5 +288,67 @@ mod tests {
     fn rejects_unknown_flag() {
         let e = parse(&["--frobnicate"]).unwrap_err();
         assert!(e.to_string().contains("unknown argument"), "{e}");
+    }
+
+    #[test]
+    fn prefetch_defaults_to_off_with_no_overrides() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.prefetch, PrefetchPolicy::Off);
+        assert_eq!(a.prefetch_degree, None);
+        assert_eq!(a.prefetch_mshr_cap, None);
+    }
+
+    #[test]
+    fn parses_each_prefetch_policy() {
+        for policy in PrefetchPolicy::ALL {
+            let a = parse(&["--prefetch", policy.label()]).unwrap();
+            assert_eq!(a.prefetch, policy);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_prefetch_policy() {
+        let e = parse(&["--prefetch", "psychic"]).unwrap_err();
+        assert!(e.to_string().contains("unknown prefetch policy"), "{e}");
+    }
+
+    #[test]
+    fn parses_prefetch_degree_and_cap() {
+        let a = parse(&[
+            "--prefetch",
+            "next-line",
+            "--prefetch-degree",
+            "4",
+            "--prefetch-mshr-cap",
+            "6",
+        ])
+        .unwrap();
+        assert_eq!(a.prefetch_degree, Some(4));
+        assert_eq!(a.prefetch_mshr_cap, Some(6));
+    }
+
+    #[test]
+    fn rejects_zero_prefetch_degree_and_cap() {
+        for flag in ["--prefetch-degree", "--prefetch-mshr-cap"] {
+            let e = parse(&[flag, "0"]).unwrap_err();
+            assert!(e.to_string().contains("at least 1"), "{flag}: {e}");
+        }
+    }
+
+    #[test]
+    fn prefetch_overrides_apply_onto_mem_config() {
+        let mut mem = hymm_mem::MemConfig::default();
+        let defaults = (mem.prefetch_degree, mem.prefetch_mshr_cap);
+        parse(&["--prefetch", "smq-stream"])
+            .unwrap()
+            .apply_prefetch(&mut mem);
+        assert_eq!(mem.prefetch, PrefetchPolicy::SmqStream);
+        assert_eq!((mem.prefetch_degree, mem.prefetch_mshr_cap), defaults);
+        parse(&["--prefetch-degree", "3", "--prefetch-mshr-cap", "2"])
+            .unwrap()
+            .apply_prefetch(&mut mem);
+        assert_eq!(mem.prefetch, PrefetchPolicy::Off);
+        assert_eq!(mem.prefetch_degree, 3);
+        assert_eq!(mem.prefetch_mshr_cap, 2);
     }
 }

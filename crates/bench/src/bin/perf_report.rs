@@ -21,6 +21,8 @@
 
 use hymm_bench::{pool, run_dataset, run_suite, BenchArgs, DatasetResults};
 use hymm_core::stats::StallBreakdown;
+use hymm_graph::datasets::Dataset;
+use hymm_mem::PrefetchPolicy;
 use std::io::Write;
 use std::time::Instant;
 
@@ -127,6 +129,42 @@ fn main() {
         })
         .collect();
 
+    // Prefetch before/after at a fixed reference point — OP on Cora at
+    // --scale 300, data prefetcher off versus smq-stream — so the recorded
+    // stall-share shift stays comparable across PRs regardless of the
+    // requested suite configuration.
+    eprintln!("[perf_report] prefetch before/after (OP on CR --scale 300) ...");
+    let prefetch_impact: Vec<String> = [PrefetchPolicy::Off, PrefetchPolicy::SmqStream]
+        .into_iter()
+        .map(|policy| {
+            let prefetch_args = BenchArgs {
+                scale: Some(300),
+                datasets: vec![Dataset::Cora],
+                threads: 1,
+                prefetch: policy,
+                ..BenchArgs::default()
+            };
+            let results = run_suite(&prefetch_args);
+            let report = &results[0].run("OP").report;
+            let classes: Vec<String> = StallBreakdown::CLASSES
+                .iter()
+                .zip(report.stalls.as_array())
+                .map(|(name, v)| format!("\"{name}\": {v}"))
+                .collect();
+            format!(
+                "\"{}\": {{ \"cycles\": {}, \"dmb_miss_share\": {:.4}, \"stalls\": {{ {} }} }}",
+                policy.label(),
+                report.cycles,
+                report.stalls.dmb_miss as f64 / report.cycles.max(1) as f64,
+                classes.join(", ")
+            )
+        })
+        .collect();
+    let prefetch_impact = format!(
+        "{{ \"dataset\": \"CR\", \"scale\": 300, \"dataflow\": \"OP\", {} }}",
+        prefetch_impact.join(", ")
+    );
+
     // The committed baseline was measured on the reference configuration;
     // a before/after comparison on any other scale or dataset subset would
     // be meaningless, so it is reported as null there.
@@ -153,7 +191,7 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"stall_cycles\": {{ {} }},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),

@@ -1,0 +1,80 @@
+//! Sweeps every prefetch policy over the suite and tabulates the shift.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin prefetch_sweep -- \
+//!     [--scale N] [--datasets CR,AP] [--threads N] [--audit] \
+//!     [--prefetch-degree N] [--prefetch-mshr-cap K]
+//! ```
+//!
+//! Runs each dataset under `off`, `next-line` and `smq-stream` (the
+//! `--prefetch` flag itself is ignored — all policies are swept) and prints,
+//! per (dataset, policy, dataflow): total cycles relative to `off`, the
+//! `dmb-miss` and `prefetch-late` stall shares, and the prefetcher's own
+//! accounting (issued / useful / accuracy / late / dropped). The table is
+//! the quick answer to "which dataflows does prefetching help, and where do
+//! the stalls move?".
+
+use hymm_bench::{run_suite, BenchArgs};
+use hymm_mem::PrefetchPolicy;
+
+fn main() {
+    let base = BenchArgs::from_env();
+
+    // One suite per policy; identical preprocessing is re-done per pass,
+    // which keeps the runner's timing-invariance path untouched.
+    let sweeps: Vec<(PrefetchPolicy, _)> = PrefetchPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            eprintln!("[prefetch_sweep] policy {} ...", policy.label());
+            let args = BenchArgs {
+                prefetch: policy,
+                ..base.clone()
+            };
+            (policy, run_suite(&args))
+        })
+        .collect();
+
+    let (_, baseline) = &sweeps[0];
+    println!(
+        "{:<6} {:<12} {:<12} {:>12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>9}",
+        "data",
+        "policy",
+        "dataflow",
+        "cycles",
+        "vs-off",
+        "dmb-miss%",
+        "pf-late%",
+        "issued",
+        "useful",
+        "acc%",
+        "late",
+        "dropped"
+    );
+    for (policy, results) in &sweeps {
+        for (d, dataset) in results.iter().enumerate() {
+            for run in &dataset.runs {
+                let report = &run.report;
+                let cycles = report.cycles.max(1) as f64;
+                let share = |v: u64| 100.0 * v as f64 / cycles;
+                let off_cycles = baseline[d].run(run.label).report.cycles.max(1) as f64;
+                let pf = &report.prefetch;
+                println!(
+                    "{:<6} {:<12} {:<12} {:>12} {:>7.3}x {:>8.1}% {:>8.1}% {:>9} {:>9} \
+                     {:>5.0}% {:>6} {:>9}",
+                    dataset.spec.dataset.abbrev(),
+                    policy.label(),
+                    run.label,
+                    report.cycles,
+                    report.cycles as f64 / off_cycles,
+                    share(report.stalls.dmb_miss),
+                    share(report.stalls.prefetch_late),
+                    pf.issued,
+                    pf.useful,
+                    100.0 * pf.accuracy(),
+                    pf.late,
+                    pf.dropped()
+                );
+            }
+        }
+    }
+}

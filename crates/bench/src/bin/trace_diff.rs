@@ -1,0 +1,49 @@
+//! Compares two `trace_export` JSON documents.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin trace_diff -- A.json B.json
+//! ```
+//!
+//! Prints the per-phase duration deltas (total cycles per `run/phase` slice
+//! on the `phases` track, B relative to A) and the `hymmHistograms` shifts
+//! (sample counts and count-weighted bucket means) as aligned tables —
+//! the quick answer to "what did this change do to the timeline?" without
+//! opening a trace viewer. Typical use: export one trace per prefetch
+//! policy, then diff them.
+
+use hymm_bench::trace_json;
+use std::process::exit;
+
+const USAGE: &str = "usage: trace_diff A.json B.json
+
+Compares two chrome-trace documents written by trace_export: per-phase
+duration deltas and histogram shifts, B relative to A.
+";
+
+fn load(path: &str) -> trace_json::TraceSummary {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(2);
+    });
+    trace_json::summarize_trace(&src).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid trace document: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        exit(0);
+    }
+    let [a_path, b_path] = args.as_slice() else {
+        eprintln!("error: expected exactly two trace files\n\n{USAGE}");
+        exit(2);
+    };
+    let (a, b) = (load(a_path), load(b_path));
+    println!("A = {a_path}");
+    println!("B = {b_path}");
+    println!();
+    print!("{}", trace_json::diff_table(&a, &b));
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p hymm-bench --bin trace_export -- \
 //!     [--dataset CR] [--scale N] [--dataflow op|rwp|cwp|hymm|all] \
-//!     [--out TRACE.json] [--check]
+//!     [--prefetch off|next-line|smq-stream] [--out TRACE.json] [--check]
 //! ```
 //!
 //! Runs the two-layer GCN inference with tracing enabled and writes one
@@ -31,6 +31,7 @@ Options:
   --dataset ABBR   dataset to synthesise (CR, CS, PB, AC, AP, CF, ND; default CR)
   --scale N        cap the dataset at N nodes (default: paper-size)
   --dataflow MODE  op | rwp | cwp | hymm | all   (default all)
+  --prefetch POL   off | next-line | smq-stream  (default off)
   --out PATH       output file (default TRACE.json)
   --check          validate the written JSON and fail on malformed output
   --help           show this help
@@ -40,6 +41,7 @@ struct Options {
     dataset: Dataset,
     scale: Option<usize>,
     dataflows: Vec<Dataflow>,
+    prefetch: hymm_mem::PrefetchPolicy,
     out: String,
     check: bool,
 }
@@ -53,6 +55,7 @@ fn parse_args() -> Options {
         dataset: Dataset::Cora,
         scale: None,
         dataflows: Dataflow::EXTENDED.to_vec(),
+        prefetch: hymm_mem::PrefetchPolicy::Off,
         out: "TRACE.json".to_string(),
         check: false,
     };
@@ -87,6 +90,11 @@ fn parse_args() -> Options {
                     other => fail(&format!("unknown dataflow {other:?}")),
                 };
             }
+            "--prefetch" => {
+                let v = value("--prefetch");
+                opts.prefetch = hymm_mem::PrefetchPolicy::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown prefetch policy {v:?}")));
+            }
             "--out" => opts.out = value("--out"),
             "--check" => opts.check = true,
             "--help" | "-h" => {
@@ -115,6 +123,7 @@ fn main() {
 
     let mut config = AcceleratorConfig::default();
     config.mem.trace = true;
+    config.mem.prefetch = opts.prefetch;
 
     let mut runs: Vec<(String, TraceData)> = Vec::new();
     for df in &opts.dataflows {

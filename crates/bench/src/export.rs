@@ -161,8 +161,7 @@ mod tests {
             scale: Some(150),
             datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
             threads,
-            audit: false,
-            stalls: false,
+            ..BenchArgs::default()
         };
         let serial_dir = std::env::temp_dir().join("hymm_csv_serial");
         let parallel_dir = std::env::temp_dir().join("hymm_csv_parallel");

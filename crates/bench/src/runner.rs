@@ -102,8 +102,8 @@ struct PreparedDataset {
 
 /// Synthesises one dataset and runs its preprocessing analytics (Table II
 /// sorting cost, Fig. 6 storage, Fig. 2b density map).
-fn prepare_dataset(dataset: Dataset, scale: Option<usize>, audit: bool) -> PreparedDataset {
-    let spec = match scale {
+fn prepare_dataset(dataset: Dataset, args: &BenchArgs) -> PreparedDataset {
+    let spec = match args.scale {
         Some(n) => dataset.spec().scaled(n),
         None => dataset.spec(),
     };
@@ -111,10 +111,11 @@ fn prepare_dataset(dataset: Dataset, scale: Option<usize>, audit: bool) -> Prepa
     let degrees = DegreeDistribution::measure(&workload.adjacency);
 
     let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
-    let config = AcceleratorConfig {
-        audit,
+    let mut config = AcceleratorConfig {
+        audit: args.audit,
         ..AcceleratorConfig::default()
     };
+    args.apply_prefetch(&mut config.mem);
     let tiling = TilingConfig {
         threshold_fraction: config.tiling_fraction,
         dmb_capacity_rows: Some(config.dmb_capacity_rows(spec.layer_dim)),
@@ -188,7 +189,11 @@ fn assemble(prep: PreparedDataset, runs: Vec<DataflowRun>) -> DatasetResults {
 /// Runs the full suite for one dataset: synthesis, preprocessing analytics,
 /// and all four simulation variants, serially on the calling thread.
 pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
-    let prep = prepare_dataset(dataset, scale, false);
+    let args = BenchArgs {
+        scale,
+        ..BenchArgs::default()
+    };
+    let prep = prepare_dataset(dataset, &args);
     let runs = (0..VARIANTS_PER_DATASET)
         .map(|v| simulate_variant(&prep, v))
         .collect();
@@ -208,9 +213,7 @@ pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
     for d in &args.datasets {
         eprintln!("[hymm-bench] simulating {} ...", d.name());
     }
-    let preps = pool::map_indexed(threads, &args.datasets, |_, &d| {
-        prepare_dataset(d, args.scale, args.audit)
-    });
+    let preps = pool::map_indexed(threads, &args.datasets, |_, &d| prepare_dataset(d, args));
 
     // One job per (dataset, variant): dataset-major, so chunking the flat
     // result vector reassembles each dataset's runs in variant order.
@@ -252,13 +255,33 @@ mod tests {
     }
 
     #[test]
+    fn smq_stream_prefetching_issues_under_audit() {
+        let args = BenchArgs {
+            scale: Some(200),
+            datasets: vec![Dataset::Cora],
+            threads: 1,
+            audit: true,
+            prefetch: hymm_mem::PrefetchPolicy::SmqStream,
+            ..BenchArgs::default()
+        };
+        let results = run_suite(&args);
+        assert!(
+            results[0]
+                .runs
+                .iter()
+                .any(|run| run.report.prefetch.issued > 0),
+            "no variant issued a single prefetch"
+        );
+    }
+
+    #[test]
     fn parallel_suite_matches_serial() {
         let mk = |threads| BenchArgs {
             scale: Some(150),
             datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
             threads,
             audit: true,
-            stalls: false,
+            ..BenchArgs::default()
         };
         let serial = run_suite(&mk(1));
         let parallel = run_suite(&mk(4));

@@ -9,8 +9,10 @@
 //! - DMB accesses become slices spanning request → data-ready (hits, with
 //!   zero latency span, become instants);
 //! - MSHR occupancy and LSQ queue depth become counter (`"ph": "C"`) tracks;
-//! - everything else (evictions, MSHR stalls, SMQ fetches) becomes instant
-//!   (`"ph": "i"`) events.
+//! - prefetch issues become slices spanning issue → fill on their own
+//!   `prefetch` thread;
+//! - everything else (evictions, MSHR stalls, SMQ fetches, prefetch
+//!   fills/drops/late hits) becomes instant (`"ph": "i"`) events.
 //!
 //! The document also carries a non-standard top-level `hymmHistograms`
 //! object ([`histograms`]: MSHR occupancy, read-miss latency, LSQ queue
@@ -32,6 +34,7 @@ fn track_tid(track: Track) -> u32 {
         Track::DmbWrite => 2,
         Track::MshrRetire => 3,
         Track::Lsq => 4,
+        Track::Prefetch => 5,
         Track::DramChannel(c) => 10 + c as u32,
         Track::Smq(s) => 100 + s as u32,
     }
@@ -45,6 +48,7 @@ fn track_label(track: Track) -> String {
         Track::DmbWrite => "dmb-write-port".into(),
         Track::MshrRetire => "mshr-retire".into(),
         Track::Lsq => "lsq".into(),
+        Track::Prefetch => "prefetch".into(),
         Track::DramChannel(c) => format!("dram-ch{c}"),
         Track::Smq(s) => format!("smq-{s}"),
     }
@@ -230,6 +234,58 @@ pub fn chrome_trace(runs: &[(String, &TraceData)]) -> String {
                         format!(",\"args\":{{\"entries\":{occupancy}}}"),
                     );
                 }
+                TraceKind::PrefetchIssue { addr, ready } => push_event(
+                    &mut events,
+                    "prefetch-issue",
+                    "X",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"dur\":{},\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{}}}",
+                        ready.saturating_sub(e.ts),
+                        addr.kind.label(),
+                        addr.index
+                    ),
+                ),
+                TraceKind::PrefetchFill { addr } => push_event(
+                    &mut events,
+                    "prefetch-fill",
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{}}}",
+                        addr.kind.label(),
+                        addr.index
+                    ),
+                ),
+                TraceKind::PrefetchDropped { addr, reason } => push_event(
+                    &mut events,
+                    "prefetch-drop",
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{},\
+                         \"reason\":\"{}\"}}",
+                        addr.kind.label(),
+                        addr.index,
+                        reason.label()
+                    ),
+                ),
+                TraceKind::PrefetchLate { addr, waited } => push_event(
+                    &mut events,
+                    "prefetch-late",
+                    "i",
+                    e.ts,
+                    pid,
+                    format!(
+                        ",\"s\":\"t\",\"tid\":{tid},\"args\":{{\"kind\":\"{}\",\"line\":{},\
+                         \"waited\":{waited}}}",
+                        addr.kind.label(),
+                        addr.index
+                    ),
+                ),
                 TraceKind::SmqFetch { kind, ready } => push_event(
                     &mut events,
                     "smq-fetch",
@@ -325,6 +381,186 @@ pub fn histograms(trace: &TraceData) -> Vec<Histogram> {
         collect("miss-latency", miss),
         collect("lsq-depth", lsq),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// Trace diffing (the `trace_diff` binary).
+
+/// Summary of a chrome-trace document for diffing: total per-phase durations
+/// and the embedded `hymmHistograms`, both keyed `"run/name"` in document
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// `(run/phase, total duration in cycles)`, first-seen order.
+    pub phases: Vec<(String, f64)>,
+    /// `(run/metric, sorted (bucket lower bound, count) pairs)`.
+    pub histograms: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+/// Parses a document written by [`chrome_trace`] into a [`TraceSummary`].
+///
+/// Phase slices are recognised as complete (`"ph": "X"`) events on thread 0
+/// — the `phases` track — of any process; their durations are summed per
+/// `(process, name)` pair.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct, or of a missing
+/// `traceEvents` array.
+pub fn summarize_trace(src: &str) -> Result<TraceSummary, String> {
+    let doc = parse_json(src)?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("missing top-level \"traceEvents\" array".into());
+    };
+
+    // pid → process name, from the metadata events.
+    let mut run_names: BTreeMap<u64, String> = BTreeMap::new();
+    for e in events {
+        if e.get("name") == Some(&Json::Str("process_name".into())) {
+            if let (Some(Json::Num(pid)), Some(Json::Str(name))) =
+                (e.get("pid"), e.get("args").and_then(|a| a.get("name")))
+            {
+                run_names.insert(*pid as u64, name.clone());
+            }
+        }
+    }
+    let run_of = |e: &Json| -> String {
+        match e.get("pid") {
+            Some(Json::Num(pid)) => run_names
+                .get(&(*pid as u64))
+                .cloned()
+                .unwrap_or_else(|| format!("pid{pid}")),
+            _ => "?".into(),
+        }
+    };
+
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    for e in events {
+        let is_phase_slice = e.get("ph") == Some(&Json::Str("X".into()))
+            && matches!(e.get("tid"), Some(Json::Num(t)) if *t == 0.0);
+        if !is_phase_slice {
+            continue;
+        }
+        let (Some(Json::Str(name)), Some(Json::Num(dur))) = (e.get("name"), e.get("dur")) else {
+            continue;
+        };
+        let key = format!("{}/{}", run_of(e), name);
+        match phases.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, total)) => *total += dur,
+            None => phases.push((key, *dur)),
+        }
+    }
+
+    let mut histograms: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
+    if let Some(Json::Obj(runs)) = doc.get("hymmHistograms") {
+        for (run, metrics) in runs {
+            let Json::Obj(metrics) = metrics else {
+                continue;
+            };
+            for (metric, buckets) in metrics {
+                let Json::Arr(buckets) = buckets else {
+                    continue;
+                };
+                let pairs: Vec<(u64, u64)> = buckets
+                    .iter()
+                    .filter_map(|b| match b {
+                        Json::Arr(pair) => match pair.as_slice() {
+                            [Json::Num(lo), Json::Num(count)] => Some((*lo as u64, *count as u64)),
+                            _ => None,
+                        },
+                        _ => None,
+                    })
+                    .collect();
+                histograms.push((format!("{run}/{metric}"), pairs));
+            }
+        }
+    }
+
+    Ok(TraceSummary { phases, histograms })
+}
+
+/// Count-weighted mean of a histogram's bucket lower bounds.
+fn hist_mean(buckets: &[(u64, u64)]) -> f64 {
+    let n: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    buckets.iter().map(|(lo, c)| (lo * c) as f64).sum::<f64>() / n as f64
+}
+
+/// Renders the phase-duration deltas and histogram shifts between two trace
+/// summaries as an aligned plain-text table. Keys missing on either side
+/// are reported with a `-` placeholder; durations in B relative to A.
+pub fn diff_table(a: &TraceSummary, b: &TraceSummary) -> String {
+    let mut out = String::new();
+    let fmt_delta = |x: f64, y: f64| -> String {
+        let delta = y - x;
+        if x != 0.0 {
+            format!("{delta:+14.0} {:+9.1}%", 100.0 * delta / x)
+        } else {
+            format!("{delta:+14.0}          ")
+        }
+    };
+
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>14} {:>14} {:>10}",
+        "phase", "A cycles", "B cycles", "delta", "delta%"
+    );
+    let mut keys: Vec<&String> = a.phases.iter().map(|(k, _)| k).collect();
+    for (k, _) in &b.phases {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let lookup = |s: &TraceSummary, k: &str| -> Option<f64> {
+        s.phases.iter().find(|(n, _)| n == k).map(|(_, d)| *d)
+    };
+    for k in keys {
+        let (x, y) = (lookup(a, k), lookup(b, k));
+        let _ = match (x, y) {
+            (Some(x), Some(y)) => writeln!(out, "{k:<28} {x:>14.0} {y:>14.0} {}", fmt_delta(x, y)),
+            (Some(x), None) => {
+                writeln!(out, "{k:<28} {x:>14.0} {:>14} {:>14} {:>10}", "-", "-", "-")
+            }
+            (None, Some(y)) => {
+                writeln!(out, "{k:<28} {:>14} {y:>14.0} {:>14} {:>10}", "-", "-", "-")
+            }
+            (None, None) => Ok(()),
+        };
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{:<28} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "histogram", "A samples", "B samples", "A mean", "B mean", "shift"
+    );
+    let mut keys: Vec<&String> = a.histograms.iter().map(|(k, _)| k).collect();
+    for (k, _) in &b.histograms {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    fn lookup_hist<'a>(s: &'a TraceSummary, k: &str) -> Option<&'a Vec<(u64, u64)>> {
+        s.histograms.iter().find(|(n, _)| n == k).map(|(_, h)| h)
+    }
+    let lookup = lookup_hist;
+    for k in keys {
+        let (x, y) = (lookup(a, k), lookup(b, k));
+        let count = |h: Option<&Vec<(u64, u64)>>| -> u64 {
+            h.map_or(0, |h| h.iter().map(|(_, c)| c).sum())
+        };
+        let mean = |h: Option<&Vec<(u64, u64)>>| -> f64 { h.map_or(0.0, |h| hist_mean(h)) };
+        let (ma, mb) = (mean(x), mean(y));
+        let _ = writeln!(
+            out,
+            "{k:<28} {:>10} {:>10} {ma:>12.2} {mb:>12.2} {:>+10.2}",
+            count(x),
+            count(y),
+            mb - ma
+        );
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -699,6 +935,40 @@ mod tests {
             validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0}]}"),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn summary_extracts_phases_and_histograms() {
+        let data = sample();
+        let json = chrome_trace(&[("HyMM".into(), &data)]);
+        let s = summarize_trace(&json).expect("summarizable");
+        assert_eq!(s.phases, vec![("HyMM/comb".to_string(), 110.0)]);
+        let miss = s
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "HyMM/miss-latency")
+            .expect("miss-latency histogram present");
+        assert_eq!(miss.1, vec![(64, 1)]);
+    }
+
+    #[test]
+    fn diff_table_reports_phase_deltas_and_mean_shifts() {
+        let a = TraceSummary {
+            phases: vec![("OP/comb".into(), 100.0), ("OP/agg".into(), 50.0)],
+            histograms: vec![("OP/miss-latency".into(), vec![(64, 2), (128, 2)])],
+        };
+        let b = TraceSummary {
+            phases: vec![("OP/comb".into(), 80.0)],
+            histograms: vec![("OP/miss-latency".into(), vec![(64, 4)])],
+        };
+        let table = diff_table(&a, &b);
+        // comb: 100 → 80 is a -20 cycle, -20% shift.
+        assert!(table.contains("OP/comb"), "{table}");
+        assert!(table.contains("-20.0%"), "{table}");
+        // agg only exists in A → placeholder row.
+        assert!(table.contains("OP/agg"), "{table}");
+        // miss-latency mean drops from 96 to 64.
+        assert!(table.contains("-32.00"), "{table}");
     }
 
     #[test]

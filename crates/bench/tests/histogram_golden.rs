@@ -1,0 +1,63 @@
+//! Golden shapes for the `hymmHistograms` trace sidecar.
+//!
+//! Pins the exact bucket contents of the three embedded histograms (MSHR
+//! occupancy, read-miss latency, LSQ queue depth) for the OP dataflow on
+//! the preferential-attachment fixture under the tiny-DMB configuration —
+//! the same fixture `tests/timing_golden.rs` uses for its eviction
+//! coverage, so the miss/MSHR paths are genuinely exercised. A diff here
+//! means the memory system's latency or occupancy *distribution* moved,
+//! which the scalar cycle goldens cannot see.
+//!
+//! Regenerating (only after an intentional timing-model change):
+//! `cargo test -p hymm-bench --test histogram_golden -- --nocapture`
+//! prints the actual lines on failure; paste them over the constant.
+
+use hymm_bench::trace_json::histograms;
+use hymm_core::config::{AcceleratorConfig, Dataflow};
+use hymm_gcn::inference::run_inference;
+use hymm_gcn::model::GcnModel;
+use hymm_graph::features::sparse_features;
+use hymm_graph::generator::preferential_attachment;
+
+#[test]
+fn histogram_shapes_match_golden() {
+    let adj = preferential_attachment(48, 160, 7);
+    let x = sparse_features(48, 12, 0.6, 11);
+    let model = GcnModel::two_layer(12, 16, 5, 3);
+    let mut config = AcceleratorConfig::default();
+    config.mem.trace = true;
+    config.mem.dmb_bytes = 2048;
+    config.mem.mshr_count = 4;
+
+    let report = run_inference(&config, Dataflow::Outer, &adj, &x, &model)
+        .unwrap()
+        .report;
+    let trace = report.trace.expect("tracing enabled");
+
+    let got: Vec<String> = histograms(&trace)
+        .iter()
+        .map(|h| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(lo, count)| format!("{lo}:{count}"))
+                .collect();
+            format!("{} {}", h.name, buckets.join(" "))
+        })
+        .collect();
+    if got != GOLDEN {
+        eprintln!("--- actual histograms (paste over the golden constant) ---");
+        for line in &got {
+            eprintln!("    \"{line}\",");
+        }
+        eprintln!("--- end actual histograms ---");
+    }
+    let got_refs: Vec<&str> = got.iter().map(String::as_str).collect();
+    assert_eq!(got_refs, GOLDEN, "histogram shapes drifted from golden");
+}
+
+const GOLDEN: &[&str] = &[
+    "mshr-occupancy 0:126 1:130 2:6 3:1226 4:1224",
+    "miss-latency 0:702 64:11 128:13 256:22 512:52 1024:560",
+    "lsq-depth 0:2 2:3 3:1 4:2 5:2 6:3 7:1 8:2 9:2 10:2 11:2 12:2 13:2 14:2 15:2 16:2 17:2 18:2 19:2 20:2 21:3 22:1 23:2 24:2 25:2 26:2 27:2 28:2 29:2 30:2 31:2 32:2 33:2 34:2 35:2 36:2 37:2 38:2 39:2 40:2 41:2 42:2 43:2 44:2 45:2 46:2 47:3 48:2 49:1 50:2 51:2 52:2 53:2 54:2 55:2 56:2 57:2 58:2 59:2 60:2 61:2 62:2 63:2 64:2 65:2 66:2 67:3 68:1 69:2 70:2 71:2 72:2 73:2 74:2 75:2 76:2 77:2 78:3 79:1 80:2 81:2 82:3 83:1 84:2 85:2 86:2 87:2 88:2 89:2 90:2 91:2 92:2 93:2 94:2 95:2 96:2 97:2 98:2 99:2 100:2 101:2 102:2 103:2 104:2 105:2 106:2 107:2 108:2 109:2 110:3 111:1 112:2 113:2 114:2 115:2 116:2 117:2 118:2 119:2 120:2 121:2 122:2 123:2 124:3 125:1 126:2 127:1350 128:994",
+];

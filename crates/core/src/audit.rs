@@ -22,6 +22,10 @@
 //! - **Stall attribution completeness**: every phase's stall classes sum
 //!   exactly to the phase's cycles, and the report's classes sum to the
 //!   report's total. Catches counter-snapshot drift in the stall waterfall.
+//! - **Prefetch accounting**: a prefetch can be claimed useful or evicted
+//!   unused at most once (`useful + evicted_unused <= issued`), late claims
+//!   never outnumber useful ones, and late cycles require late events.
+//!   Catches double-counted or lost speculative fills.
 //!
 //! The checks are observation-only: they read counters, never advance time
 //! or touch state, so enabling [`AcceleratorConfig::audit`] cannot change
@@ -54,8 +58,39 @@ pub fn check_machine(m: &Machine) -> Vec<AuditViolation> {
     check_dmb(m, &mut out);
     check_dram(m.dram.stats(), &mut out);
     check_lsq(m, &mut out);
+    check_prefetch(&m.dmb.prefetch_stats(), &mut out);
     check_phases(&m.phases, &mut out);
     out
+}
+
+fn check_prefetch(s: &hymm_mem::PrefetchStats, out: &mut Vec<AuditViolation>) {
+    // Useful and evicted-unused are terminal, mutually exclusive outcomes of
+    // an issued prefetch; lines still resident or in flight account for the
+    // slack.
+    if s.useful + s.evicted_unused > s.issued {
+        out.push(AuditViolation {
+            invariant: "prefetch-accounting",
+            details: format!(
+                "useful {} + evicted_unused {} > issued {}",
+                s.useful, s.evicted_unused, s.issued
+            ),
+        });
+    }
+    if s.late > s.useful {
+        out.push(AuditViolation {
+            invariant: "prefetch-accounting",
+            details: format!("late {} > useful {}", s.late, s.useful),
+        });
+    }
+    if s.late_cycles > 0 && s.late == 0 {
+        out.push(AuditViolation {
+            invariant: "prefetch-accounting",
+            details: format!(
+                "{} late cycles recorded with zero late events",
+                s.late_cycles
+            ),
+        });
+    }
 }
 
 fn check_dmb(m: &Machine, out: &mut Vec<AuditViolation>) {
@@ -184,6 +219,7 @@ fn check_phases(phases: &[PhaseReport], out: &mut Vec<AuditViolation>) {
 pub fn check_report(r: &SimReport) -> Vec<AuditViolation> {
     let mut out = Vec::new();
     check_dram(&r.dram, &mut out);
+    check_prefetch(&r.prefetch, &mut out);
     check_phases(&r.phases, &mut out);
     if r.dmb_dirty_evictions > r.dmb_evictions {
         out.push(AuditViolation {
@@ -298,7 +334,7 @@ mod tests {
             dmb_hits: HitStats::default(),
             dram_bytes: 0,
             // All-idle attribution keeps the stall-sum invariant satisfied.
-            stalls: StallBreakdown::attribute(end.saturating_sub(start), 0, 0, 0, 0, 0, 0),
+            stalls: StallBreakdown::attribute(end.saturating_sub(start), 0, 0, 0, 0, 0, 0, 0),
         }
     }
 
@@ -397,6 +433,37 @@ mod tests {
         r.lsq.capacity_stall_cycles = 7;
         let v = check_report(&r);
         assert!(v.iter().any(|v| v.invariant == "lsq-capacity"), "{v:?}");
+    }
+
+    #[test]
+    fn impossible_prefetch_accounting_is_flagged() {
+        let mut r = SimReport::empty();
+        r.prefetch.issued = 1;
+        r.prefetch.useful = 1;
+        r.prefetch.evicted_unused = 1; // claimed twice
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "prefetch-accounting"),
+            "{v:?}"
+        );
+
+        let mut r = SimReport::empty();
+        r.prefetch.issued = 2;
+        r.prefetch.useful = 1;
+        r.prefetch.late = 2; // more late claims than useful ones
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "prefetch-accounting"),
+            "{v:?}"
+        );
+
+        let mut r = SimReport::empty();
+        r.prefetch.late_cycles = 9; // cycles without events
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "prefetch-accounting"),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -153,6 +153,27 @@ pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: Numeri
             }
             cursor[k] = idx;
 
+            // `smq-stream` hints: the column-pointer entries the SMQ has
+            // already fetched name the next dense rows this tile will
+            // demand. The scan is bounded so the hint walk stays cheap even
+            // on wide, sparse tiles.
+            if m.wants_prefetch_hints() {
+                let mut hinted = 0usize;
+                for nk in k + 1..cols.min(k + 33) {
+                    if hinted >= m.config.mem.prefetch_degree {
+                        break;
+                    }
+                    let b = cursor[nk];
+                    if b < sparse.col_ptr()[nk + 1] && (sparse.row_idx()[b] as usize) < hi {
+                        let ng = nk + job.col_offset;
+                        for chunk in 0..dense_lines {
+                            m.push_prefetch_hint(row_line(job.dense_kind, ng, dense_lines, chunk));
+                        }
+                        hinted += 1;
+                    }
+                }
+            }
+
             // Load the dense row into the PE stationary buffers (once per
             // column per tile).
             let g = k + job.col_offset;

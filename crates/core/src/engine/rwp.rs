@@ -100,7 +100,7 @@ pub fn run_rwp_sink(
             continue;
         }
         let mut row_done = issue;
-        for (&c, &v) in cols.iter().zip(vals) {
+        for (i, (&c, &v)) in cols.iter().zip(vals).enumerate() {
             let entry = smq
                 .next_entry(issue, &mut m.dram)
                 .expect("stream sized to the sparse nnz");
@@ -109,6 +109,17 @@ pub fn run_rwp_sink(
             if window.len() >= mlp {
                 let oldest = window.pop_front().expect("window non-empty");
                 issue = issue.max(oldest);
+            }
+            // `smq-stream` hints: the SMQ fetched this row's index entries
+            // ahead of consumption, so the entry one prefetch-degree down
+            // the row names a dense row demand will want shortly.
+            if m.wants_prefetch_hints() {
+                if let Some(&nc) = cols.get(i + m.config.mem.prefetch_degree.max(1)) {
+                    let ng = nc as usize + job.col_offset;
+                    for chunk in 0..dense_lines {
+                        m.push_prefetch_hint(row_line(job.dense_kind, ng, dense_lines, chunk));
+                    }
+                }
             }
             let g = c as usize + job.col_offset;
             let mut ready = issue;

@@ -12,7 +12,8 @@ use crate::stats::{PartialStats, PhaseReport, SimReport, StallBreakdown};
 use hymm_mem::dram::AccessPattern;
 use hymm_mem::smq::SmqStream;
 use hymm_mem::trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};
-use hymm_mem::{Dmb, Dram, Lsq, MatrixKind};
+use hymm_mem::{Dmb, Dram, LineAddr, Lsq, MatrixKind, PrefetchPolicy};
+use std::collections::VecDeque;
 
 /// Raw component-counter totals sampled at a phase boundary. Deltas between
 /// two snapshots feed [`StallBreakdown::attribute`].
@@ -21,10 +22,16 @@ struct StallCounters {
     mac: u64,
     merge: u64,
     dmb_miss: u64,
+    prefetch_late: u64,
     dram_busy: u64,
     lsq_stall: u64,
     smq_wait: u64,
 }
+
+/// Bound on the `smq-stream` hint queue: engines may push hints faster than
+/// demand loads drain them; beyond this depth the oldest intent is stale
+/// anyway, so new hints are dropped.
+const PREFETCH_HINT_CAP: usize = 64;
 
 /// One assembled accelerator instance.
 #[derive(Debug)]
@@ -56,6 +63,9 @@ pub struct Machine {
     smq_streams: u16,
     /// Trace events from absorbed SMQ streams, renumbered per stream.
     smq_trace: TraceData,
+    /// Dense-line prefetch hints queued by the engines for the `smq-stream`
+    /// policy (empty and untouched under any other policy).
+    prefetch_hints: VecDeque<LineAddr>,
     /// Ring for machine-level (phase) events; `None` when tracing is off.
     trace: Option<Box<TraceRing>>,
 }
@@ -77,6 +87,7 @@ impl Machine {
             smq_wait_cycles: 0,
             smq_streams: 0,
             smq_trace: TraceData::new(),
+            prefetch_hints: VecDeque::new(),
             trace: config.mem.trace_ring(),
         }
     }
@@ -87,6 +98,7 @@ impl Machine {
             mac: self.pe.mac_cycles(),
             merge: self.pe.merge_cycles(),
             dmb_miss: self.dmb.miss_latency_cycles() + self.dmb.mshr_stall_cycles(),
+            prefetch_late: self.dmb.prefetch_stats().late_cycles,
             dram_busy: self.dram.busy_cycles(),
             lsq_stall: self.lsq.stats().capacity_stall_cycles,
             smq_wait: self.smq_wait_cycles,
@@ -112,6 +124,60 @@ impl Machine {
         }
     }
 
+    /// Whether the active prefetch policy consumes engine hints — engines
+    /// gate their (sparse-structure) lookahead walks on this so every other
+    /// policy pays nothing.
+    pub fn wants_prefetch_hints(&self) -> bool {
+        self.config.mem.prefetch == PrefetchPolicy::SmqStream
+    }
+
+    /// Queues one dense-line prefetch hint for the `smq-stream` policy.
+    /// Engines derive hints from sparse index entries the SMQ has already
+    /// fetched (upcoming rows/columns of the dense operand); the machine
+    /// drains them on subsequent demand loads. Hints beyond the queue bound
+    /// are dropped — a deep backlog is stale intent, not useful work.
+    pub fn push_prefetch_hint(&mut self, addr: LineAddr) {
+        if self.wants_prefetch_hints() && self.prefetch_hints.len() < PREFETCH_HINT_CAP {
+            self.prefetch_hints.push_back(addr);
+        }
+    }
+
+    /// Runs the prefetcher after one demand load: `next-line` triggers on
+    /// demand misses, `smq-stream` drains queued engine hints. Candidates
+    /// that a queued store would forward to are skipped (the data is about
+    /// to be produced on chip). `Off` falls through immediately.
+    fn prefetch_after_load(&mut self, now: u64, addr: LineAddr, hit: bool, pattern: AccessPattern) {
+        match self.config.mem.prefetch {
+            PrefetchPolicy::Off => {}
+            PrefetchPolicy::NextLine => {
+                if hit {
+                    return;
+                }
+                let degree = self.config.mem.prefetch_degree.max(1) as u64;
+                for step in 1..=degree {
+                    let cand = LineAddr::new(addr.kind, addr.index + step);
+                    if self.config.lsq_forwarding && self.lsq.has_queued_store(cand) {
+                        continue;
+                    }
+                    let _ = self.dmb.prefetch(now, cand, &mut self.dram, pattern);
+                }
+            }
+            PrefetchPolicy::SmqStream => {
+                for _ in 0..self.config.mem.prefetch_degree.max(1) {
+                    let Some(cand) = self.prefetch_hints.pop_front() else {
+                        break;
+                    };
+                    if self.config.lsq_forwarding && self.lsq.has_queued_store(cand) {
+                        continue;
+                    }
+                    let _ = self
+                        .dmb
+                        .prefetch(now, cand, &mut self.dram, AccessPattern::Sequential);
+                }
+            }
+        }
+    }
+
     /// Loads one line through LSQ → DMB → DRAM; returns the cycle at which
     /// the data is available. Honours store-to-load forwarding when the
     /// configuration enables it. `pattern` describes how a resulting DRAM
@@ -124,11 +190,14 @@ impl Machine {
                 LoadPath::Issue { at } => {
                     let outcome = self.dmb.read(at, addr, &mut self.dram, pattern);
                     self.lsq.complete_load(addr, outcome.ready);
+                    self.prefetch_after_load(at, addr, outcome.hit, pattern);
                     outcome.ready
                 }
             }
         } else {
-            self.dmb.read(now, addr, &mut self.dram, pattern).ready
+            let outcome = self.dmb.read(now, addr, &mut self.dram, pattern);
+            self.prefetch_after_load(now, addr, outcome.hit, pattern);
+            outcome.ready
         }
     }
 
@@ -151,11 +220,13 @@ impl Machine {
                 LoadPath::Issue { at } => {
                     let outcome = self.dmb.read(at, addr, &mut self.dram, pattern);
                     self.lsq.complete_load(addr, outcome.ready);
+                    self.prefetch_after_load(at, addr, outcome.hit, pattern);
                     (outcome.ready, outcome.hit)
                 }
             }
         } else {
             let outcome = self.dmb.read(now, addr, &mut self.dram, pattern);
+            self.prefetch_after_load(now, addr, outcome.hit, pattern);
             (outcome.ready, outcome.hit)
         }
     }
@@ -198,6 +269,7 @@ impl Machine {
             counters.mac - prev.mac,
             counters.merge - prev.merge,
             counters.dmb_miss - prev.dmb_miss,
+            counters.prefetch_late - prev.prefetch_late,
             counters.dram_busy - prev.dram_busy,
             counters.lsq_stall - prev.lsq_stall,
             counters.smq_wait - prev.smq_wait,
@@ -278,6 +350,7 @@ impl Machine {
             dmb_dirty_evictions: self.dmb.dirty_evictions(),
             accumulator_merges: self.dmb.accumulator_merges(),
             lsq: self.lsq.stats(),
+            prefetch: self.dmb.prefetch_stats(),
             partials: self.partials,
             stalls,
             phases: self.phases,
@@ -400,6 +473,102 @@ mod tests {
         let end = m.load_line(0, addr, AccessPattern::Random);
         m.record_phase("p", 0, end, 1);
         assert!(m.into_report(end).trace.is_none());
+    }
+
+    #[test]
+    fn next_line_prefetch_serves_sequential_demand() {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.prefetch = PrefetchPolicy::NextLine;
+        cfg.mem.prefetch_degree = 2;
+        let mut m = Machine::new(&cfg);
+        let mut now = 0;
+        for i in 0..8u64 {
+            let addr = LineAddr::new(MatrixKind::Combination, i);
+            now = m.load_line(now, addr, AccessPattern::Sequential).max(now) + 50;
+        }
+        let s = m.dmb.prefetch_stats();
+        assert!(s.issued > 0, "sequential misses must trigger prefetches");
+        assert!(s.useful > 0, "later demand must claim prefetched lines");
+        let report = m.into_report(now);
+        assert_eq!(report.prefetch, s);
+    }
+
+    #[test]
+    fn late_prefetch_lands_in_its_own_stall_class() {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.prefetch = PrefetchPolicy::NextLine;
+        cfg.mem.prefetch_degree = 1;
+        cfg.audit = true;
+        let mut m = Machine::new(&cfg);
+        // Miss on line 0 prefetches line 1; demanding line 1 while the
+        // speculative fill is still in flight waits on it.
+        let first = m.load_line(
+            0,
+            LineAddr::new(MatrixKind::Combination, 0),
+            AccessPattern::Sequential,
+        );
+        let second = m.load_line(
+            5,
+            LineAddr::new(MatrixKind::Combination, 1),
+            AccessPattern::Sequential,
+        );
+        let second = second.max(first);
+        m.record_phase("p", 0, second, 2);
+        let p = &m.phases[0];
+        assert_eq!(p.stalls.total(), p.cycles(), "waterfall still sums exactly");
+        let s = m.dmb.prefetch_stats();
+        assert_eq!((s.issued >= 1, s.useful, s.late), (true, 1, 1));
+    }
+
+    #[test]
+    fn smq_stream_drains_engine_hints() {
+        let mut cfg = AcceleratorConfig::default();
+        cfg.mem.prefetch = PrefetchPolicy::SmqStream;
+        cfg.mem.prefetch_degree = 2;
+        let mut m = Machine::new(&cfg);
+        assert!(m.wants_prefetch_hints());
+        for i in 10..14u64 {
+            m.push_prefetch_hint(LineAddr::new(MatrixKind::Combination, i));
+        }
+        // Each demand load drains up to `degree` hints into prefetches.
+        let mut now = 0;
+        for i in 0..2u64 {
+            now = m
+                .load_line(
+                    now,
+                    LineAddr::new(MatrixKind::Combination, i),
+                    AccessPattern::Sequential,
+                )
+                .max(now)
+                + 50;
+        }
+        let s = m.dmb.prefetch_stats();
+        assert!(
+            s.issued + s.dropped() >= 2,
+            "hints must reach the prefetcher: {s:?}"
+        );
+        // The hinted lines are now resident (or in flight): demanding one is
+        // a hit that claims it.
+        let _ = m.load_line(
+            now + 500,
+            LineAddr::new(MatrixKind::Combination, 10),
+            AccessPattern::Sequential,
+        );
+        assert!(m.dmb.prefetch_stats().useful >= 1);
+    }
+
+    #[test]
+    fn hints_are_ignored_when_policy_is_off() {
+        let mut m = machine();
+        assert!(!m.wants_prefetch_hints());
+        m.push_prefetch_hint(LineAddr::new(MatrixKind::Combination, 1));
+        let end = m.load_line(
+            0,
+            LineAddr::new(MatrixKind::Combination, 0),
+            AccessPattern::Sequential,
+        );
+        let report = m.into_report(end);
+        assert_eq!(report.prefetch, hymm_mem::PrefetchStats::default());
     }
 
     #[test]

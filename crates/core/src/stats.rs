@@ -8,7 +8,7 @@
 use hymm_mem::lsq::LsqStats;
 use hymm_mem::stats::HitStats;
 use hymm_mem::trace::TraceData;
-use hymm_mem::TrafficStats;
+use hymm_mem::{PrefetchStats, TrafficStats};
 
 /// Per-phase (and per-report) cycle attribution: every simulated cycle
 /// classified into one stall/work class.
@@ -16,7 +16,7 @@ use hymm_mem::TrafficStats;
 /// Classes are attributed from component counter **deltas** over the phase
 /// window with a fixed-priority waterfall (see [`StallBreakdown::attribute`]):
 /// each class claims at most the cycles the previous classes left, so the
-/// seven fields always sum exactly to the phase's cycle count — the audit
+/// eight fields always sum exactly to the phase's cycle count — the audit
 /// layer enforces this. Because concurrent components overlap (a MAC can
 /// execute under a miss), the waterfall is an *attribution policy*, not a
 /// measurement of exclusive busy time: classes earlier in the order absorb
@@ -29,6 +29,11 @@ pub struct StallBreakdown {
     pub merge: u64,
     /// Waiting on DMB read misses (fill latency + MSHR-full stalls).
     pub dmb_miss: u64,
+    /// Waiting on an in-flight prefetch fill — the line was found resident
+    /// but its speculative fill had not completed (a *late* prefetch). Kept
+    /// separate from [`StallBreakdown::dmb_miss`] so prefetching shifts
+    /// cycles between the two classes visibly instead of hiding them.
+    pub prefetch_late: u64,
     /// DRAM channel busy (bandwidth-bound).
     pub dram_bw: u64,
     /// Waiting on LSQ capacity.
@@ -41,10 +46,11 @@ pub struct StallBreakdown {
 
 impl StallBreakdown {
     /// Class labels, in waterfall order, matching [`StallBreakdown::as_array`].
-    pub const CLASSES: [&'static str; 7] = [
+    pub const CLASSES: [&'static str; 8] = [
         "mac",
         "merge",
         "dmb-miss",
+        "prefetch-late",
         "dram-bw",
         "lsq-cap",
         "smq-starve",
@@ -56,11 +62,13 @@ impl StallBreakdown {
     /// counter like total MAC cycles across 16 PEs can legitimately exceed
     /// the wall-clock window), and the remainder is idle. By construction
     /// `total() == cycles`.
+    #[allow(clippy::too_many_arguments)]
     pub fn attribute(
         cycles: u64,
         mac: u64,
         merge: u64,
         dmb_miss: u64,
+        prefetch_late: u64,
         dram_bw: u64,
         lsq_capacity: u64,
         smq_starve: u64,
@@ -74,6 +82,7 @@ impl StallBreakdown {
         let mac = take(mac);
         let merge = take(merge);
         let dmb_miss = take(dmb_miss);
+        let prefetch_late = take(prefetch_late);
         let dram_bw = take(dram_bw);
         let lsq_capacity = take(lsq_capacity);
         let smq_starve = take(smq_starve);
@@ -81,6 +90,7 @@ impl StallBreakdown {
             mac,
             merge,
             dmb_miss,
+            prefetch_late,
             dram_bw,
             lsq_capacity,
             smq_starve,
@@ -93,6 +103,7 @@ impl StallBreakdown {
         self.mac
             + self.merge
             + self.dmb_miss
+            + self.prefetch_late
             + self.dram_bw
             + self.lsq_capacity
             + self.smq_starve
@@ -100,11 +111,12 @@ impl StallBreakdown {
     }
 
     /// The classes as an array, ordered like [`StallBreakdown::CLASSES`].
-    pub fn as_array(&self) -> [u64; 7] {
+    pub fn as_array(&self) -> [u64; 8] {
         [
             self.mac,
             self.merge,
             self.dmb_miss,
+            self.prefetch_late,
             self.dram_bw,
             self.lsq_capacity,
             self.smq_starve,
@@ -117,6 +129,7 @@ impl StallBreakdown {
         self.mac += other.mac;
         self.merge += other.merge;
         self.dmb_miss += other.dmb_miss;
+        self.prefetch_late += other.prefetch_late;
         self.dram_bw += other.dram_bw;
         self.lsq_capacity += other.lsq_capacity;
         self.smq_starve += other.smq_starve;
@@ -198,6 +211,10 @@ pub struct SimReport {
     pub accumulator_merges: u64,
     /// LSQ counters (forwards, stalls).
     pub lsq: LsqStats,
+    /// Data-prefetcher counters (all zero when `MemConfig::prefetch` is
+    /// `Off`): issued/dropped/useful/late plus the accuracy and timeliness
+    /// ratios derived from them.
+    pub prefetch: PrefetchStats,
     /// Partial-output footprint (Fig. 10).
     pub partials: PartialStats,
     /// Where every cycle went; always sums to [`SimReport::cycles`].
@@ -222,6 +239,7 @@ impl SimReport {
             dmb_dirty_evictions: 0,
             accumulator_merges: 0,
             lsq: LsqStats::default(),
+            prefetch: PrefetchStats::default(),
             partials: PartialStats::default(),
             stalls: StallBreakdown::default(),
             phases: Vec::new(),
@@ -263,6 +281,7 @@ impl SimReport {
         self.dmb_dirty_evictions += other.dmb_dirty_evictions;
         self.accumulator_merges += other.accumulator_merges;
         self.lsq.merge(&other.lsq);
+        self.prefetch.merge(&other.prefetch);
         self.partials.merge(&other.partials);
         self.stalls.merge(&other.stalls);
         self.phases.extend(other.phases.iter().cloned());
@@ -304,26 +323,34 @@ mod tests {
     #[test]
     fn waterfall_caps_each_class_and_sums_to_cycles() {
         // mac claims 60, merge the remaining 40, everything after is starved.
-        let s = StallBreakdown::attribute(100, 60, 70, 5, 5, 5, 5);
+        let s = StallBreakdown::attribute(100, 60, 70, 5, 5, 5, 5, 5);
         assert_eq!(s.mac, 60);
         assert_eq!(s.merge, 40);
         assert_eq!(s.dmb_miss, 0);
+        assert_eq!(s.prefetch_late, 0);
         assert_eq!(s.idle, 0);
         assert_eq!(s.total(), 100);
 
         // Under-subscribed window: remainder is idle.
-        let s = StallBreakdown::attribute(100, 10, 0, 20, 5, 0, 1);
+        let s = StallBreakdown::attribute(100, 10, 0, 20, 0, 5, 0, 1);
         assert_eq!(s.idle, 64);
         assert_eq!(s.total(), 100);
 
+        // A late prefetch claims after dmb-miss and before dram-bw.
+        let s = StallBreakdown::attribute(100, 0, 0, 30, 40, 50, 0, 0);
+        assert_eq!(s.dmb_miss, 30);
+        assert_eq!(s.prefetch_late, 40);
+        assert_eq!(s.dram_bw, 30);
+        assert_eq!(s.total(), 100);
+
         // Empty window attributes nothing.
-        assert_eq!(StallBreakdown::attribute(0, 9, 9, 9, 9, 9, 9).total(), 0);
+        assert_eq!(StallBreakdown::attribute(0, 9, 9, 9, 9, 9, 9, 9).total(), 0);
     }
 
     #[test]
     fn breakdown_merge_and_array_agree() {
-        let mut a = StallBreakdown::attribute(10, 4, 0, 6, 0, 0, 0);
-        let b = StallBreakdown::attribute(7, 0, 2, 0, 0, 0, 5);
+        let mut a = StallBreakdown::attribute(10, 4, 0, 6, 0, 0, 0, 0);
+        let b = StallBreakdown::attribute(7, 0, 2, 0, 0, 0, 0, 5);
         a.merge(&b);
         assert_eq!(a.total(), 17);
         assert_eq!(a.as_array().iter().sum::<u64>(), 17);

@@ -169,6 +169,52 @@ fn op_accumulator_merges_match_first_touch_accounting() {
     }
 }
 
+/// Prefetching is a pure timing mechanism: under every policy the numeric
+/// outputs stay bit-identical to the dense reference and every audit —
+/// including the prefetch-accounting invariants — stays clean. The non-off
+/// policies must actually issue prefetches somewhere in the sweep, or the
+/// oracle proves nothing about them.
+#[test]
+fn every_prefetch_policy_preserves_the_numeric_oracle() {
+    for policy in hymm_mem::PrefetchPolicy::ALL {
+        let mut config = audited_config();
+        config.mem.prefetch = policy;
+        let mut issued = 0u64;
+        for seed in 0..8u64 {
+            let mut rng = Pcg64::seed_from_u64(0x00F7 ^ seed);
+            let adj = integer_adjacency(&skewed_graph(seed), &mut rng);
+            let x = integer_features(adj.rows(), &mut rng);
+            let w = integer_weights(&mut rng);
+            let reference = densify(&adj)
+                .matmul(&densify(&x).matmul(&w).unwrap())
+                .unwrap();
+            for dataflow in Dataflow::EXTENDED {
+                let outcome = run_gcn_layer(&config, dataflow, &adj, &x, &w)
+                    .unwrap_or_else(|e| panic!("seed {seed} {policy:?} {dataflow:?}: {e}"));
+                assert_eq!(
+                    outcome.output.as_slice(),
+                    reference.as_slice(),
+                    "seed {seed}: {dataflow:?} with prefetch {policy:?} diverged"
+                );
+                let violations = audit::check_report(&outcome.report);
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed} {policy:?} {dataflow:?}: {violations:?}"
+                );
+                issued += outcome.report.prefetch.issued;
+            }
+        }
+        if policy.is_off() {
+            assert_eq!(issued, 0, "off policy must never issue prefetches");
+        } else {
+            assert!(
+                issued > 0,
+                "{policy:?} never issued a prefetch; the oracle went unexercised"
+            );
+        }
+    }
+}
+
 /// The audit flag must be pure observation: identical outputs, cycles and
 /// traffic with it on or off.
 #[test]

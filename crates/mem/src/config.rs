@@ -1,5 +1,7 @@
 //! Memory-subsystem configuration.
 
+use crate::prefetch::PrefetchPolicy;
+
 /// Configuration of the off-chip memory and all on-chip buffers, defaulting
 /// to the paper's Table III parameters at a 1 GHz accelerator clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,10 +33,22 @@ pub struct MemConfig {
     pub smq_ptr_bytes: usize,
     /// SMQ index buffer capacity in bytes (12 KB in Table III).
     pub smq_idx_bytes: usize,
-    /// Lines of sparse stream the SMQ prefetches ahead of consumption
-    /// (bounded by the index buffer; kept small so the stream does not
-    /// monopolise DRAM bandwidth).
-    pub smq_prefetch_lines: usize,
+    /// **Index-stream lookahead**: lines of the sparse pointer/index/value
+    /// stream the SMQ fetches ahead of consumption (bounded by the index
+    /// buffer; kept small so the stream does not monopolise DRAM
+    /// bandwidth). This is *not* the data prefetcher — dense-line
+    /// prefetching into the DMB is controlled by [`MemConfig::prefetch`].
+    pub smq_lookahead_lines: usize,
+    /// Data-prefetch policy on the DMB miss path (see
+    /// [`crate::prefetch`]). `Off` by default; the disabled path is
+    /// bit-identical to a build without the subsystem.
+    pub prefetch: PrefetchPolicy,
+    /// Prefetch degree: lines issued per demand-miss trigger (`next-line`)
+    /// or SMQ hints drained per demand load (`smq-stream`).
+    pub prefetch_degree: usize,
+    /// Maximum MSHRs prefetches may hold concurrently. Kept below
+    /// [`MemConfig::mshr_count`] so demand misses are never starved.
+    pub prefetch_mshr_cap: usize,
     /// Use HyMM's class-ordered eviction (W first, then XW, retain AXW —
     /// paper §IV-D). When `false` the DMB falls back to plain global LRU,
     /// the ablation baseline.
@@ -62,7 +76,10 @@ impl Default for MemConfig {
             lsq_entries: 128,
             smq_ptr_bytes: 4 * 1024,
             smq_idx_bytes: 12 * 1024,
-            smq_prefetch_lines: 32,
+            smq_lookahead_lines: 32,
+            prefetch: PrefetchPolicy::Off,
+            prefetch_degree: 2,
+            prefetch_mshr_cap: 8,
             class_eviction: true,
             trace: false,
             trace_capacity: 1 << 20,
@@ -107,6 +124,17 @@ mod tests {
         assert_eq!(c.lsq_entries, 128);
         assert_eq!(c.smq_ptr_bytes + c.smq_idx_bytes, 16 * 1024);
         assert_eq!(c.dram_bytes_per_cycle, 64);
+    }
+
+    #[test]
+    fn prefetch_defaults_off_and_capped() {
+        let c = MemConfig::default();
+        assert!(c.prefetch.is_off());
+        assert!(c.prefetch_degree >= 1);
+        assert!(
+            c.prefetch_mshr_cap < c.mshr_count,
+            "the prefetch cap must leave MSHRs for demand misses"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::address::{LineAddr, MatrixKind};
 use crate::config::MemConfig;
 use crate::dram::{AccessPattern, Dram};
+use crate::prefetch::{PrefetchDrop, PrefetchStats};
 use crate::stats::HitStats;
 use crate::trace::{AccessClass, TraceData, TraceEvent, TraceKind, TraceRing, Track};
 
@@ -38,6 +39,10 @@ const NIL: u32 = u32::MAX;
 struct LineSlot {
     addr: LineAddr,
     dirty: bool,
+    /// Speculatively filled by the prefetcher and not yet touched by a
+    /// demand access. Cleared by the first demand hit (counted useful);
+    /// still set at removal means the prefetch was wasted.
+    prefetched: bool,
     /// Cycle at which the line's fill completes (0 for write-allocated).
     ready_at: u64,
     /// LRU timestamp; unique per touch. Orders victims across classes when
@@ -166,6 +171,20 @@ impl LineTable {
         self.tails[class] = idx;
     }
 
+    /// Prepends at the **oldest** end of the class list — prefetched lines
+    /// land here so a wrong prefetch is the next victim of its class rather
+    /// than displacing demand-touched lines.
+    fn push_oldest(&mut self, idx: u32, class: usize) {
+        let head = self.heads[class];
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = head;
+        match head {
+            NIL => self.tails[class] = idx,
+            h => self.slots[h as usize].prev = idx,
+        }
+        self.heads[class] = idx;
+    }
+
     /// Moves a resident line to the newest end of its class list with a
     /// fresh timestamp.
     #[cfg(test)]
@@ -192,12 +211,32 @@ impl LineTable {
     }
 
     fn insert(&mut self, addr: LineAddr, dirty: bool, ready_at: u64, tick: u64) {
+        self.insert_full(addr, dirty, false, ready_at, tick, false);
+    }
+
+    /// Inserts a speculative line at the **LRU** end of its class with the
+    /// `prefetched` marker set; the MRU probe hint is left on the demand
+    /// stream's last line.
+    fn insert_prefetched(&mut self, addr: LineAddr, ready_at: u64, tick: u64) {
+        self.insert_full(addr, false, true, ready_at, tick, true);
+    }
+
+    fn insert_full(
+        &mut self,
+        addr: LineAddr,
+        dirty: bool,
+        prefetched: bool,
+        ready_at: u64,
+        tick: u64,
+        at_lru: bool,
+    ) {
         if (self.len + 1) * 4 >= self.buckets.len() * 3 {
             self.grow();
         }
         let slot = LineSlot {
             addr,
             dirty,
+            prefetched,
             ready_at,
             lru: tick,
             prev: NIL,
@@ -221,8 +260,13 @@ impl LineTable {
         self.buckets[b] = idx;
         self.slots[idx as usize].bucket = b as u32;
         self.len += 1;
-        self.push_newest(idx, addr.kind.evict_class() as usize);
-        self.mru = idx;
+        let class = addr.kind.evict_class() as usize;
+        if at_lru {
+            self.push_oldest(idx, class);
+        } else {
+            self.push_newest(idx, class);
+            self.mru = idx;
+        }
         self.check_after_mutation();
     }
 
@@ -391,6 +435,9 @@ struct MshrSlot {
     addr: LineAddr,
     ready: u64,
     valid: bool,
+    /// Allocated by the prefetcher rather than a demand miss; counts
+    /// against [`MemConfig::prefetch_mshr_cap`] until reaped.
+    prefetch: bool,
     /// `sig_bit(addr)`, computed once at insertion so signature rebuilds in
     /// [`Dmb::reap_mshrs`] OR cached bits instead of re-hashing every
     /// surviving address.
@@ -446,6 +493,11 @@ pub struct Dmb {
     /// Number of valid MSHR slots, so the hot paths never scan the array to
     /// count.
     mshr_live: usize,
+    /// Valid MSHR slots holding prefetch fills (`<= prefetch_mshr_cap`).
+    mshr_prefetch_live: usize,
+    /// Cap on `mshr_prefetch_live`, clamped below the pool size so demand
+    /// misses always find a slot eventually.
+    prefetch_mshr_cap: usize,
     /// Invalid MSHR slot indices, so allocation pops instead of scanning.
     /// Which slot an outstanding fill occupies is unobservable (lookups are
     /// by address), so the pop order is free.
@@ -483,6 +535,8 @@ pub struct Dmb {
     /// waterfall.
     miss_latency_cycles: u64,
     accumulator_merges: u64,
+    /// Data-prefetcher accuracy/coverage/timeliness counters.
+    prefetch_stats: PrefetchStats,
     trace: Option<Box<TraceRing>>,
     /// Port-grant cycle of the access currently being served; events emitted
     /// by shared helpers (eviction, MSHR allocation) are stamped with it so
@@ -512,11 +566,14 @@ impl Dmb {
                     addr: LineAddr::new(MatrixKind::Weight, 0),
                     ready: 0,
                     valid: false,
+                    prefetch: false,
                     sig: 0
                 };
                 mshr_count
             ],
             mshr_live: 0,
+            mshr_prefetch_live: 0,
+            prefetch_mshr_cap: config.prefetch_mshr_cap.min(mshr_count.saturating_sub(1)),
             mshr_free: (0..mshr_count as u32).collect(),
             mshr_sig: 0,
             mshr_min_ready: u64::MAX,
@@ -533,6 +590,7 @@ impl Dmb {
             mshr_stall_cycles: 0,
             miss_latency_cycles: 0,
             accumulator_merges: 0,
+            prefetch_stats: PrefetchStats::default(),
             trace: config.trace_ring(),
             port_ts: 0,
             port_track: Track::DmbRead,
@@ -608,6 +666,15 @@ impl Dmb {
                 m.addr
             );
         }
+        let prefetch_live = self.mshrs.iter().filter(|m| m.valid && m.prefetch).count();
+        assert_eq!(
+            prefetch_live, self.mshr_prefetch_live,
+            "audit: mshr_prefetch_live vs slot array"
+        );
+        assert!(
+            prefetch_live <= self.prefetch_mshr_cap,
+            "audit: prefetches exceed their MSHR cap"
+        );
     }
 
     /// MSHR mutation epilogue: a no-op unless the `audit` feature is on.
@@ -633,9 +700,12 @@ impl Dmb {
             .map(|m| m.ready)
     }
 
-    fn mshr_insert(&mut self, addr: LineAddr, ready: u64) {
+    fn mshr_insert(&mut self, addr: LineAddr, ready: u64, prefetch: bool) {
         let sig = Self::sig_bit(addr);
         self.mshr_live += 1;
+        if prefetch {
+            self.mshr_prefetch_live += 1;
+        }
         self.mshr_sig |= sig;
         self.mshr_min_ready = self.mshr_min_ready.min(ready);
         if self.trace.is_some() {
@@ -651,6 +721,7 @@ impl Dmb {
                     addr,
                     ready,
                     valid: true,
+                    prefetch,
                     sig,
                 }
             }
@@ -660,6 +731,7 @@ impl Dmb {
                 addr,
                 ready,
                 valid: true,
+                prefetch,
                 sig,
             }),
         }
@@ -723,6 +795,9 @@ impl Dmb {
         if let Some((_, idx)) = victim {
             let line = self.lines.remove_slot(idx);
             self.evictions += 1;
+            if line.prefetched {
+                self.prefetch_stats.evicted_unused += 1;
+            }
             if line.dirty {
                 self.dirty_evictions += 1;
                 // Evicted victims scatter: charged as random traffic.
@@ -752,7 +827,11 @@ impl Dmb {
                 if m.ready <= now {
                     m.valid = false;
                     let addr = m.addr;
+                    let was_prefetch = m.prefetch;
                     self.mshr_live -= 1;
+                    if was_prefetch {
+                        self.mshr_prefetch_live -= 1;
+                    }
                     self.mshr_free.push(i as u32);
                     if let Some(t) = self.trace.as_deref_mut() {
                         // Completion-ordered stream: both ports reap on
@@ -766,6 +845,14 @@ impl Dmb {
                             ts: now,
                             dur: 0,
                         });
+                        if was_prefetch {
+                            t.push(TraceEvent {
+                                track: Track::Prefetch,
+                                kind: TraceKind::PrefetchFill { addr },
+                                ts: now,
+                                dur: 0,
+                            });
+                        }
                     }
                 } else {
                     min = min.min(m.ready);
@@ -776,6 +863,147 @@ impl Dmb {
         self.mshr_min_ready = min;
         self.mshr_sig = sig;
         self.check_mshr_after_mutation();
+    }
+
+    /// First demand touch of a prefetched line: clears the marker, counts
+    /// the prefetch useful, and attributes `waited` residual fill cycles to
+    /// the `prefetch-late` class (the hit path's `max(ready_at)` already
+    /// models the wait; this only labels it).
+    fn demand_claims_prefetch(&mut self, idx: u32, start: u64, waited: u64) {
+        let slot = &mut self.lines.slots[idx as usize];
+        slot.prefetched = false;
+        let addr = slot.addr;
+        self.prefetch_stats.useful += 1;
+        if waited > 0 {
+            self.prefetch_stats.late += 1;
+            self.prefetch_stats.late_cycles += waited;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    track: Track::Prefetch,
+                    kind: TraceKind::PrefetchLate { addr, waited },
+                    ts: start,
+                    dur: 0,
+                });
+            }
+        }
+    }
+
+    /// Records one dropped prefetch candidate.
+    fn drop_prefetch(&mut self, now: u64, addr: LineAddr, reason: PrefetchDrop) -> PrefetchDrop {
+        self.prefetch_stats.record_drop(reason);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: Track::Prefetch,
+                kind: TraceKind::PrefetchDropped { addr, reason },
+                ts: now,
+                dur: 0,
+            });
+        }
+        reason
+    }
+
+    /// Evicts lines until the buffer has room, considering only classes
+    /// `0..=max_class` — a prefetch never displaces a line of a hotter
+    /// class than its own. Returns `false` (leaving any legal evictions it
+    /// already made in place) when no such victim exists.
+    fn make_room_up_to_class(&mut self, now: u64, max_class: usize, dram: &mut Dram) -> bool {
+        while self.lines.len >= self.capacity_lines {
+            let no_inflight = self.mshr_live == 0;
+            let sig = self.mshr_sig;
+            let victim_of = |lines: &LineTable, mshrs: &[MshrSlot], class: usize| {
+                let mut idx = lines.heads[class];
+                while idx != NIL {
+                    let slot = &lines.slots[idx as usize];
+                    if no_inflight
+                        || sig & Self::sig_bit(slot.addr) == 0
+                        || !mshrs.iter().any(|m| m.valid && m.addr == slot.addr)
+                    {
+                        return Some((slot.lru, idx));
+                    }
+                    idx = slot.next;
+                }
+                None
+            };
+            let victim = if self.class_eviction {
+                (0..=max_class).find_map(|c| victim_of(&self.lines, &self.mshrs, c))
+            } else {
+                (0..=max_class)
+                    .filter_map(|c| victim_of(&self.lines, &self.mshrs, c))
+                    .min_by_key(|&(tick, _)| tick)
+            };
+            let Some((_, idx)) = victim else {
+                return false;
+            };
+            let line = self.lines.remove_slot(idx);
+            self.evictions += 1;
+            if line.prefetched {
+                self.prefetch_stats.evicted_unused += 1;
+            }
+            if line.dirty {
+                self.dirty_evictions += 1;
+                dram.write(now, line.addr.kind, self.line_bytes, AccessPattern::Random);
+            }
+            if self.trace.is_some() {
+                self.trace_port_event(TraceKind::DmbEvict {
+                    addr: line.addr,
+                    dirty: line.dirty,
+                });
+            }
+        }
+        true
+    }
+
+    /// Presents a speculative fill of `addr` at cycle `now`, issued by the
+    /// machine's prefetcher. Consumes **no port time** (the prefetcher has
+    /// its own request path into the MSHR pool) and never stalls: any
+    /// resource conflict drops the candidate and reports why.
+    ///
+    /// Returns `None` when the prefetch was issued, `Some(reason)` when it
+    /// was dropped.
+    pub fn prefetch(
+        &mut self,
+        now: u64,
+        addr: LineAddr,
+        dram: &mut Dram,
+        pattern: AccessPattern,
+    ) -> Option<PrefetchDrop> {
+        self.reap_mshrs(now);
+        if self.contains(addr) || self.mshr_lookup(addr).is_some() {
+            return Some(self.drop_prefetch(now, addr, PrefetchDrop::Redundant));
+        }
+        if self.mshr_live >= self.mshr_count || self.mshr_prefetch_live >= self.prefetch_mshr_cap {
+            return Some(self.drop_prefetch(now, addr, PrefetchDrop::MshrCap));
+        }
+        // One access latency of backlog is the horizon: if no channel frees
+        // within it, the system is bandwidth-bound and speculative traffic
+        // would only push demand transfers further out.
+        if dram.backlogged(now, dram.latency()) {
+            return Some(self.drop_prefetch(now, addr, PrefetchDrop::DramBusy));
+        }
+        // Shared-helper events (eviction, MSHR allocate) issued from here
+        // belong to the prefetch clock domain.
+        self.port_ts = now;
+        self.port_track = Track::Prefetch;
+        let class = addr.kind.evict_class() as usize;
+        if !self.make_room_up_to_class(now, class, dram) {
+            return Some(self.drop_prefetch(now, addr, PrefetchDrop::NoVictim));
+        }
+        let ready = dram.read(now, addr.kind, self.line_bytes, pattern);
+        self.mshr_insert(addr, ready, true);
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+        self.lines.insert_prefetched(addr, ready, tick);
+        self.line_fills += 1;
+        self.prefetch_stats.issued += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent {
+                track: Track::Prefetch,
+                kind: TraceKind::PrefetchIssue { addr, ready },
+                ts: now,
+                dur: 0,
+            });
+        }
+        None
     }
 
     /// Presents a read request at cycle `now`; `pattern` describes how a
@@ -797,6 +1025,9 @@ impl Dmb {
         if let Some(idx) = self.lines.find_slot(addr) {
             let ready = (start + self.hit_latency).max(self.lines.slots[idx as usize].ready_at);
             self.hits.read_hits += 1;
+            if self.lines.slots[idx as usize].prefetched {
+                self.demand_claims_prefetch(idx, start, ready - (start + self.hit_latency));
+            }
             self.touch_slot(idx);
             if self.trace.is_some() {
                 self.trace_port_event(TraceKind::DmbAccess {
@@ -838,7 +1069,7 @@ impl Dmb {
             self.reap_mshrs(issue);
         }
         let ready = dram.read(issue, addr.kind, self.line_bytes, pattern);
-        self.mshr_insert(addr, ready);
+        self.mshr_insert(addr, ready, false);
         self.insert_line(addr, false, ready, issue, dram);
         self.hits.read_misses += 1;
         self.miss_latency_cycles += ready - start;
@@ -874,6 +1105,11 @@ impl Dmb {
         if let Some(idx) = self.lines.find_slot(addr) {
             self.lines.slots[idx as usize].dirty = true;
             self.hits.write_hits += 1;
+            if self.lines.slots[idx as usize].prefetched {
+                // Write hits never wait on an in-flight fill (full-line
+                // overwrite), so no lateness is charged.
+                self.demand_claims_prefetch(idx, start, 0);
+            }
             self.touch_slot(idx);
             if self.trace.is_some() {
                 self.trace_port_event(TraceKind::DmbAccess {
@@ -950,6 +1186,9 @@ impl Dmb {
         for &addr in &sorted {
             let line = self.lines.remove(addr).expect("listed line is resident");
             self.line_drops += 1;
+            if line.prefetched {
+                self.prefetch_stats.evicted_unused += 1;
+            }
             if line.dirty {
                 // Flushes walk line indices in order: streaming writeback.
                 done = done.max(dram.write(done, kind, self.line_bytes, AccessPattern::Sequential));
@@ -964,8 +1203,11 @@ impl Dmb {
         self.collect_kind(kind);
         let addrs = std::mem::take(&mut self.drain_scratch);
         for &addr in &addrs {
-            self.lines.remove(addr).expect("listed line is resident");
+            let line = self.lines.remove(addr).expect("listed line is resident");
             self.line_drops += 1;
+            if line.prefetched {
+                self.prefetch_stats.evicted_unused += 1;
+            }
         }
         self.drain_scratch = addrs;
     }
@@ -1049,6 +1291,12 @@ impl Dmb {
     /// Total cycles between presentation and data-ready across read misses.
     pub fn miss_latency_cycles(&self) -> u64 {
         self.miss_latency_cycles
+    }
+
+    /// Data-prefetcher counters (all zero unless [`Dmb::prefetch`] was
+    /// driven).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetch_stats
     }
 
     /// Moves any buffered trace events into `into` (no-op when tracing is
@@ -1886,5 +2134,467 @@ mod eviction_policy_tests {
     fn class_eviction_still_default() {
         let cfg = MemConfig::default();
         assert!(cfg.class_eviction);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use crate::prefetch::{PrefetchDrop, PrefetchStats};
+
+    fn small_config(lines: usize) -> MemConfig {
+        MemConfig {
+            dmb_bytes: lines * 64,
+            ..MemConfig::default()
+        }
+    }
+
+    fn addr(kind: MatrixKind, i: u64) -> LineAddr {
+        LineAddr::new(kind, i)
+    }
+
+    #[test]
+    fn issued_prefetch_becomes_a_demand_hit() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        assert_eq!(
+            dmb.prefetch(0, a, &mut dram, AccessPattern::Sequential),
+            None
+        );
+        // Demand arrives well after the fill: a hit with no residual wait.
+        let out = dmb.read(500, a, &mut dram, AccessPattern::Sequential);
+        assert!(out.hit);
+        assert_eq!(out.ready, 500 + cfg.dmb_hit_latency);
+        let s = dmb.prefetch_stats();
+        assert_eq!((s.issued, s.useful, s.late, s.late_cycles), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn late_prefetch_charges_residual_wait() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        assert_eq!(
+            dmb.prefetch(0, a, &mut dram, AccessPattern::Sequential),
+            None
+        );
+        // Fill completes at cycle 101; demand arrives at 0 and must wait for
+        // the in-flight fill, not just the hit latency.
+        let out = dmb.read(0, a, &mut dram, AccessPattern::Sequential);
+        assert!(out.hit, "in-flight prefetch serves demand via the hit path");
+        assert_eq!(out.ready, 101);
+        let s = dmb.prefetch_stats();
+        assert_eq!((s.useful, s.late), (1, 1));
+        assert_eq!(s.late_cycles, 101 - cfg.dmb_hit_latency);
+        // Nothing lands in the demand-miss class: the wait is labelled
+        // prefetch-late instead.
+        assert_eq!(dmb.miss_latency_cycles(), 0);
+    }
+
+    #[test]
+    fn write_hit_claims_prefetch_without_lateness() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Output, 0);
+        assert_eq!(
+            dmb.prefetch(0, a, &mut dram, AccessPattern::Sequential),
+            None
+        );
+        let out = dmb.write(1, a, &mut dram, true, AccessPattern::Random);
+        assert!(out.hit);
+        let s = dmb.prefetch_stats();
+        assert_eq!((s.useful, s.late, s.late_cycles), (1, 0, 0));
+    }
+
+    #[test]
+    fn prefetched_line_is_first_victim_of_its_class() {
+        let cfg = small_config(2);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        // Demand line first, then a (newer) prefetch of the same class.
+        dmb.write(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        assert_eq!(
+            dmb.prefetch(
+                5,
+                addr(MatrixKind::Combination, 1),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            None
+        );
+        // Capacity pressure after the fill completed: despite being the
+        // newest insertion, the unclaimed prefetch sits at the LRU end and
+        // goes first.
+        dmb.write(
+            500,
+            addr(MatrixKind::Combination, 2),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        assert!(dmb.contains(addr(MatrixKind::Combination, 0)));
+        assert!(!dmb.contains(addr(MatrixKind::Combination, 1)));
+        assert_eq!(dmb.prefetch_stats().evicted_unused, 1);
+        assert_eq!(dmb.prefetch_stats().useful, 0);
+    }
+
+    #[test]
+    fn redundant_candidates_are_dropped() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let r = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        // Resident line.
+        assert_eq!(
+            dmb.prefetch(r.ready, a, &mut dram, AccessPattern::Sequential),
+            Some(PrefetchDrop::Redundant)
+        );
+        // In-flight prefetch: the second attempt sees the resident entry.
+        let b = addr(MatrixKind::Combination, 1);
+        assert_eq!(
+            dmb.prefetch(r.ready, b, &mut dram, AccessPattern::Sequential),
+            None
+        );
+        assert_eq!(
+            dmb.prefetch(r.ready, b, &mut dram, AccessPattern::Sequential),
+            Some(PrefetchDrop::Redundant)
+        );
+        assert_eq!(dmb.prefetch_stats().dropped_redundant, 2);
+        assert_eq!(dmb.prefetch_stats().issued, 1);
+    }
+
+    #[test]
+    fn prefetches_never_exceed_their_mshr_share() {
+        let mut cfg = small_config(64);
+        cfg.prefetch_mshr_cap = 1;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        assert_eq!(
+            dmb.prefetch(
+                0,
+                addr(MatrixKind::Combination, 0),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            None
+        );
+        dmb.check_mshr_tracking();
+        // Second candidate while the first fill is outstanding: over the cap.
+        assert_eq!(
+            dmb.prefetch(
+                0,
+                addr(MatrixKind::Combination, 1),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            Some(PrefetchDrop::MshrCap)
+        );
+        // A demand miss still allocates: the cap reserves slots for demand.
+        let out = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 2),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert!(!out.hit);
+        assert_eq!(dmb.mshr_stalls(), 0, "demand found a free MSHR");
+        dmb.check_mshr_tracking();
+        assert_eq!(dmb.prefetch_stats().dropped_mshr_cap, 1);
+    }
+
+    #[test]
+    fn demand_filled_mshr_pool_drops_prefetches() {
+        let mut cfg = small_config(64);
+        cfg.mshr_count = 2;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let _ = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        let _ = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert_eq!(
+            dmb.prefetch(
+                0,
+                addr(MatrixKind::Combination, 2),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            Some(PrefetchDrop::MshrCap)
+        );
+    }
+
+    #[test]
+    fn backlogged_dram_drops_prefetches() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        // A short transfer in flight is ordinary pipelining, not a backlog:
+        // the prefetch still issues.
+        let _ = dmb.read(
+            0,
+            addr(MatrixKind::Combination, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert!(dram.saturated(1));
+        assert_eq!(
+            dmb.prefetch(
+                1,
+                addr(MatrixKind::Combination, 1),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            None
+        );
+        // A backlog deeper than one access latency does drop the candidate.
+        dram.read(
+            10,
+            MatrixKind::Combination,
+            64 * 200,
+            AccessPattern::Sequential,
+        );
+        assert_eq!(
+            dmb.prefetch(
+                10,
+                addr(MatrixKind::Combination, 2),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            Some(PrefetchDrop::DramBusy)
+        );
+        assert_eq!(dmb.prefetch_stats().dropped_dram_busy, 1);
+    }
+
+    #[test]
+    fn prefetch_never_evicts_a_hotter_class() {
+        let cfg = small_config(2);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        // Fill the buffer with AXW partials (the hottest class).
+        dmb.write(
+            0,
+            addr(MatrixKind::Output, 0),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        dmb.write(
+            1,
+            addr(MatrixKind::Output, 1),
+            &mut dram,
+            true,
+            AccessPattern::Random,
+        );
+        // A weight prefetch may only displace class-W lines; none exist.
+        assert_eq!(
+            dmb.prefetch(
+                5,
+                addr(MatrixKind::Weight, 0),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            Some(PrefetchDrop::NoVictim)
+        );
+        assert_eq!(dmb.prefetch_stats().dropped_no_victim, 1);
+        assert!(dmb.contains(addr(MatrixKind::Output, 0)));
+        assert!(dmb.contains(addr(MatrixKind::Output, 1)));
+        // A demand miss in the same state still makes room (unrestricted
+        // class walk) — only prefetches are constrained.
+        let out = dmb.read(
+            5,
+            addr(MatrixKind::Weight, 0),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        assert!(!out.hit);
+        assert!(dmb.contains(addr(MatrixKind::Weight, 0)));
+    }
+
+    #[test]
+    fn prefetch_consumes_no_port_time() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        let fill = dmb.read(0, a, &mut dram, AccessPattern::Random);
+        // Spaced so each finds the single DRAM channel free again.
+        let mut now = fill.ready + 50;
+        for i in 1..4u64 {
+            assert_eq!(
+                dmb.prefetch(
+                    now,
+                    addr(MatrixKind::Combination, i),
+                    &mut dram,
+                    AccessPattern::Sequential
+                ),
+                None
+            );
+            now += 2;
+        }
+        // The read port was not advanced by the prefetches.
+        let hit = dmb.read(now, a, &mut dram, AccessPattern::Random);
+        assert_eq!(hit.ready, now + cfg.dmb_hit_latency);
+    }
+
+    #[test]
+    fn flush_and_invalidate_count_unused_prefetches() {
+        let cfg = small_config(8);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        assert_eq!(
+            dmb.prefetch(
+                0,
+                addr(MatrixKind::Combination, 0),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            None
+        );
+        // Let the fill land before tearing the kind down.
+        let _ = dmb.read(
+            500,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        dmb.invalidate_kind(MatrixKind::Combination);
+        assert_eq!(dmb.prefetch_stats().evicted_unused, 1);
+        assert_eq!(
+            dmb.prefetch(
+                1000,
+                addr(MatrixKind::Output, 0),
+                &mut dram,
+                AccessPattern::Sequential
+            ),
+            None
+        );
+        dmb.flush_kind(1500, MatrixKind::Output, &mut dram);
+        assert_eq!(dmb.prefetch_stats().evicted_unused, 2);
+    }
+
+    #[test]
+    fn conservation_holds_with_prefetch_traffic() {
+        let cfg = small_config(4);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        for i in 0..16u64 {
+            let _ = dmb.prefetch(
+                now,
+                addr(MatrixKind::Combination, i + 100),
+                &mut dram,
+                AccessPattern::Sequential,
+            );
+            now = dmb
+                .read(
+                    now,
+                    addr(MatrixKind::Combination, i),
+                    &mut dram,
+                    AccessPattern::Random,
+                )
+                .ready;
+            dmb.write(
+                now,
+                addr(MatrixKind::Output, i % 3),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
+            dmb.check_mshr_tracking();
+        }
+        dmb.flush_kind(now, MatrixKind::Output, &mut dram);
+        dmb.invalidate_kind(MatrixKind::Combination);
+        assert_eq!(
+            dmb.line_fills(),
+            dmb.evictions() + dmb.line_drops() + dmb.occupancy() as u64
+        );
+        let s = dmb.prefetch_stats();
+        assert!(s.issued > 0);
+        assert_eq!(s.issued, s.useful + s.evicted_unused);
+    }
+
+    #[test]
+    fn demand_only_traffic_leaves_counters_zero() {
+        let cfg = small_config(4);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let mut now = 0;
+        for i in 0..32u64 {
+            now = dmb
+                .read(
+                    now,
+                    addr(MatrixKind::Combination, i % 9),
+                    &mut dram,
+                    AccessPattern::Random,
+                )
+                .ready;
+            dmb.write(
+                now,
+                addr(MatrixKind::Output, i % 5),
+                &mut dram,
+                true,
+                AccessPattern::Random,
+            );
+        }
+        assert_eq!(dmb.prefetch_stats(), PrefetchStats::default());
+    }
+
+    #[test]
+    fn prefetch_lifecycle_is_traced() {
+        use crate::trace::{TraceData, TraceKind, Track};
+        let mut cfg = small_config(8);
+        cfg.trace = true;
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let a = addr(MatrixKind::Combination, 0);
+        assert_eq!(
+            dmb.prefetch(0, a, &mut dram, AccessPattern::Sequential),
+            None
+        );
+        // Late demand claim, a redundant drop, and a reap after the fill.
+        let out = dmb.read(0, a, &mut dram, AccessPattern::Sequential);
+        assert_eq!(
+            dmb.prefetch(out.ready, a, &mut dram, AccessPattern::Sequential),
+            Some(PrefetchDrop::Redundant)
+        );
+        let _ = dmb.read(
+            out.ready + 10,
+            addr(MatrixKind::Combination, 1),
+            &mut dram,
+            AccessPattern::Random,
+        );
+        let mut data = TraceData::new();
+        dmb.drain_trace(&mut data);
+        let on_track = |k: &dyn Fn(&TraceKind) -> bool| {
+            data.events
+                .iter()
+                .any(|e| e.track == Track::Prefetch && k(&e.kind))
+        };
+        assert!(on_track(&|k| matches!(k, TraceKind::PrefetchIssue { .. })));
+        assert!(on_track(&|k| matches!(k, TraceKind::PrefetchLate { .. })));
+        assert!(on_track(&|k| matches!(
+            k,
+            TraceKind::PrefetchDropped { .. }
+        )));
+        assert!(on_track(&|k| matches!(k, TraceKind::PrefetchFill { .. })));
     }
 }

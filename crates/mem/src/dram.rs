@@ -129,6 +129,23 @@ impl Dram {
         self.channel_busy.iter().copied().max().unwrap_or(0)
     }
 
+    /// Whether every channel is still busy at cycle `now` — a request issued
+    /// now could not start immediately. The zero-slack special case of
+    /// [`Dram::backlogged`].
+    pub fn saturated(&self, now: u64) -> bool {
+        self.backlogged(now, 0)
+    }
+
+    /// Whether every channel is still busy past `now + slack` — the request
+    /// backlog is deep enough that a transfer issued now would wait more
+    /// than `slack` cycles to even start. The prefetcher drops candidates
+    /// in this state instead of queueing them behind demand traffic
+    /// (ordinary pipelining behind one or two in-flight transfers is fine;
+    /// a bandwidth-bound backlog is not).
+    pub fn backlogged(&self, now: u64, slack: u64) -> bool {
+        self.channel_busy.iter().all(|&b| b > now + slack)
+    }
+
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.channel_busy.len()
@@ -253,6 +270,38 @@ mod tests {
         let c = d.read(0, MatrixKind::Weight, 64, AccessPattern::Sequential);
         assert_eq!(c, 102); // third queues behind one of them
         assert_eq!(d.channels(), 2);
+    }
+
+    #[test]
+    fn saturated_tracks_channel_occupancy() {
+        let mut d = dram();
+        assert!(!d.saturated(0), "idle channel is not saturated");
+        // 640 bytes occupy the single channel for cycles 0..10.
+        d.read(0, MatrixKind::Weight, 640, AccessPattern::Sequential);
+        assert!(d.saturated(0));
+        assert!(d.saturated(9));
+        assert!(!d.saturated(10), "free again once the transfer ends");
+
+        let cfg = MemConfig {
+            dram_channels: 2,
+            ..MemConfig::default()
+        };
+        let mut d2 = Dram::new(&cfg);
+        d2.read(0, MatrixKind::Weight, 640, AccessPattern::Sequential);
+        assert!(!d2.saturated(0), "one free channel means not saturated");
+        d2.read(0, MatrixKind::Weight, 640, AccessPattern::Sequential);
+        assert!(d2.saturated(0));
+    }
+
+    #[test]
+    fn backlogged_applies_slack_to_every_channel() {
+        let mut d = dram();
+        // Channel busy for cycles 0..10: a 5-cycle horizon sees a backlog,
+        // a 20-cycle horizon does not.
+        d.read(0, MatrixKind::Weight, 640, AccessPattern::Sequential);
+        assert!(d.backlogged(0, 5));
+        assert!(!d.backlogged(0, 20));
+        assert!(!d.backlogged(9, 5));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`lsq`] — the 128-entry **load/store queue** with store-to-load
 //!   forwarding between the combination and aggregation phases
 //!   (paper §IV-B);
+//! - [`prefetch`] — the configurable **data prefetcher** on the DMB miss
+//!   path: policy/drop/stat types for speculative dense-line fills issued
+//!   through the MSHR pool (off by default and bit-identical when off);
 //! - [`smq`] — the **sparse matrix queue** that streams CSR/CSC
 //!   pointer/index/value data from DRAM through its 4 KB pointer and 12 KB
 //!   index buffers (paper §IV-A);
@@ -32,6 +35,7 @@ pub mod config;
 pub mod dmb;
 pub mod dram;
 pub mod lsq;
+pub mod prefetch;
 pub mod smq;
 pub mod stats;
 pub mod trace;
@@ -41,6 +45,7 @@ pub use config::MemConfig;
 pub use dmb::Dmb;
 pub use dram::Dram;
 pub use lsq::Lsq;
+pub use prefetch::{PrefetchDrop, PrefetchPolicy, PrefetchStats};
 pub use smq::SmqStream;
 pub use stats::TrafficStats;
 pub use trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};

@@ -307,6 +307,14 @@ impl Lsq {
         ready
     }
 
+    /// Whether a queued (un-retired) store to `addr` exists — a load of the
+    /// address would forward rather than reach the DMB. Read-only probe used
+    /// by the prefetcher to skip addresses the LSQ already covers; it does
+    /// not admit an entry or advance any clock.
+    pub fn has_queued_store(&self, addr: LineAddr) -> bool {
+        self.queued_stores[addr.kind.index()] != 0 && self.forwards.youngest_store(addr).is_some()
+    }
+
     /// Current occupancy.
     pub fn occupancy(&self) -> usize {
         self.entries.len()
@@ -480,6 +488,18 @@ mod tests {
             LoadPath::Forwarded { ready } => assert_eq!(ready, 21),
             other => panic!("expected forward, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn has_queued_store_is_read_only() {
+        let mut q = lsq(4);
+        assert!(!q.has_queued_store(a(3)));
+        q.store(0, a(3), 10);
+        assert!(q.has_queued_store(a(3)));
+        assert!(!q.has_queued_store(a(4)));
+        // The probe admits nothing: occupancy and stats are untouched.
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.stats().loads, 0);
     }
 
     #[test]

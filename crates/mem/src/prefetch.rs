@@ -1,0 +1,244 @@
+//! Data-prefetch policies for the DMB miss path.
+//!
+//! The prefetcher sits between the engines' DMB accesses and the MSHR pool.
+//! It is entirely speculative machinery: prefetches allocate through the
+//! same MSHR pool as demand misses but under a configurable occupancy cap
+//! ([`crate::MemConfig::prefetch_mshr_cap`]) so demand misses are never
+//! starved, are **dropped, never queued** when the DRAM channels or the
+//! MSHR pool are saturated, and on fill insert at the **LRU** end of their
+//! class so a wrong prefetch cannot evict hot `AXW` partials.
+//!
+//! Not to be confused with [`crate::MemConfig::smq_lookahead_lines`], which
+//! is the SMQ's *index-stream* lookahead (how far ahead of consumption the
+//! sparse pointer/index/value stream is fetched). The policies here prefetch
+//! the *dense data lines* (`X`/`XW`/`AXW`) that demand misses land on.
+
+/// Which data-prefetch policy drives the DMB miss path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrefetchPolicy {
+    /// No data prefetching (bit-identical to a build without the
+    /// subsystem).
+    #[default]
+    Off,
+    /// Degree-N sequential: a demand read miss on line `i` prefetches lines
+    /// `i+1 ..= i+degree` of the same matrix.
+    NextLine,
+    /// SMQ-stream directed: the engines walk the already-fetched CSR/CSC
+    /// pointer entries ahead of the compute cursor and hand the machine
+    /// dense-line addresses for upcoming rows/columns; the machine drains
+    /// up to `degree` of those hints per demand load.
+    SmqStream,
+}
+
+impl PrefetchPolicy {
+    /// Every policy, in CLI/documentation order.
+    pub const ALL: [PrefetchPolicy; 3] = [
+        PrefetchPolicy::Off,
+        PrefetchPolicy::NextLine,
+        PrefetchPolicy::SmqStream,
+    ];
+
+    /// Parses the CLI spelling (`off`, `next-line`, `smq-stream`).
+    pub fn parse(s: &str) -> Option<PrefetchPolicy> {
+        match s.trim() {
+            "off" => Some(PrefetchPolicy::Off),
+            "next-line" => Some(PrefetchPolicy::NextLine),
+            "smq-stream" => Some(PrefetchPolicy::SmqStream),
+            _ => None,
+        }
+    }
+
+    /// CLI/report spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefetchPolicy::Off => "off",
+            PrefetchPolicy::NextLine => "next-line",
+            PrefetchPolicy::SmqStream => "smq-stream",
+        }
+    }
+
+    /// `true` when no prefetching is configured (the default).
+    pub fn is_off(&self) -> bool {
+        *self == PrefetchPolicy::Off
+    }
+}
+
+/// Why a prefetch candidate was dropped instead of issued. Prefetches are
+/// never queued: any resource conflict discards the candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchDrop {
+    /// The line is already resident or already in flight in an MSHR.
+    Redundant,
+    /// The MSHR pool is full, or prefetches already hold their configured
+    /// occupancy cap.
+    MshrCap,
+    /// Every DRAM channel is busy past the issue cycle.
+    DramBusy,
+    /// The buffer is at capacity and no line of the prefetch's class or
+    /// below is evictable (prefetches never evict above their class).
+    NoVictim,
+}
+
+impl PrefetchDrop {
+    /// Stable label used in traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefetchDrop::Redundant => "redundant",
+            PrefetchDrop::MshrCap => "mshr-cap",
+            PrefetchDrop::DramBusy => "dram-busy",
+            PrefetchDrop::NoVictim => "no-victim",
+        }
+    }
+}
+
+/// Accuracy / coverage / timeliness counters for the data prefetcher.
+///
+/// - **accuracy** — of the lines issued, how many were touched by a demand
+///   access before eviction (`useful / issued`);
+/// - **coverage** — how much demand miss latency the prefetcher absorbed
+///   (visible in the report as the `dmb-miss` vs `prefetch-late` stall
+///   split);
+/// - **timeliness** — of the useful prefetches, how many arrived before the
+///   demand access needed them (`1 - late / useful`), with `late_cycles`
+///   the residual exposure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchStats {
+    /// Prefetch requests issued to DRAM.
+    pub issued: u64,
+    /// Candidates dropped because the line was resident or in flight.
+    pub dropped_redundant: u64,
+    /// Candidates dropped at the MSHR occupancy cap (or a full pool).
+    pub dropped_mshr_cap: u64,
+    /// Candidates dropped because every DRAM channel was saturated.
+    pub dropped_dram_busy: u64,
+    /// Candidates dropped for lack of an evictable same-or-lower-class
+    /// victim line.
+    pub dropped_no_victim: u64,
+    /// Prefetched lines touched by a demand access before eviction.
+    pub useful: u64,
+    /// Useful prefetches whose fill had not completed when the demand
+    /// access arrived.
+    pub late: u64,
+    /// Cycles demand accesses spent waiting on in-flight prefetches (the
+    /// `prefetch-late` stall class).
+    pub late_cycles: u64,
+    /// Prefetched lines evicted or flushed without ever being touched
+    /// (inaccurate prefetches).
+    pub evicted_unused: u64,
+}
+
+impl PrefetchStats {
+    /// Total dropped candidates across all reasons.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_redundant
+            + self.dropped_mshr_cap
+            + self.dropped_dram_busy
+            + self.dropped_no_victim
+    }
+
+    /// Fraction of issued prefetches that were demand-touched.
+    pub fn accuracy(&self) -> f64 {
+        self.useful as f64 / self.issued.max(1) as f64
+    }
+
+    /// Fraction of useful prefetches that arrived on time.
+    pub fn timeliness(&self) -> f64 {
+        1.0 - self.late as f64 / self.useful.max(1) as f64
+    }
+
+    /// Bumps the drop counter matching `reason`.
+    pub fn record_drop(&mut self, reason: PrefetchDrop) {
+        match reason {
+            PrefetchDrop::Redundant => self.dropped_redundant += 1,
+            PrefetchDrop::MshrCap => self.dropped_mshr_cap += 1,
+            PrefetchDrop::DramBusy => self.dropped_dram_busy += 1,
+            PrefetchDrop::NoVictim => self.dropped_no_victim += 1,
+        }
+    }
+
+    /// Accumulates `other` into `self` (layer-report merging).
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.issued += other.issued;
+        self.dropped_redundant += other.dropped_redundant;
+        self.dropped_mshr_cap += other.dropped_mshr_cap;
+        self.dropped_dram_busy += other.dropped_dram_busy;
+        self.dropped_no_victim += other.dropped_no_victim;
+        self.useful += other.useful;
+        self.late += other.late;
+        self.late_cycles += other.late_cycles;
+        self.evicted_unused += other.evicted_unused;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in PrefetchPolicy::ALL {
+            assert_eq!(PrefetchPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(
+            PrefetchPolicy::parse(" next-line "),
+            Some(PrefetchPolicy::NextLine)
+        );
+        assert_eq!(PrefetchPolicy::parse("nextline"), None);
+        assert_eq!(PrefetchPolicy::parse(""), None);
+    }
+
+    #[test]
+    fn default_policy_is_off() {
+        assert!(PrefetchPolicy::default().is_off());
+        assert!(!PrefetchPolicy::SmqStream.is_off());
+    }
+
+    #[test]
+    fn stats_merge_and_drop_accounting() {
+        let mut a = PrefetchStats {
+            issued: 10,
+            useful: 6,
+            late: 2,
+            late_cycles: 40,
+            ..PrefetchStats::default()
+        };
+        a.record_drop(PrefetchDrop::Redundant);
+        a.record_drop(PrefetchDrop::MshrCap);
+        a.record_drop(PrefetchDrop::DramBusy);
+        a.record_drop(PrefetchDrop::NoVictim);
+        a.record_drop(PrefetchDrop::NoVictim);
+        assert_eq!(a.dropped(), 5);
+
+        let mut b = PrefetchStats::default();
+        b.merge(&a);
+        b.merge(&a);
+        assert_eq!(b.issued, 20);
+        assert_eq!(b.useful, 12);
+        assert_eq!(b.dropped_no_victim, 4);
+        assert_eq!(b.dropped(), 10);
+        assert_eq!(b.late_cycles, 80);
+    }
+
+    #[test]
+    fn accuracy_and_timeliness_are_guarded() {
+        let zero = PrefetchStats::default();
+        assert_eq!(zero.accuracy(), 0.0);
+        assert_eq!(zero.timeliness(), 1.0);
+        let s = PrefetchStats {
+            issued: 8,
+            useful: 6,
+            late: 3,
+            ..PrefetchStats::default()
+        };
+        assert!((s.accuracy() - 0.75).abs() < 1e-12);
+        assert!((s.timeliness() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_labels_are_stable() {
+        assert_eq!(PrefetchDrop::Redundant.label(), "redundant");
+        assert_eq!(PrefetchDrop::MshrCap.label(), "mshr-cap");
+        assert_eq!(PrefetchDrop::DramBusy.label(), "dram-busy");
+        assert_eq!(PrefetchDrop::NoVictim.label(), "no-victim");
+    }
+}

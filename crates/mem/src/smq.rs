@@ -92,9 +92,10 @@ impl SmqStream {
         let ptrs_per_line = config.line_bytes / 4;
         let total_idx_lines = total_entries.div_ceil(entries_per_line.max(1));
         let total_ptr_lines = total_pointers.div_ceil(ptrs_per_line.max(1));
-        // Prefetch depth bounded by the index buffer capacity.
+        // Index-stream lookahead depth bounded by the index buffer capacity
+        // (distinct from the data prefetcher, `MemConfig::prefetch`).
         let buffer_lines = (config.smq_idx_bytes / config.line_bytes).max(1);
-        let prefetch_lines = config.smq_prefetch_lines.clamp(1, buffer_lines);
+        let prefetch_lines = config.smq_lookahead_lines.clamp(1, buffer_lines);
         SmqStream {
             kind,
             format,

@@ -21,6 +21,7 @@
 //! Consumers that need global order must sort by `ts`.
 
 use crate::address::{LineAddr, MatrixKind};
+use crate::prefetch::PrefetchDrop;
 use std::collections::VecDeque;
 
 /// The clock domain (timeline) an event belongs to. Chrome-trace exports
@@ -44,6 +45,10 @@ pub enum Track {
     /// One SMQ stream's fetch batches, numbered in creation order by the
     /// machine that absorbs it.
     Smq(u16),
+    /// Data-prefetcher activity (issue/fill/drop/late) — fed from both DMB
+    /// ports and the MSHR reap clocks, so **completion-ordered**, not
+    /// time-ordered.
+    Prefetch,
 }
 
 /// Hit/miss classification of one DMB access.
@@ -146,6 +151,33 @@ pub enum TraceKind {
         kind: MatrixKind,
         /// Cycle at which the fetched line's data is available.
         ready: u64,
+    },
+    /// The prefetcher issued a line fetch to DRAM.
+    PrefetchIssue {
+        /// Line being prefetched.
+        addr: LineAddr,
+        /// Cycle at which the fill completes.
+        ready: u64,
+    },
+    /// A prefetched line's fill completed (its MSHR was reaped) without a
+    /// demand access having claimed it yet.
+    PrefetchFill {
+        /// Line that finished filling.
+        addr: LineAddr,
+    },
+    /// A prefetch candidate was dropped instead of issued.
+    PrefetchDropped {
+        /// Line that would have been prefetched.
+        addr: LineAddr,
+        /// Resource conflict that discarded it.
+        reason: PrefetchDrop,
+    },
+    /// A demand access hit an in-flight prefetch and waited for it.
+    PrefetchLate {
+        /// Line the demand access wanted.
+        addr: LineAddr,
+        /// Cycles the demand access waited on the prefetch fill.
+        waited: u64,
     },
 }
 

@@ -353,6 +353,102 @@ fn dmb_matches_reference_model() {
 }
 
 // ---------------------------------------------------------------------------
+// Prefetch resource-discipline model
+// ---------------------------------------------------------------------------
+
+/// Drives randomized demand/prefetch interleavings against an external
+/// model of the two resource rules the prefetcher must obey:
+///
+/// 1. **MSHR share** — within any window where no fill can retire, the
+///    number of issued prefetches never exceeds `prefetch_mshr_cap`
+///    (clamped to `mshr_count - 1`), and prefetches plus demand misses
+///    never exceed the pool.
+/// 2. **Class ceiling** — a prefetch never shrinks the resident set of any
+///    class hotter than its own, issued or dropped.
+///
+/// The window accounting restarts whenever a demand miss stalls on a full
+/// pool (that stall drains retired fills on the DMB's internal clock, which
+/// this model cannot see) and across large time jumps that retire
+/// everything in flight.
+#[test]
+fn prefetch_respects_mshr_share_and_class_ceiling() {
+    let mut issued_total = 0u64;
+    let mut cap_drops_total = 0u64;
+    for seq in 0..40u64 {
+        let mut rng = Pcg64::seed_from_u64(0xFE7C ^ seq);
+        let cfg = MemConfig {
+            dmb_bytes: (3 + (seq as usize % 6)) * 64,
+            mshr_count: 2 + (seq as usize % 5),
+            prefetch_mshr_cap: 1 + (seq as usize % 4),
+            class_eviction: seq % 3 != 0,
+            ..MemConfig::default()
+        };
+        let cap = cfg.prefetch_mshr_cap.min(cfg.mshr_count - 1);
+        let mut dmb = Dmb::new(&cfg);
+        let mut dram = Dram::new(&cfg);
+        let index_space = 1 + seq % 17;
+        let mut now = 0u64;
+        for burst in 0..60 {
+            // Far enough ahead that every in-flight fill has retired.
+            now += 100_000;
+            let mut live_prefetch = 0usize;
+            let mut live_demand = 0usize;
+            for step in 0..rng.gen_range(1..24usize) {
+                let addr = LineAddr::new(
+                    KINDS[rng.gen_range(0..3usize)],
+                    rng.gen_range(0..index_space),
+                );
+                let ctx = format!("seq {seq} burst {burst} step {step} {addr:?}");
+                if rng.gen_bool(0.5) {
+                    let stalls_before = dmb.mshr_stalls();
+                    let out = dmb.read(now, addr, &mut dram, AccessPattern::Random);
+                    if dmb.mshr_stalls() > stalls_before {
+                        // The stall drained the pool on the internal clock;
+                        // restart the accounting window.
+                        now += 100_000;
+                        live_prefetch = 0;
+                        live_demand = 0;
+                    } else if !out.hit {
+                        live_demand += 1;
+                    }
+                } else {
+                    let before: Vec<usize> = KINDS.iter().map(|&k| dmb.resident_lines(k)).collect();
+                    let outcome = dmb.prefetch(now, addr, &mut dram, AccessPattern::Random);
+                    for (i, &kind) in KINDS.iter().enumerate() {
+                        if kind.evict_class() > addr.kind.evict_class() {
+                            assert!(
+                                dmb.resident_lines(kind) >= before[i],
+                                "prefetch displaced hotter class {kind:?} at {ctx}"
+                            );
+                        }
+                    }
+                    if outcome.is_none() {
+                        live_prefetch += 1;
+                        assert!(
+                            live_prefetch <= cap,
+                            "prefetches exceeded their MSHR share ({live_prefetch} > {cap}) \
+                             at {ctx}"
+                        );
+                        assert!(
+                            live_prefetch + live_demand <= cfg.mshr_count,
+                            "prefetches starved the demand pool at {ctx}"
+                        );
+                    }
+                }
+            }
+        }
+        let stats = dmb.prefetch_stats();
+        issued_total += stats.issued;
+        cap_drops_total += stats.dropped_mshr_cap;
+    }
+    assert!(issued_total > 0, "stream never issued a prefetch");
+    assert!(
+        cap_drops_total > 0,
+        "stream never hit the MSHR share cap; the invariant went unexercised"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Naive LSQ reference model
 // ---------------------------------------------------------------------------
 

@@ -129,6 +129,50 @@ fn timing_golden_tiny_dmb_evictions() {
     assert_golden(got, GOLDEN_TINY);
 }
 
+/// The default memory system is generous enough that the SMQ index streams
+/// never starve on the small fixtures, leaving the `smq-starve` stall class
+/// near-zero everywhere. A single DRAM channel at a trickle of bandwidth
+/// makes the index streams the bottleneck and pins that class above zero.
+#[test]
+fn timing_golden_bandwidth_starved() {
+    let adj = preferential_attachment(48, 160, 7);
+    let x = sparse_features(48, 12, 0.6, 11);
+    let model = GcnModel::two_layer(12, 16, 5, 3);
+    let mut config = AcceleratorConfig::default();
+    config.mem.dram_channels = 1;
+    config.mem.dram_bytes_per_cycle = 4;
+    let starved = Dataflow::EXTENDED.iter().any(|&df| {
+        run_inference(&config, df, &adj, &x, &model)
+            .unwrap()
+            .report
+            .stalls
+            .smq_starve
+            > 0
+    });
+    assert!(
+        starved,
+        "no dataflow starves its SMQ streams; the fixture lost its purpose"
+    );
+    assert_golden(fingerprint(&config, &adj, &x, &model), GOLDEN_STARVED);
+}
+
+/// `--prefetch off` must be bit-identical to a build without the prefetch
+/// subsystem — and the tuning knobs must be inert while it is off.
+#[test]
+fn timing_unchanged_with_prefetch_off() {
+    let adj = preferential_attachment(48, 160, 7);
+    let x = sparse_features(48, 12, 0.6, 11);
+    let model = GcnModel::two_layer(12, 16, 5, 3);
+    let mut tuned = AcceleratorConfig::default();
+    tuned.mem.prefetch_degree = 8;
+    tuned.mem.prefetch_mshr_cap = 1;
+    assert_eq!(
+        fingerprint(&tuned, &adj, &x, &model),
+        GOLDEN_PA.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "prefetch tuning knobs changed timing while the policy is off"
+    );
+}
+
 const GOLDEN_PA: &[&str] = &[
     "OP cycles=3496 mac=1236 merge=1236 evictions=0 dirty=0",
     "OP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
@@ -262,4 +306,49 @@ const GOLDEN_ER: &[&str] = &[
     "HyMM phase combination/rwp start=0 end=501 nnz=243 dram_bytes=2944",
     "HyMM phase aggregation/op-region1 start=501 end=787 nnz=167 dram_bytes=2496",
     "HyMM phase aggregation/rwp-region23 start=787 end=1302 nnz=409 dram_bytes=6848",
+];
+
+const GOLDEN_STARVED: &[&str] = &[
+    "OP cycles=9485 mac=1236 merge=1236 evictions=0 dirty=0",
+    "OP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "OP dram SparseX reads=66 read_bytes=4224 writes=0 write_bytes=0",
+    "OP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "OP dram Combination reads=96 read_bytes=6144 writes=96 write_bytes=6144",
+    "OP dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "OP phase combination/op start=0 end=1824 nnz=230 dram_bytes=5760",
+    "OP phase aggregation/op start=1824 end=4636 nnz=368 dram_bytes=9344",
+    "OP phase combination/op start=0 end=2037 nnz=270 dram_bytes=6400",
+    "OP phase aggregation/op start=2037 end=4849 nnz=368 dram_bytes=9344",
+    "CWP cycles=34158 mac=1752 merge=0 evictions=0 dirty=0",
+    "CWP dram SparseA reads=1050 read_bytes=67200 writes=0 write_bytes=0",
+    "CWP dram SparseX reads=660 read_bytes=42240 writes=0 write_bytes=0",
+    "CWP dram Weight reads=21 read_bytes=1344 writes=0 write_bytes=0",
+    "CWP dram Combination reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP dram Output reads=0 read_bytes=0 writes=63 write_bytes=4032",
+    "CWP phase combination/cwp start=0 end=10371 nnz=3680 dram_bytes=34816",
+    "CWP phase aggregation/cwp start=10371 end=25683 nnz=5888 dram_bytes=54272",
+    "CWP phase combination/cwp start=0 end=3690 nnz=1350 dram_bytes=12800",
+    "CWP phase aggregation/cwp start=3690 end=8475 nnz=1840 dram_bytes=16960",
+    "RWP cycles=4599 mac=1236 merge=0 evictions=0 dirty=0",
+    "RWP dram SparseA reads=100 read_bytes=6400 writes=0 write_bytes=0",
+    "RWP dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "RWP dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "RWP dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "RWP dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "RWP phase combination/rwp start=0 end=1053 nnz=230 dram_bytes=2880",
+    "RWP phase aggregation/rwp start=1053 end=2205 nnz=368 dram_bytes=6272",
+    "RWP phase combination/rwp start=0 end=1242 nnz=270 dram_bytes=3456",
+    "RWP phase aggregation/rwp start=1242 end=2394 nnz=368 dram_bytes=6272",
+    "HyMM cycles=4710 mac=1236 merge=0 evictions=0 dirty=0",
+    "HyMM dram SparseA reads=108 read_bytes=6912 writes=0 write_bytes=0",
+    "HyMM dram SparseX reads=71 read_bytes=4544 writes=0 write_bytes=0",
+    "HyMM dram Weight reads=28 read_bytes=1792 writes=0 write_bytes=0",
+    "HyMM dram Combination reads=0 read_bytes=0 writes=0 write_bytes=0",
+    "HyMM dram Output reads=0 read_bytes=0 writes=96 write_bytes=6144",
+    "HyMM phase combination/rwp start=0 end=1034 nnz=230 dram_bytes=2880",
+    "HyMM phase aggregation/op-region1 start=1034 end=1716 nnz=170 dram_bytes=2304",
+    "HyMM phase aggregation/rwp-region23 start=1716 end=2274 nnz=198 dram_bytes=4224",
+    "HyMM phase combination/rwp start=0 end=1196 nnz=270 dram_bytes=3456",
+    "HyMM phase aggregation/op-region1 start=1196 end=1878 nnz=170 dram_bytes=2304",
+    "HyMM phase aggregation/rwp-region23 start=1878 end=2436 nnz=198 dram_bytes=4224",
 ];
