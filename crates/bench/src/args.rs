@@ -1,12 +1,14 @@
 //! Minimal command-line conventions shared by every experiment binary.
 
+use hymm_core::config::SchedulerKind;
 use hymm_graph::datasets::Dataset;
 use hymm_mem::PrefetchPolicy;
 use std::fmt;
 
 /// Usage string printed by `--help` and alongside argument errors.
 pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] \
-     [--audit] [--stalls] [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
+     [--audit] [--stalls] [--scheduler stepped|event] \
+     [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
      [--prefetch-mshr-cap K]";
 
 /// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
@@ -43,6 +45,9 @@ pub struct BenchArgs {
     /// Print the per-dataflow stall-attribution table (see
     /// `hymm_core::stats::StallBreakdown`) after the figures.
     pub stalls: bool,
+    /// Which simulation core to run (`event` by default; `stepped` keeps
+    /// the legacy per-access walk — reports are bit-identical either way).
+    pub scheduler: SchedulerKind,
     /// Hardware-prefetch policy on the DMB miss path (`off` keeps timing
     /// bit-identical to a build without the prefetcher).
     pub prefetch: PrefetchPolicy,
@@ -61,6 +66,7 @@ impl Default for BenchArgs {
             threads: 0,
             audit: false,
             stalls: false,
+            scheduler: SchedulerKind::Event,
             prefetch: PrefetchPolicy::Off,
             prefetch_degree: None,
             prefetch_mshr_cap: None,
@@ -118,6 +124,14 @@ impl BenchArgs {
                 }
                 "--audit" => out.audit = true,
                 "--stalls" => out.stalls = true,
+                "--scheduler" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--scheduler needs a core name"))?;
+                    out.scheduler = SchedulerKind::parse(&v).ok_or_else(|| {
+                        ArgError::new(format!("unknown scheduler {v:?} (stepped, event)"))
+                    })?;
+                }
                 "--prefetch" => {
                     let v = it
                         .next()
@@ -226,6 +240,21 @@ mod tests {
     #[test]
     fn parses_stalls_flag() {
         assert!(parse(&["--stalls"]).unwrap().stalls);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_event_and_parses_both_cores() {
+        assert_eq!(parse(&[]).unwrap().scheduler, SchedulerKind::Event);
+        for kind in [SchedulerKind::Stepped, SchedulerKind::Event] {
+            let a = parse(&["--scheduler", kind.label()]).unwrap();
+            assert_eq!(a.scheduler, kind);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_scheduler() {
+        let e = parse(&["--scheduler", "calendar"]).unwrap_err();
+        assert!(e.to_string().contains("unknown scheduler"), "{e}");
     }
 
     #[test]

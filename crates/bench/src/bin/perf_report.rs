@@ -19,7 +19,7 @@
 //! every run, divided by the serial wall-clock) so the perf trajectory
 //! stays comparable across PRs even when the suite's composition changes.
 
-use hymm_bench::{pool, run_dataset, run_suite, BenchArgs, DatasetResults};
+use hymm_bench::{pool, run_dataset_with, run_suite, BenchArgs, DatasetResults};
 use hymm_core::stats::StallBreakdown;
 use hymm_graph::datasets::Dataset;
 use hymm_mem::PrefetchPolicy;
@@ -34,7 +34,7 @@ const REPS: usize = 5;
 /// commit on this host, kept as the "before" of the current optimisation
 /// round. Re-baseline when regenerating `BENCH_host.json` after landing a
 /// perf change.
-const BASELINE_SERIAL_SECONDS: f64 = 0.658;
+const BASELINE_SERIAL_SECONDS: f64 = 0.296;
 
 fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
     a.len() == b.len()
@@ -48,8 +48,14 @@ fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
         })
 }
 
-/// One serial pass over the datasets, timing each individually.
+/// One serial pass over the datasets, timing each individually. Honours the
+/// scheduler and prefetch options so serial and parallel passes simulate the
+/// same configuration; audit stays off in both so the timings compare.
 fn serial_pass(args: &BenchArgs) -> (Vec<DatasetResults>, Vec<f64>, f64) {
+    let serial_args = BenchArgs {
+        audit: false,
+        ..args.clone()
+    };
     let t0 = Instant::now();
     let mut per_dataset = Vec::with_capacity(args.datasets.len());
     let results = args
@@ -57,7 +63,7 @@ fn serial_pass(args: &BenchArgs) -> (Vec<DatasetResults>, Vec<f64>, f64) {
         .iter()
         .map(|&d| {
             let t = Instant::now();
-            let r = run_dataset(d, args.scale);
+            let r = run_dataset_with(d, &serial_args);
             per_dataset.push(t.elapsed().as_secs_f64());
             r
         })
@@ -84,8 +90,7 @@ fn main() {
     }
 
     eprintln!("[perf_report] parallel pass (--threads {threads}, best of {REPS}) ...");
-    // The serial pass runs un-audited (`run_dataset`); audit the parallel
-    // pass identically so the two timings stay comparable.
+    // Both passes run un-audited so the two timings stay comparable.
     let parallel_args = BenchArgs {
         threads,
         audit: false,
@@ -110,6 +115,13 @@ fn main() {
         .sum();
     let sim_cycles_per_second = sim_cycles_total as f64 / serial_s.max(1e-9);
 
+    // Event-core scheduling counters summed over the serial suite — all
+    // zero under `--scheduler stepped`, where no span ever opens.
+    let mut events = hymm_mem::EventStats::default();
+    for run in serial_results.iter().flat_map(|d| &d.runs) {
+        events.merge(&run.events);
+    }
+
     // Stall-attribution totals per dataflow variant, summed over the suite's
     // datasets — tracks where the simulated machines spend their cycles so
     // perf work can target the dominant class.
@@ -132,8 +144,10 @@ fn main() {
     // Prefetch before/after at a fixed reference point — OP on Cora at
     // --scale 300, data prefetcher off versus smq-stream — so the recorded
     // stall-share shift stays comparable across PRs regardless of the
-    // requested suite configuration.
-    eprintln!("[perf_report] prefetch before/after (OP on CR --scale 300) ...");
+    // requested suite configuration. Like the suite passes, each policy
+    // runs [`REPS`] times with the minimum wall-clock reported (the cycle
+    // counts and stall shares are deterministic and asserted so per rep).
+    eprintln!("[perf_report] prefetch before/after (OP on CR --scale 300, best of {REPS}) ...");
     let prefetch_impact: Vec<String> = [PrefetchPolicy::Off, PrefetchPolicy::SmqStream]
         .into_iter()
         .map(|policy| {
@@ -144,7 +158,19 @@ fn main() {
                 prefetch: policy,
                 ..BenchArgs::default()
             };
-            let results = run_suite(&prefetch_args);
+            let t0 = Instant::now();
+            let mut results = run_suite(&prefetch_args);
+            let mut seconds = t0.elapsed().as_secs_f64();
+            for _ in 1..REPS {
+                let t0 = Instant::now();
+                let rerun = run_suite(&prefetch_args);
+                seconds = seconds.min(t0.elapsed().as_secs_f64());
+                assert!(
+                    results_match(&results, &rerun),
+                    "repeated prefetch-impact runs diverged — nondeterministic simulator"
+                );
+                results = rerun;
+            }
             let report = &results[0].run("OP").report;
             let classes: Vec<String> = StallBreakdown::CLASSES
                 .iter()
@@ -152,7 +178,7 @@ fn main() {
                 .map(|(name, v)| format!("\"{name}\": {v}"))
                 .collect();
             format!(
-                "\"{}\": {{ \"cycles\": {}, \"dmb_miss_share\": {:.4}, \"stalls\": {{ {} }} }}",
+                "\"{}\": {{ \"cycles\": {}, \"seconds\": {seconds:.3}, \"dmb_miss_share\": {:.4}, \"stalls\": {{ {} }} }}",
                 policy.label(),
                 report.cycles,
                 report.stalls.dmb_miss as f64 / report.cycles.max(1) as f64,
@@ -191,11 +217,15 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"scheduler\": \"{}\",\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"events_scheduled\": {},\n  \"events_coalesced\": {},\n  \"cycles_skipped\": {},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),
+        args.scheduler.label(),
         per_dataset.join(", "),
+        events.events_scheduled,
+        events.events_coalesced,
+        events.cycles_skipped,
         stall_cycles.join(", "),
     );
 

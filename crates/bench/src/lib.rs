@@ -39,4 +39,4 @@ pub mod table;
 pub mod trace_json;
 
 pub use args::BenchArgs;
-pub use runner::{run_dataset, run_suite, DataflowRun, DatasetResults};
+pub use runner::{run_dataset, run_dataset_with, run_suite, DataflowRun, DatasetResults};

@@ -21,6 +21,8 @@ pub struct DataflowRun {
     pub label: &'static str,
     /// Aggregate report over the two GCN layers.
     pub report: SimReport,
+    /// Event-core scheduling counters (zero under `--scheduler stepped`).
+    pub events: hymm_mem::EventStats,
 }
 
 /// Everything the figures need about one dataset.
@@ -113,6 +115,7 @@ fn prepare_dataset(dataset: Dataset, args: &BenchArgs) -> PreparedDataset {
     let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
     let mut config = AcceleratorConfig {
         audit: args.audit,
+        scheduler: args.scheduler,
         ..AcceleratorConfig::default()
     };
     args.apply_prefetch(&mut config.mem);
@@ -171,6 +174,7 @@ fn simulate_variant(prep: &PreparedDataset, variant: usize) -> DataflowRun {
     DataflowRun {
         label,
         report: outcome.report,
+        events: outcome.events,
     }
 }
 
@@ -193,7 +197,13 @@ pub fn run_dataset(dataset: Dataset, scale: Option<usize>) -> DatasetResults {
         scale,
         ..BenchArgs::default()
     };
-    let prep = prepare_dataset(dataset, &args);
+    run_dataset_with(dataset, &args)
+}
+
+/// [`run_dataset`] honouring the full argument set (scheduler, prefetch,
+/// audit), still serially on the calling thread; `args.threads` is ignored.
+pub fn run_dataset_with(dataset: Dataset, args: &BenchArgs) -> DatasetResults {
+    let prep = prepare_dataset(dataset, args);
     let runs = (0..VARIANTS_PER_DATASET)
         .map(|v| simulate_variant(&prep, v))
         .collect();

@@ -41,6 +41,43 @@ impl Dataflow {
     }
 }
 
+/// Which simulation core advances time.
+///
+/// Both cores produce **bit-identical** [`crate::stats::SimReport`]s — the
+/// choice is purely a host-performance trade, pinned by the
+/// `scheduler_equivalence` differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The legacy core: every component transaction walks the full line
+    /// table / forward index on every access.
+    Stepped,
+    /// The event-driven core: engines open a *phase span* over their operand
+    /// ranges; components batch their state into range-indexed wake lists
+    /// and skip provably-inert cycles, materialising the exact stepped-core
+    /// state at every phase boundary (and at any access the span cannot
+    /// prove equivalent, where it falls back to the stepped path).
+    Event,
+}
+
+impl SchedulerKind {
+    /// Label used by `--scheduler` and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Stepped => "stepped",
+            SchedulerKind::Event => "event",
+        }
+    }
+
+    /// Parses a `--scheduler` argument value.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "stepped" => Some(SchedulerKind::Stepped),
+            "event" => Some(SchedulerKind::Event),
+            _ => None,
+        }
+    }
+}
+
 /// How partial outputs produced by the outer product are merged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MergePolicy {
@@ -89,6 +126,9 @@ pub struct AcceleratorConfig {
     /// at report time, panicking on any violation. Observation-only: timing
     /// and statistics are identical with the flag on or off.
     pub audit: bool,
+    /// Which simulation core advances time (bit-identical results either
+    /// way; `Event` additionally enables span-mode fast paths in the DMB).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for AcceleratorConfig {
@@ -104,6 +144,7 @@ impl Default for AcceleratorConfig {
             lsq_forwarding: true,
             cwp_lane_efficiency: 0.8,
             audit: false,
+            scheduler: SchedulerKind::Event,
         }
     }
 }
@@ -139,6 +180,15 @@ mod tests {
         assert_eq!(c.tiling_fraction, 0.20);
         assert_eq!(c.hybrid_merge, MergePolicy::NearMemory);
         assert_eq!(c.op_tile_rows(), 2048);
+        assert_eq!(c.scheduler, SchedulerKind::Event);
+    }
+
+    #[test]
+    fn scheduler_labels_roundtrip() {
+        for kind in [SchedulerKind::Stepped, SchedulerKind::Event] {
+            assert_eq!(SchedulerKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("calendar"), None);
     }
 
     #[test]

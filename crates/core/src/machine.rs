@@ -12,7 +12,7 @@ use crate::stats::{PartialStats, PhaseReport, SimReport, StallBreakdown};
 use hymm_mem::dram::AccessPattern;
 use hymm_mem::smq::SmqStream;
 use hymm_mem::trace::{TraceData, TraceEvent, TraceKind, TraceRing, Track};
-use hymm_mem::{Dmb, Dram, LineAddr, Lsq, MatrixKind, PrefetchPolicy};
+use hymm_mem::{Dmb, Dram, EventStats, LineAddr, Lsq, MatrixKind, PrefetchPolicy, SpanRange};
 use std::collections::VecDeque;
 
 /// Raw component-counter totals sampled at a phase boundary. Deltas between
@@ -68,6 +68,11 @@ pub struct Machine {
     prefetch_hints: VecDeque<LineAddr>,
     /// Ring for machine-level (phase) events; `None` when tracing is off.
     trace: Option<Box<TraceRing>>,
+    /// Event-core accounting accumulated across phase spans (stays zero on
+    /// the stepped core). Host-side observability only: deliberately kept
+    /// out of [`SimReport`] so the stepped/event bit-identity covers every
+    /// report field.
+    events: EventStats,
 }
 
 impl Machine {
@@ -89,7 +94,71 @@ impl Machine {
             smq_trace: TraceData::new(),
             prefetch_hints: VecDeque::new(),
             trace: config.mem.trace_ring(),
+            events: EventStats::default(),
         }
+    }
+
+    /// Opens an event-core phase span over the engine's declared operand
+    /// line ranges. Returns `false` — leaving every component on the
+    /// generic (stepped) path — when the configuration forbids skipping:
+    /// stepped scheduler selected, tracing on (all timestamps observable),
+    /// a prefetcher active (speculative fills touch undeclared lines), or
+    /// the DMB's own legality checks fail. Callers do not need to branch on
+    /// the result; the access paths are identical either way.
+    pub fn begin_phase_span(&mut self, ranges: &[SpanRange]) -> bool {
+        if self.config.scheduler != crate::config::SchedulerKind::Event
+            || self.config.mem.prefetch != PrefetchPolicy::Off
+        {
+            return false;
+        }
+        if !self.dmb.begin_span(ranges) {
+            return false;
+        }
+        if self.config.lsq_forwarding {
+            self.lsq.begin_span();
+        }
+        true
+    }
+
+    /// Closes the phase span (if one is still open — the DMB may already
+    /// have bailed out to the generic path), materialising exact component
+    /// state and banking the event-accounting counters. Engines call this
+    /// before [`Machine::record_phase`] so audits always see real state.
+    pub fn end_phase_span(&mut self) {
+        self.dmb.end_span();
+        self.events.merge(&self.dmb.take_events());
+        self.lsq.end_span();
+    }
+
+    /// Event-core accounting accumulated so far (all zeros on the stepped
+    /// core).
+    pub fn event_stats(&self) -> EventStats {
+        self.events
+    }
+
+    /// Wake-time contract of the event-driven core: the earliest future
+    /// cycle at which any component changes state on its own (MSHR fills,
+    /// DRAM channel frees, LSQ retirements, PE drain). `u64::MAX` when
+    /// everything is quiescent.
+    pub fn next_event_cycle(&self) -> u64 {
+        self.dmb
+            .next_event_cycle()
+            .min(self.lsq.next_event_cycle())
+            .min(match self.dram.next_event_cycle() {
+                0 => u64::MAX,
+                c => c,
+            })
+            .min(match self.pe.next_event_cycle() {
+                0 => u64::MAX,
+                c => c,
+            })
+    }
+
+    /// Batched time advance to `cycle`: each component retires everything
+    /// that completes by then (currently MSHR fills; the other components
+    /// advance lazily on access).
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.dmb.advance_to(cycle);
     }
 
     /// Current totals of every stall-source counter.

@@ -77,6 +77,12 @@ impl PeArray {
         self.busy_until
     }
 
+    /// Wake-time contract of the event-driven core: the cycle the array
+    /// drains its current work and can accept an operation with no wait.
+    pub fn next_event_cycle(&self) -> u64 {
+        self.busy_until
+    }
+
     /// Number of MAC lanes.
     pub fn lanes(&self) -> usize {
         self.lanes

@@ -1,0 +1,188 @@
+//! Stepped-vs-event scheduler differential test.
+//!
+//! The event core (span-mode fast paths plus wake-time contracts) must be a
+//! pure host-performance change: on randomized degree-skewed graphs, every
+//! dataflow — including CWP, which never opens spans — produces a
+//! [`hymm_core::stats::SimReport`] **bit-identical** to the stepped core's,
+//! with `audit` on so every runtime invariant (stall waterfall, traffic
+//! conservation, MSHR tracking, span occupancy) is checked along the way.
+//!
+//! The only divergence the two cores are allowed is the host-side
+//! [`hymm_mem::EventStats`] counters, which live outside the report: the
+//! stepped core never opens a span and must report all-zero counters, while
+//! the event core must actually exercise the span path somewhere in the
+//! sweep — otherwise this test would vacuously compare the generic path
+//! against itself.
+
+use hymm_core::audit;
+use hymm_core::config::{AcceleratorConfig, Dataflow, MergePolicy, SchedulerKind};
+use hymm_core::sim::run_gcn_layer;
+use hymm_graph::generator::{power_law_with_exponent, preferential_attachment};
+use hymm_mem::EventStats;
+use hymm_sparse::{Coo, Dense};
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
+
+const FEATURE_DIM: usize = 24;
+const OUT_DIM: usize = 16;
+
+/// One degree-skewed test graph per seed, alternating generator families.
+fn skewed_graph(seed: u64) -> Coo {
+    let n = 24 + (seed as usize * 17) % 105; // 24..=128
+    let edges = 2 * n + (seed as usize * 11) % (3 * n);
+    if seed.is_multiple_of(2) {
+        power_law_with_exponent(n, edges, 2.1 + (seed % 3) as f64 * 0.3, seed)
+    } else {
+        preferential_attachment(n, edges, seed)
+    }
+}
+
+/// Rebuilds `structure` with deterministic small-integer edge weights.
+fn integer_adjacency(structure: &Coo, rng: &mut Pcg64) -> Coo {
+    let mut out = Coo::new(structure.rows(), structure.cols()).unwrap();
+    for (r, c, _) in structure.iter() {
+        out.push(r, c, rng.gen_range(1..=3u32) as f32).unwrap();
+    }
+    out
+}
+
+fn integer_features(n: usize, rng: &mut Pcg64) -> Coo {
+    let mut x = Coo::new(n, FEATURE_DIM).unwrap();
+    for r in 0..n {
+        for c in 0..FEATURE_DIM {
+            if rng.gen_bool(0.5) {
+                x.push(r, c, rng.gen_range(1..=4u32) as f32).unwrap();
+            }
+        }
+    }
+    x
+}
+
+fn integer_weights(rng: &mut Pcg64) -> Dense {
+    let vals: Vec<f32> = (0..FEATURE_DIM * OUT_DIM)
+        .map(|_| rng.gen_range(0..=6u32) as f32 - 3.0)
+        .collect();
+    Dense::from_fn(FEATURE_DIM, OUT_DIM, |r, c| vals[r * OUT_DIM + c])
+}
+
+fn config_for(scheduler: SchedulerKind) -> AcceleratorConfig {
+    AcceleratorConfig {
+        audit: true,
+        scheduler,
+        ..AcceleratorConfig::default()
+    }
+}
+
+/// Runs one (graph, dataflow, merge) cell under both cores and asserts the
+/// bit-identity contract. Returns the event core's scheduling counters.
+fn compare_cores(
+    seed: u64,
+    dataflow: Dataflow,
+    hybrid_merge: MergePolicy,
+    adj: &Coo,
+    x: &Coo,
+    w: &Dense,
+) -> EventStats {
+    let mut results = Vec::with_capacity(2);
+    for scheduler in [SchedulerKind::Stepped, SchedulerKind::Event] {
+        let mut config = config_for(scheduler);
+        config.hybrid_merge = hybrid_merge;
+        config.baseline_merge = hybrid_merge;
+        let outcome = run_gcn_layer(&config, dataflow, adj, x, w)
+            .unwrap_or_else(|e| panic!("seed {seed} {dataflow:?} {scheduler:?}: {e}"));
+        let violations = audit::check_report(&outcome.report);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} {dataflow:?} {scheduler:?}: {violations:?}"
+        );
+        results.push(outcome);
+    }
+    let (stepped, event) = (&results[0], &results[1]);
+    assert_eq!(
+        stepped.output.as_slice(),
+        event.output.as_slice(),
+        "seed {seed} {dataflow:?}: numeric outputs diverged between cores"
+    );
+    assert_eq!(
+        stepped.report, event.report,
+        "seed {seed} {dataflow:?} {hybrid_merge:?}: SimReports diverged between cores"
+    );
+    assert_eq!(
+        stepped.events,
+        EventStats::default(),
+        "seed {seed} {dataflow:?}: stepped core must never open spans"
+    );
+    event.events
+}
+
+/// The headline differential: ≥ 12 randomized degree-skewed graphs, all four
+/// dataflows, bit-identical reports with audit on, and the span path
+/// demonstrably exercised by the event core.
+#[test]
+fn stepped_and_event_cores_produce_bit_identical_reports() {
+    let mut span_events = 0u64;
+    for seed in 0..12u64 {
+        let mut rng = Pcg64::seed_from_u64(0x5EED ^ seed);
+        let adj = integer_adjacency(&skewed_graph(seed), &mut rng);
+        let x = integer_features(adj.rows(), &mut rng);
+        let w = integer_weights(&mut rng);
+        for dataflow in Dataflow::EXTENDED {
+            let ev = compare_cores(seed, dataflow, MergePolicy::NearMemory, &adj, &x, &w);
+            span_events += ev.events();
+        }
+    }
+    assert!(
+        span_events > 0,
+        "the event core never took a span fast path; the differential is vacuous"
+    );
+}
+
+/// The materialised-merge variant (HyMM-noacc ablation) drives the OP
+/// engine's log-region output range, a span shape the near-memory sweep
+/// never opens — both cores must still agree bit-for-bit.
+#[test]
+fn materialized_merge_is_bit_identical_across_cores() {
+    let mut span_events = 0u64;
+    for seed in 0..6u64 {
+        let mut rng = Pcg64::seed_from_u64(0xA77E ^ seed);
+        let adj = integer_adjacency(&skewed_graph(seed), &mut rng);
+        let x = integer_features(adj.rows(), &mut rng);
+        let w = integer_weights(&mut rng);
+        for dataflow in [Dataflow::Outer, Dataflow::Hybrid] {
+            let ev = compare_cores(seed, dataflow, MergePolicy::Materialize, &adj, &x, &w);
+            span_events += ev.events();
+        }
+    }
+    assert!(span_events > 0, "materialized sweep never opened a span");
+}
+
+/// Prefetching disables span mode (prefetched fills mutate the line table
+/// between engine accesses), so under a live prefetcher the event core must
+/// quietly fall back to the generic path — and still match the stepped core.
+#[test]
+fn prefetching_runs_fall_back_to_the_generic_path_identically() {
+    let mut rng = Pcg64::seed_from_u64(0xFE7C);
+    let adj = integer_adjacency(&skewed_graph(5), &mut rng);
+    let x = integer_features(adj.rows(), &mut rng);
+    let w = integer_weights(&mut rng);
+    for policy in hymm_mem::PrefetchPolicy::ALL {
+        let mut results = Vec::with_capacity(2);
+        for scheduler in [SchedulerKind::Stepped, SchedulerKind::Event] {
+            let mut config = config_for(scheduler);
+            config.mem.prefetch = policy;
+            let outcome = run_gcn_layer(&config, Dataflow::Hybrid, &adj, &x, &w).unwrap();
+            results.push(outcome);
+        }
+        assert_eq!(
+            results[0].report, results[1].report,
+            "prefetch {policy:?}: SimReports diverged between cores"
+        );
+        if !policy.is_off() {
+            assert_eq!(
+                results[1].events,
+                EventStats::default(),
+                "prefetch {policy:?}: spans must be refused while prefetching"
+            );
+        }
+    }
+}

@@ -42,7 +42,7 @@ pub mod trace;
 
 pub use address::{LineAddr, MatrixKind};
 pub use config::MemConfig;
-pub use dmb::Dmb;
+pub use dmb::{Dmb, EventStats, SpanRange};
 pub use dram::Dram;
 pub use lsq::Lsq;
 pub use prefetch::{PrefetchDrop, PrefetchPolicy, PrefetchStats};
