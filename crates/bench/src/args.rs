@@ -9,7 +9,8 @@ use std::fmt;
 pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] \
      [--audit] [--stalls] [--scheduler stepped|event] \
      [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
-     [--prefetch-mshr-cap K]";
+     [--prefetch-mshr-cap K] [--pe-lanes N] [--mac-latency N] \
+     [--mac-pipeline] [--lane-gating]";
 
 /// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
 /// with status 2.
@@ -56,6 +57,17 @@ pub struct BenchArgs {
     /// Prefetch MSHR occupancy cap override (`None` = the `MemConfig`
     /// default).
     pub prefetch_mshr_cap: Option<usize>,
+    /// MAC lanes per PE vector unit (`None` = the accelerator config's
+    /// default of 16).
+    pub pe_lanes: Option<usize>,
+    /// MAC issue-to-result latency in cycles (`None` = the default of 1).
+    pub mac_latency: Option<u64>,
+    /// Pipeline the MAC unit: accept a new issue every cycle regardless of
+    /// latency (initiation interval 1).
+    pub mac_pipeline: bool,
+    /// Per-lane operand gating (flexible VRF): short rows charge only
+    /// occupied lanes' energy and may be packed several to an issue slot.
+    pub lane_gating: bool,
 }
 
 impl Default for BenchArgs {
@@ -70,6 +82,10 @@ impl Default for BenchArgs {
             prefetch: PrefetchPolicy::Off,
             prefetch_degree: None,
             prefetch_mshr_cap: None,
+            pe_lanes: None,
+            mac_latency: None,
+            mac_pipeline: false,
+            lane_gating: false,
         }
     }
 }
@@ -166,6 +182,32 @@ impl BenchArgs {
                     }
                     out.prefetch_mshr_cap = Some(n);
                 }
+                "--pe-lanes" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--pe-lanes needs a lane count"))?;
+                    let n: usize = v.parse().map_err(|_| {
+                        ArgError::new(format!("--pe-lanes needs an integer, got {v:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--pe-lanes must be at least 1"));
+                    }
+                    out.pe_lanes = Some(n);
+                }
+                "--mac-latency" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--mac-latency needs a cycle count"))?;
+                    let n: u64 = v.parse().map_err(|_| {
+                        ArgError::new(format!("--mac-latency needs an integer, got {v:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--mac-latency must be at least 1"));
+                    }
+                    out.mac_latency = Some(n);
+                }
+                "--mac-pipeline" => out.mac_pipeline = true,
+                "--lane-gating" => out.lane_gating = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -201,6 +243,24 @@ impl BenchArgs {
         }
     }
 
+    /// Applies the `--pe-lanes`, `--mac-latency`, `--mac-pipeline` and
+    /// `--lane-gating` options onto an accelerator configuration, leaving
+    /// unset overrides at the config's own defaults.
+    pub fn apply_pe(&self, config: &mut hymm_core::config::AcceleratorConfig) {
+        if let Some(lanes) = self.pe_lanes {
+            config.num_pes = lanes;
+        }
+        if let Some(latency) = self.mac_latency {
+            config.mac_latency = latency;
+        }
+        if self.mac_pipeline {
+            config.mac_pipelined = true;
+        }
+        if self.lane_gating {
+            config.lane_gating = true;
+        }
+    }
+
     /// Resolved worker count: `--threads N`, with `0` (the default) mapped
     /// to the host's available parallelism.
     pub fn worker_threads(&self) -> usize {
@@ -217,6 +277,13 @@ impl BenchArgs {
 pub fn exit_usage(e: &ArgError) -> ! {
     eprintln!("error: {e}");
     eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Prints a runtime error (one that is not a command-line problem, so
+/// [`USAGE`] would only add noise) to stderr and exits with status 2.
+pub fn exit_fatal(e: &dyn fmt::Display) -> ! {
+    eprintln!("error: {e}");
     std::process::exit(2);
 }
 
@@ -359,6 +426,57 @@ mod tests {
     #[test]
     fn rejects_zero_prefetch_degree_and_cap() {
         for flag in ["--prefetch-degree", "--prefetch-mshr-cap"] {
+            let e = parse(&[flag, "0"]).unwrap_err();
+            assert!(e.to_string().contains("at least 1"), "{flag}: {e}");
+        }
+    }
+
+    #[test]
+    fn pe_defaults_leave_accelerator_config_untouched() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.pe_lanes, None);
+        assert_eq!(a.mac_latency, None);
+        assert!(!a.mac_pipeline);
+        assert!(!a.lane_gating);
+        let mut config = hymm_core::config::AcceleratorConfig::default();
+        let before = config.clone();
+        a.apply_pe(&mut config);
+        assert_eq!(config, before);
+    }
+
+    #[test]
+    fn parses_pe_flags() {
+        let a = parse(&[
+            "--pe-lanes",
+            "32",
+            "--mac-latency",
+            "4",
+            "--mac-pipeline",
+            "--lane-gating",
+        ])
+        .unwrap();
+        assert_eq!(a.pe_lanes, Some(32));
+        assert_eq!(a.mac_latency, Some(4));
+        assert!(a.mac_pipeline);
+        assert!(a.lane_gating);
+    }
+
+    #[test]
+    fn pe_overrides_apply_onto_accelerator_config() {
+        let mut config = hymm_core::config::AcceleratorConfig::default();
+        parse(&["--pe-lanes", "8", "--mac-latency", "2", "--lane-gating"])
+            .unwrap()
+            .apply_pe(&mut config);
+        assert_eq!(config.num_pes, 8);
+        assert_eq!(config.mac_latency, 2);
+        assert!(!config.mac_pipelined);
+        assert!(config.lane_gating);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_pe_lanes_and_latency() {
+        for flag in ["--pe-lanes", "--mac-latency"] {
             let e = parse(&[flag, "0"]).unwrap_err();
             assert!(e.to_string().contains("at least 1"), "{flag}: {e}");
         }

@@ -17,20 +17,24 @@ fn main() {
     };
     let results = runner::run_suite(&args);
     if let Some(dir) = &csv_dir {
-        export::write_csvs(&results, dir).expect("csv export");
+        export::write_csvs(&results, dir)
+            .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&format!("csv export: {e}")));
         eprintln!("[hymm-bench] wrote CSV files to {}", dir.display());
     }
+    let fallible = |r: Result<String, runner::MissingRunError>| {
+        r.unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+    };
     let sections = [
         figures::table1(),
         figures::table2(&results),
         figures::table3(&AcceleratorConfig::default()),
         figures::fig2(&results),
         figures::fig6(&results),
-        figures::fig7(&results),
-        figures::fig8(&results),
-        figures::fig9(&results),
-        figures::fig10(&results),
-        figures::fig11(&results),
+        fallible(figures::fig7(&results)),
+        fallible(figures::fig8(&results)),
+        fallible(figures::fig9(&results)),
+        fallible(figures::fig10(&results)),
+        fallible(figures::fig11(&results)),
     ];
     for s in sections {
         println!("{s}");

@@ -2,5 +2,8 @@
 use hymm_bench::{figures, runner, BenchArgs};
 fn main() {
     let results = runner::run_suite(&BenchArgs::from_env());
-    println!("{}", figures::fig10(&results));
+    println!(
+        "{}",
+        figures::fig10(&results).unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+    );
 }

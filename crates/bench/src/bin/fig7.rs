@@ -3,7 +3,10 @@ use hymm_bench::{figures, runner, BenchArgs};
 fn main() {
     let args = BenchArgs::from_env();
     let results = runner::run_suite(&args);
-    println!("{}", figures::fig7(&results));
+    println!(
+        "{}",
+        figures::fig7(&results).unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+    );
     if args.stalls {
         println!("{}", figures::stalls(&results));
     }

@@ -2,5 +2,8 @@
 use hymm_bench::{figures, runner, BenchArgs};
 fn main() {
     let results = runner::run_suite(&BenchArgs::from_env());
-    println!("{}", figures::fig8(&results));
+    println!(
+        "{}",
+        figures::fig8(&results).unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+    );
 }

@@ -1,0 +1,49 @@
+//! Sweeps the PE subsystem (lanes × MAC latency) over the suite and
+//! tabulates how the mac-bound wall moves.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin pe_sweep -- \
+//!     [--scale N] [--datasets CR,AP] [--threads N] [--audit] \
+//!     [--mac-pipeline] [--lane-gating]
+//! ```
+//!
+//! Runs each dataset across `{8, 16, 32}` lanes × `{1, 4}` cycles of MAC
+//! latency (the `--pe-lanes` / `--mac-latency` flags themselves are ignored
+//! — the whole grid is swept; `--mac-pipeline` and `--lane-gating` apply to
+//! every point) and prints, per grid point: suite-total cycles, `mac` stall
+//! cycles and their delta against the 16-lane latency-1 baseline, and the
+//! configuration's estimated area.
+//!
+//! The baseline grid point is asserted bit-identical to a plain default-PE
+//! suite run before anything is printed: at 16 lanes every 16-wide layer row
+//! fills the vector unit, so neither the sweep plumbing nor the flexible VRF
+//! (when `--lane-gating` is passed) may perturb the Table III default.
+
+use hymm_bench::args::exit_fatal;
+use hymm_bench::runner::{results_match, run_suite};
+use hymm_bench::{pe_sweep, BenchArgs};
+
+fn main() {
+    let base = BenchArgs::from_env();
+
+    let rows = pe_sweep::sweep(&base).unwrap_or_else(|e| exit_fatal(&e));
+    let base_idx = pe_sweep::baseline_index(&rows)
+        .unwrap_or_else(|| exit_fatal(&"sweep grid is missing the 16x1 baseline point"));
+
+    // Differential pin: the grid's 16x1 point must reproduce the default
+    // PE bit-for-bit, even with gating or pipelining requested.
+    eprintln!("[pe_sweep] checking 16x1 grid point against the default PE ...");
+    let reference = run_suite(&BenchArgs {
+        pe_lanes: None,
+        mac_latency: None,
+        mac_pipeline: false,
+        lane_gating: false,
+        ..base.clone()
+    });
+    if !results_match(&rows[base_idx].results, &reference) {
+        exit_fatal(&"16x1 grid point diverged from the default PE configuration");
+    }
+    eprintln!("[pe_sweep] baseline identical to default: ok");
+
+    println!("{}", pe_sweep::render(&rows));
+}

@@ -19,7 +19,7 @@
 //! every run, divided by the serial wall-clock) so the perf trajectory
 //! stays comparable across PRs even when the suite's composition changes.
 
-use hymm_bench::{pool, run_dataset_with, run_suite, BenchArgs, DatasetResults};
+use hymm_bench::{pe_sweep, pool, run_dataset_with, run_suite, BenchArgs, DatasetResults};
 use hymm_core::stats::StallBreakdown;
 use hymm_graph::datasets::Dataset;
 use hymm_mem::PrefetchPolicy;
@@ -36,17 +36,7 @@ const REPS: usize = 5;
 /// perf change.
 const BASELINE_SERIAL_SECONDS: f64 = 0.296;
 
-fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.runs.len() == y.runs.len()
-                && x.runs.iter().zip(&y.runs).all(|(rx, ry)| {
-                    rx.label == ry.label
-                        && rx.report.cycles == ry.report.cycles
-                        && rx.report.dram == ry.report.dram
-                })
-        })
-}
+use hymm_bench::runner::results_match;
 
 /// One serial pass over the datasets, timing each individually. Honours the
 /// scheduler and prefetch options so serial and parallel passes simulate the
@@ -130,7 +120,10 @@ fn main() {
         .map(|label| {
             let mut total = StallBreakdown::default();
             for d in &serial_results {
-                total.merge(&d.run(label).report.stalls);
+                let run = d
+                    .run(label)
+                    .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e));
+                total.merge(&run.report.stalls);
             }
             let classes: Vec<String> = StallBreakdown::CLASSES
                 .iter()
@@ -171,7 +164,10 @@ fn main() {
                 );
                 results = rerun;
             }
-            let report = &results[0].run("OP").report;
+            let report = &results[0]
+                .run("OP")
+                .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+                .report;
             let classes: Vec<String> = StallBreakdown::CLASSES
                 .iter()
                 .zip(report.stalls.as_array())
@@ -190,6 +186,20 @@ fn main() {
         "{{ \"dataset\": \"CR\", \"scale\": 300, \"dataflow\": \"OP\", {} }}",
         prefetch_impact.join(", ")
     );
+
+    // PE sweep over the same suite configuration, with lane gating on so
+    // the recorded table shows where the flexible VRF moves the mac-bound
+    // wall (the 16x1 row is bit-identical to the default PE at the suite's
+    // uniform layer width of 16; `pe_sweep`'s own binary asserts that).
+    eprintln!("[perf_report] PE sweep (lanes x latency, gated) ...");
+    let pe_args = BenchArgs {
+        audit: false,
+        lane_gating: true,
+        mac_pipeline: false,
+        ..args.clone()
+    };
+    let pe_rows = pe_sweep::sweep(&pe_args).unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e));
+    let pe_sweep_json = pe_sweep::to_json(&pe_rows);
 
     // The committed baseline was measured on the reference configuration;
     // a before/after comparison on any other scale or dataset subset would
@@ -217,7 +227,7 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"scheduler\": \"{}\",\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"events_scheduled\": {},\n  \"events_coalesced\": {},\n  \"cycles_skipped\": {},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"scheduler\": \"{}\",\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"events_scheduled\": {},\n  \"events_coalesced\": {},\n  \"cycles_skipped\": {},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"pe_sweep\": {pe_sweep_json},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),

@@ -56,7 +56,12 @@ fn main() {
                 let report = &run.report;
                 let cycles = report.cycles.max(1) as f64;
                 let share = |v: u64| 100.0 * v as f64 / cycles;
-                let off_cycles = baseline[d].run(run.label).report.cycles.max(1) as f64;
+                let off_cycles = baseline[d]
+                    .run(run.label)
+                    .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+                    .report
+                    .cycles
+                    .max(1) as f64;
                 let pf = &report.prefetch;
                 println!(
                     "{:<6} {:<12} {:<12} {:>12} {:>7.3}x {:>8.1}% {:>8.1}% {:>9} {:>9} \

@@ -24,7 +24,9 @@ fn write_file(dir: &Path, name: &str, header: &str, rows: &[String]) -> std::io:
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating the directory or writing the files.
+/// Returns any I/O error from creating the directory or writing the files,
+/// or a [`crate::runner::MissingRunError`] (wrapped as
+/// [`std::io::ErrorKind::Other`]) if a required dataflow variant is absent.
 pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
 
@@ -58,9 +60,9 @@ pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()>
             r.storage.tiled_bytes,
             r.storage.overhead()
         ));
-        let op = r.run("OP").report.cycles as f64;
+        let op = r.run("OP").map_err(std::io::Error::other)?.report.cycles as f64;
         for label in ["OP", "RWP", "HyMM"] {
-            let rep = &r.run(label).report;
+            let rep = &r.run(label).map_err(std::io::Error::other)?.report;
             fig7.push(format!(
                 "{ds},{label},{},{:.4}",
                 rep.cycles,
@@ -82,7 +84,11 @@ pub fn write_csvs(results: &[DatasetResults], dir: &Path) -> std::io::Result<()>
         for label in ["OP", "HyMM-noacc", "HyMM"] {
             fig10.push(format!(
                 "{ds},{label},{}",
-                r.run(label).report.partials.peak_bytes
+                r.run(label)
+                    .map_err(std::io::Error::other)?
+                    .report
+                    .partials
+                    .peak_bytes
             ));
         }
     }

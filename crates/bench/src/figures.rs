@@ -1,7 +1,7 @@
 //! One printer per paper table/figure, each consuming the shared
 //! [`crate::runner::DatasetResults`].
 
-use crate::runner::DatasetResults;
+use crate::runner::{DatasetResults, MissingRunError};
 use crate::table::{mb, pct, speedup, TextTable};
 use hymm_core::area::estimate_area;
 use hymm_core::config::AcceleratorConfig;
@@ -202,7 +202,12 @@ pub fn fig6(results: &[DatasetResults]) -> String {
 }
 
 /// Fig. 7: speedup of every dataflow, normalised to the OP baseline.
-pub fn fig7(results: &[DatasetResults]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`MissingRunError`] if a required dataflow variant was not
+/// simulated.
+pub fn fig7(results: &[DatasetResults]) -> Result<String, MissingRunError> {
     let mut t = TextTable::new(vec![
         "Dataset",
         "OP cycles",
@@ -214,9 +219,9 @@ pub fn fig7(results: &[DatasetResults]) -> String {
     let mut max_speedup: f64 = 0.0;
     let mut rwp_product = 1.0f64;
     for r in results {
-        let op = r.run("OP").report.cycles as f64;
-        let rwp = r.run("RWP").report.cycles as f64;
-        let hy = r.run("HyMM").report.cycles as f64;
+        let op = r.run("OP")?.report.cycles as f64;
+        let rwp = r.run("RWP")?.report.cycles as f64;
+        let hy = r.run("HyMM")?.report.cycles as f64;
         max_speedup = max_speedup.max(op / hy);
         rwp_product *= op / rwp;
         t.row(vec![
@@ -229,23 +234,28 @@ pub fn fig7(results: &[DatasetResults]) -> String {
         ]);
     }
     let geo = rwp_product.powf(1.0 / results.len().max(1) as f64);
-    format!(
+    Ok(format!(
         "Fig. 7: speedup over the outer-product baseline\n\
          (paper: HyMM up to 4.78x on AP; RWP ~2x over OP on average)\n{}\
          max HyMM speedup: {} | geomean RWP speedup: {}\n",
         t.render(),
         speedup(max_speedup),
         speedup(geo)
-    )
+    ))
 }
 
 /// Fig. 8: ALU utilisation per dataflow.
-pub fn fig8(results: &[DatasetResults]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`MissingRunError`] if a required dataflow variant was not
+/// simulated.
+pub fn fig8(results: &[DatasetResults]) -> Result<String, MissingRunError> {
     let mut t = TextTable::new(vec!["Dataset", "OP", "RWP", "HyMM", "HyMM vs RWP"]);
     for r in results {
-        let op = r.run("OP").report.alu_utilization();
-        let rwp = r.run("RWP").report.alu_utilization();
-        let hy = r.run("HyMM").report.alu_utilization();
+        let op = r.run("OP")?.report.alu_utilization();
+        let rwp = r.run("RWP")?.report.alu_utilization();
+        let hy = r.run("HyMM")?.report.alu_utilization();
         t.row(vec![
             r.spec.dataset.abbrev().to_string(),
             pct(op),
@@ -254,15 +264,20 @@ pub fn fig8(results: &[DatasetResults]) -> String {
             format!("{:+.1}%", (hy - rwp) * 100.0),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 8: ALU utilisation (paper: OP lowest; HyMM up to +27% over RWP on AC;\n\
          CR/CS/PH depressed by sparse, long feature vectors)\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 9: DMB hit rate per dataflow (whole inference and aggregation-only).
-pub fn fig9(results: &[DatasetResults]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`MissingRunError`] if a required dataflow variant was not
+/// simulated.
+pub fn fig9(results: &[DatasetResults]) -> Result<String, MissingRunError> {
     let mut t = TextTable::new(vec![
         "Dataset",
         "OP",
@@ -284,23 +299,28 @@ pub fn fig9(results: &[DatasetResults]) -> String {
     for r in results {
         t.row(vec![
             r.spec.dataset.abbrev().to_string(),
-            pct(r.run("OP").report.dmb_hit_rate()),
-            pct(r.run("RWP").report.dmb_hit_rate()),
-            pct(r.run("HyMM").report.dmb_hit_rate()),
-            pct(agg_rate(r.run("OP"))),
-            pct(agg_rate(r.run("RWP"))),
-            pct(agg_rate(r.run("HyMM"))),
+            pct(r.run("OP")?.report.dmb_hit_rate()),
+            pct(r.run("RWP")?.report.dmb_hit_rate()),
+            pct(r.run("HyMM")?.report.dmb_hit_rate()),
+            pct(agg_rate(r.run("OP")?)),
+            pct(agg_rate(r.run("RWP")?)),
+            pct(agg_rate(r.run("HyMM")?)),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 9: dense-matrix-buffer hit rate (paper: both baselines low, HyMM higher)\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 10: peak memory footprint of partial outputs, with and without the
 /// near-memory accumulator.
-pub fn fig10(results: &[DatasetResults]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`MissingRunError`] if a required dataflow variant was not
+/// simulated.
+pub fn fig10(results: &[DatasetResults]) -> Result<String, MissingRunError> {
     let capacity = AcceleratorConfig::default().mem.dmb_bytes as u64;
     let mut t = TextTable::new(vec![
         "Dataset",
@@ -311,9 +331,9 @@ pub fn fig10(results: &[DatasetResults]) -> String {
         "reduction",
     ]);
     for r in results {
-        let op = r.run("OP").report.partials.peak_bytes;
-        let noacc = r.run("HyMM-noacc").report.partials.peak_bytes;
-        let hy = r.run("HyMM").report.partials.peak_bytes;
+        let op = r.run("OP")?.report.partials.peak_bytes;
+        let noacc = r.run("HyMM-noacc")?.report.partials.peak_bytes;
+        let hy = r.run("HyMM")?.report.partials.peak_bytes;
         let reduction = if noacc > 0 {
             1.0 - hy as f64 / noacc as f64
         } else {
@@ -328,11 +348,11 @@ pub fn fig10(results: &[DatasetResults]) -> String {
             pct(reduction),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 10: memory usage by partial outputs (paper: without an accumulator the\n\
          footprint frequently exceeds the DMB; accumulator cuts it by up to 85% on AP)\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Stall-attribution table (printed by `--stalls`): for every dataset and
@@ -369,7 +389,12 @@ pub fn stalls(results: &[DatasetResults]) -> String {
 }
 
 /// Fig. 11: DRAM access breakdown by matrix kind.
-pub fn fig11(results: &[DatasetResults]) -> String {
+///
+/// # Errors
+///
+/// Returns a [`MissingRunError`] if a required dataflow variant was not
+/// simulated.
+pub fn fig11(results: &[DatasetResults]) -> Result<String, MissingRunError> {
     let mut t = TextTable::new(vec![
         "Dataset",
         "Dataflow",
@@ -382,9 +407,9 @@ pub fn fig11(results: &[DatasetResults]) -> String {
         "vs OP",
     ]);
     for r in results {
-        let op_total = r.run("OP").report.dram_bytes();
+        let op_total = r.run("OP")?.report.dram_bytes();
         for label in ["OP", "RWP", "HyMM"] {
-            let rep = &r.run(label).report;
+            let rep = &r.run(label)?.report;
             let k = |kind: MatrixKind| mb(rep.dram.kind(kind).total_bytes());
             let total = rep.dram_bytes();
             t.row(vec![
@@ -400,11 +425,11 @@ pub fn fig11(results: &[DatasetResults]) -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "Fig. 11: DRAM access breakdown (paper: HyMM reduces off-chip accesses by 91%\n\
          on AP and 89% on AC versus the conventional dataflow)\n{}",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -430,14 +455,24 @@ mod tests {
             table2(&results),
             fig2(&results),
             fig6(&results),
-            fig7(&results),
-            fig8(&results),
-            fig9(&results),
-            fig10(&results),
-            fig11(&results),
+            fig7(&results).unwrap(),
+            fig8(&results).unwrap(),
+            fig9(&results).unwrap(),
+            fig10(&results).unwrap(),
+            fig11(&results).unwrap(),
         ] {
             assert!(s.contains("CR"), "figure missing dataset row:\n{s}");
         }
+    }
+
+    #[test]
+    fn figures_surface_missing_variants_as_errors() {
+        let mut results = tiny();
+        results[0].runs.retain(|r| r.label != "RWP");
+        let e = fig7(&results).unwrap_err();
+        assert!(e.to_string().contains("no run labelled \"RWP\""), "{e}");
+        // Figures that never touch RWP still render.
+        assert!(fig10(&results).is_ok());
     }
 
     #[test]
@@ -455,11 +490,11 @@ mod tests {
     #[test]
     fn fig7_reports_hybrid_speedup_over_one() {
         let results = tiny();
-        let s = fig7(&results);
+        let s = fig7(&results).unwrap();
         // HyMM should beat OP on Cora even at small scale
         assert!(s.contains("max HyMM speedup"));
-        let op = results[0].run("OP").report.cycles;
-        let hy = results[0].run("HyMM").report.cycles;
+        let op = results[0].run("OP").unwrap().report.cycles;
+        let hy = results[0].run("HyMM").unwrap().report.cycles;
         assert!(hy < op);
     }
 }

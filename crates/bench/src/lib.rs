@@ -33,6 +33,7 @@
 pub mod args;
 pub mod export;
 pub mod figures;
+pub mod pe_sweep;
 pub mod pool;
 pub mod runner;
 pub mod table;

@@ -12,6 +12,7 @@ use hymm_graph::degree::DegreeDistribution;
 use hymm_graph::sort::degree_sort;
 use hymm_sparse::storage::{StorageLayout, StorageReport};
 use hymm_sparse::tiling::{TiledMatrix, TilingConfig};
+use std::fmt;
 use std::sync::Arc;
 
 /// One dataflow variant's simulation result on one dataset.
@@ -46,17 +47,44 @@ pub struct DatasetResults {
     pub runs: Vec<DataflowRun>,
 }
 
+/// A figure or exporter asked for a dataflow label that was never
+/// simulated — e.g. a typo, or a suite run with a reduced variant set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingRunError {
+    /// The label that was requested.
+    pub label: String,
+    /// Labels that were actually simulated, in run order.
+    pub available: Vec<&'static str>,
+}
+
+impl fmt::Display for MissingRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no run labelled {:?} (available: {})",
+            self.label,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for MissingRunError {}
+
 impl DatasetResults {
     /// Looks up one run by label.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the label was not simulated.
-    pub fn run(&self, label: &str) -> &DataflowRun {
+    /// Returns a [`MissingRunError`] naming the available labels if the
+    /// label was not simulated.
+    pub fn run(&self, label: &str) -> Result<&DataflowRun, MissingRunError> {
         self.runs
             .iter()
             .find(|r| r.label == label)
-            .unwrap_or_else(|| panic!("no run labelled {label:?}"))
+            .ok_or_else(|| MissingRunError {
+                label: label.to_string(),
+                available: self.runs.iter().map(|r| r.label).collect(),
+            })
     }
 }
 
@@ -119,6 +147,7 @@ fn prepare_dataset(dataset: Dataset, args: &BenchArgs) -> PreparedDataset {
         ..AcceleratorConfig::default()
     };
     args.apply_prefetch(&mut config.mem);
+    args.apply_pe(&mut config);
     let tiling = TilingConfig {
         threshold_fraction: config.tiling_fraction,
         dmb_capacity_rows: Some(config.dmb_capacity_rows(spec.layer_dim)),
@@ -242,6 +271,20 @@ pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
         .collect()
 }
 
+/// True when two suite results carry bit-identical simulation outcomes
+/// (same datasets, labels, and full [`SimReport`]s) — the invariance check
+/// shared by `perf_report` and the `pe_sweep` baseline assertion.
+pub fn results_match(a: &[DatasetResults], b: &[DatasetResults]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.runs.len() == y.runs.len()
+                && x.runs
+                    .iter()
+                    .zip(&y.runs)
+                    .all(|(rx, ry)| rx.label == ry.label && rx.report == ry.report)
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,7 +294,8 @@ mod tests {
         let r = run_dataset(Dataset::Cora, Some(200));
         assert_eq!(r.runs.len(), 4);
         for label in ["OP", "RWP", "HyMM", "HyMM-noacc"] {
-            assert!(r.run(label).report.cycles > 0, "{label} did not run");
+            let run = r.run(label).expect("variant was simulated");
+            assert!(run.report.cycles > 0, "{label} did not run");
         }
         assert!(r.sort_cost_ms >= 0.0);
         assert!(r.storage.tiled_bytes > r.storage.plain_bytes);
@@ -259,9 +303,20 @@ mod tests {
     }
 
     #[test]
+    fn missing_label_is_an_error_naming_the_alternatives() {
+        let r = run_dataset(Dataset::Cora, Some(200));
+        let e = r.run("GROW").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("no run labelled \"GROW\""), "{msg}");
+        for label in ["OP", "RWP", "HyMM", "HyMM-noacc"] {
+            assert!(msg.contains(label), "{msg} missing {label}");
+        }
+    }
+
+    #[test]
     fn hybrid_beats_outer_on_small_cora() {
         let r = run_dataset(Dataset::Cora, Some(400));
-        assert!(r.run("HyMM").report.cycles < r.run("OP").report.cycles);
+        assert!(r.run("HyMM").unwrap().report.cycles < r.run("OP").unwrap().report.cycles);
     }
 
     #[test]

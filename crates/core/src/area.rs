@@ -54,6 +54,10 @@ const LSQ_MM2_PER_KB_7NM: f64 = 0.009 / (128.0 * LSQ_ENTRY_BYTES / 1024.0);
 const LSQ_MM2_PER_KB_40NM: f64 = 0.292 / (128.0 * LSQ_ENTRY_BYTES / 1024.0);
 const OTHERS_MM2_7NM: f64 = 0.004;
 const OTHERS_MM2_40NM: f64 = 0.129;
+/// Extra per-MAC area for each pipeline stage beyond the first (staging
+/// registers + forwarding muxes, as a fraction of the single-stage MAC).
+/// Zero extra stages at the Table III default keeps the table exact.
+const PE_PIPELINE_STAGE_FACTOR: f64 = 0.15;
 
 /// Estimates the silicon area of an accelerator configuration.
 pub fn estimate_area(config: &AcceleratorConfig) -> AreaReport {
@@ -61,14 +65,27 @@ pub fn estimate_area(config: &AcceleratorConfig) -> AreaReport {
     let dmb_kb = config.mem.dmb_bytes as f64 / 1024.0;
     let smq_kb = (config.mem.smq_ptr_bytes + config.mem.smq_idx_bytes) as f64 / 1024.0;
     let lsq_kb = config.mem.lsq_entries as f64 * LSQ_ENTRY_BYTES / 1024.0;
+    // A pipelined MAC of latency L carries L-1 stage registers; an
+    // unpipelined one re-uses a single stage regardless of latency.
+    let stages = if config.mac_pipelined {
+        config.mac_latency.max(1)
+    } else {
+        1
+    } as f64;
+    let pe_scale = 1.0 + PE_PIPELINE_STAGE_FACTOR * (stages - 1.0);
+    let pe_config = if stages > 1.0 {
+        format!("{} MAC, {}-stage", config.num_pes, stages as u64)
+    } else {
+        format!("{} MAC", config.num_pes)
+    };
 
     AreaReport {
         components: vec![
             ComponentArea {
                 name: "PE Array",
-                configuration: format!("{} MAC", config.num_pes),
-                area_7nm: macs * PE_MM2_PER_MAC_7NM,
-                area_40nm: macs * PE_MM2_PER_MAC_40NM,
+                configuration: pe_config,
+                area_7nm: macs * PE_MM2_PER_MAC_7NM * pe_scale,
+                area_40nm: macs * PE_MM2_PER_MAC_40NM * pe_scale,
             },
             ComponentArea {
                 name: "DMB",
@@ -136,6 +153,25 @@ mod tests {
         let big = estimate_area(&cfg);
         assert!(big.total_7nm() > small.total_7nm());
         assert!((big.components[0].area_7nm / small.components[0].area_7nm - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_stages_add_pe_area() {
+        let base = estimate_area(&AcceleratorConfig::default());
+        let deep = estimate_area(&AcceleratorConfig {
+            mac_latency: 4,
+            mac_pipelined: true,
+            ..AcceleratorConfig::default()
+        });
+        let ratio = deep.components[0].area_7nm / base.components[0].area_7nm;
+        assert!((ratio - (1.0 + 3.0 * PE_PIPELINE_STAGE_FACTOR)).abs() < 1e-9);
+        // Unpipelined latency reuses one stage: no area change.
+        let slow = estimate_area(&AcceleratorConfig {
+            mac_latency: 4,
+            ..AcceleratorConfig::default()
+        });
+        assert_eq!(slow.components[0].area_7nm, base.components[0].area_7nm);
+        assert!(deep.components[0].configuration.contains("4-stage"));
     }
 
     #[test]

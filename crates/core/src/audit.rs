@@ -26,6 +26,11 @@
 //!   unused at most once (`useful + evicted_unused <= issued`), late claims
 //!   never outnumber useful ones, and late cycles require late events.
 //!   Catches double-counted or lost speculative fills.
+//! - **PE issue accounting**: port occupancy equals issue slots times the
+//!   initiation interval for MAC and merge work alike, and the lane-level
+//!   energy counter equals `slots × lanes` without gating (at most that
+//!   with it). Catches drift between the timing and energy views of the
+//!   parametric PE model.
 //!
 //! The checks are observation-only: they read counters, never advance time
 //! or touch state, so enabling [`AcceleratorConfig::audit`] cannot change
@@ -60,7 +65,65 @@ pub fn check_machine(m: &Machine) -> Vec<AuditViolation> {
     check_lsq(m, &mut out);
     check_prefetch(&m.dmb.prefetch_stats(), &mut out);
     check_phases(&m.phases, &mut out);
+    check_pe(m, &mut out);
     out
+}
+
+fn check_pe(m: &Machine, out: &mut Vec<AuditViolation>) {
+    let pe = &m.pe;
+    let ii = pe.initiation_interval();
+    if pe.mac_cycles() != pe.mac_issues() * ii {
+        out.push(AuditViolation {
+            invariant: "pe-issue-accounting",
+            details: format!(
+                "mac_cycles {} != mac_issues {} x II {}",
+                pe.mac_cycles(),
+                pe.mac_issues(),
+                ii
+            ),
+        });
+    }
+    if pe.merge_cycles() != pe.merge_issues() * ii {
+        out.push(AuditViolation {
+            invariant: "pe-issue-accounting",
+            details: format!(
+                "merge_cycles {} != merge_issues {} x II {}",
+                pe.merge_cycles(),
+                pe.merge_issues(),
+                ii
+            ),
+        });
+    }
+    let cap = pe.mac_issues() * pe.lanes() as u64;
+    if pe.gating() {
+        if pe.mac_lane_ops() > cap {
+            out.push(AuditViolation {
+                invariant: "pe-lane-energy",
+                details: format!(
+                    "gated mac_lane_ops {} exceed mac_issues {} x lanes {}",
+                    pe.mac_lane_ops(),
+                    pe.mac_issues(),
+                    pe.lanes()
+                ),
+            });
+        }
+    } else if pe.mac_lane_ops() != cap {
+        out.push(AuditViolation {
+            invariant: "pe-lane-energy",
+            details: format!(
+                "ungated mac_lane_ops {} != mac_issues {} x lanes {}",
+                pe.mac_lane_ops(),
+                pe.mac_issues(),
+                pe.lanes()
+            ),
+        });
+    }
+    if pe.mac_ops() == 0 && pe.mac_cycles() > 0 {
+        out.push(AuditViolation {
+            invariant: "pe-issue-accounting",
+            details: format!("{} mac cycles recorded with zero mac ops", pe.mac_cycles()),
+        });
+    }
 }
 
 fn check_prefetch(s: &hymm_mem::PrefetchStats, out: &mut Vec<AuditViolation>) {
@@ -242,6 +305,24 @@ pub fn check_report(r: &SimReport) -> Vec<AuditViolation> {
             details: format!(
                 "{} capacity-stall cycles recorded with zero stall events",
                 r.lsq.capacity_stall_cycles
+            ),
+        });
+    }
+    if (r.mac_ops == 0) != (r.mac_cycles == 0) {
+        out.push(AuditViolation {
+            invariant: "pe-issue-accounting",
+            details: format!(
+                "mac_ops {} inconsistent with mac_cycles {}",
+                r.mac_ops, r.mac_cycles
+            ),
+        });
+    }
+    if (r.mac_lane_ops == 0) != (r.mac_cycles == 0) {
+        out.push(AuditViolation {
+            invariant: "pe-lane-energy",
+            details: format!(
+                "mac_lane_ops {} inconsistent with mac_cycles {}",
+                r.mac_lane_ops, r.mac_cycles
             ),
         });
     }
@@ -462,6 +543,26 @@ mod tests {
         let v = check_report(&r);
         assert!(
             v.iter().any(|v| v.invariant == "prefetch-accounting"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn pe_counter_drift_is_flagged() {
+        let mut r = SimReport::empty();
+        r.mac_cycles = 10; // cycles without ops or lane events
+        let v = check_report(&r);
+        assert!(
+            v.iter().any(|v| v.invariant == "pe-issue-accounting"),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|v| v.invariant == "pe-lane-energy"), "{v:?}");
+        r.mac_ops = 1;
+        r.mac_lane_ops = 16;
+        let v = check_report(&r);
+        assert!(
+            v.iter()
+                .all(|v| v.invariant != "pe-issue-accounting" && v.invariant != "pe-lane-energy"),
             "{v:?}"
         );
     }

@@ -1,6 +1,7 @@
 //! Accelerator configuration.
 
 use hymm_mem::MemConfig;
+use hymm_sparse::SparseError;
 
 /// Which SpDeMM dataflow the accelerator runs (paper §V: "The RWP dataflow
 /// represents GROW, and the OP architecture represents GCNAX").
@@ -119,6 +120,20 @@ pub struct AcceleratorConfig {
     /// Whether the LSQ forwards combination-phase stores to
     /// aggregation-phase loads (paper §IV-B). Disable for ablation.
     pub lsq_forwarding: bool,
+    /// MAC latency in cycles from issue to result (1 in Table III). With
+    /// [`Self::mac_pipelined`] the issue port still accepts one operation
+    /// per cycle; without it the initiation interval equals the latency.
+    pub mac_latency: u64,
+    /// Whether the MAC pipeline accepts a new issue every cycle regardless
+    /// of latency (initiation interval 1). Irrelevant at `mac_latency == 1`.
+    pub mac_pipelined: bool,
+    /// Per-lane operand gating à la FlexVector's flexible VRF: a row
+    /// shorter than the vector width charges only the occupied lanes'
+    /// energy, and the engines may pack several short rows into one issue
+    /// slot (each issue stays slot-granular). Under gating the CWP
+    /// extension's lane efficiency becomes a derived quantity instead of
+    /// [`Self::cwp_lane_efficiency`].
+    pub lane_gating: bool,
     /// Useful fraction of MAC lanes per cycle for the column-wise-product
     /// extension (models AWB-GCN's row imbalance before rebalancing).
     pub cwp_lane_efficiency: f64,
@@ -142,6 +157,9 @@ impl Default for AcceleratorConfig {
             op_tile_rows: None,
             tiling_fraction: 0.20,
             lsq_forwarding: true,
+            mac_latency: 1,
+            mac_pipelined: false,
+            lane_gating: false,
             cwp_lane_efficiency: 0.8,
             audit: false,
             scheduler: SchedulerKind::Event,
@@ -150,6 +168,42 @@ impl Default for AcceleratorConfig {
 }
 
 impl AcceleratorConfig {
+    /// Validates the configuration, returning
+    /// [`SparseError::InvalidConfig`] for values that would otherwise panic
+    /// deep inside construction (`num_pes == 0` in `PeArray`) or silently
+    /// corrupt utilisation math (a NaN, non-positive or >1 CWP lane
+    /// efficiency). Called by [`crate::sim::run_gcn_layer_prepared`] before
+    /// any hardware state is built.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.num_pes == 0 {
+            return Err(SparseError::InvalidConfig(
+                "num_pes must be at least 1".to_string(),
+            ));
+        }
+        if self.mac_latency == 0 {
+            return Err(SparseError::InvalidConfig(
+                "mac_latency must be at least 1 cycle".to_string(),
+            ));
+        }
+        let e = self.cwp_lane_efficiency;
+        if !e.is_finite() || e <= 0.0 || e > 1.0 {
+            return Err(SparseError::InvalidConfig(format!(
+                "cwp_lane_efficiency must be a finite value in (0, 1], got {e}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// MAC initiation interval implied by the latency/pipelining knobs:
+    /// cycles between back-to-back issues on the vector port.
+    pub fn mac_initiation_interval(&self) -> u64 {
+        if self.mac_pipelined {
+            1
+        } else {
+            self.mac_latency.max(1)
+        }
+    }
+
     /// Effective OP output-tile size in rows.
     pub fn op_tile_rows(&self) -> usize {
         self.op_tile_rows
@@ -196,6 +250,62 @@ mod tests {
         let c = AcceleratorConfig::default();
         assert_eq!(c.dmb_capacity_rows(16), 4096);
         assert_eq!(c.dmb_capacity_rows(32), 2048);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(AcceleratorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_pes() {
+        let c = AcceleratorConfig {
+            num_pes: 0,
+            ..AcceleratorConfig::default()
+        };
+        match c.validate() {
+            Err(SparseError::InvalidConfig(msg)) => assert!(msg.contains("num_pes")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_mac_latency() {
+        let c = AcceleratorConfig {
+            mac_latency: 0,
+            ..AcceleratorConfig::default()
+        };
+        match c.validate() {
+            Err(SparseError::InvalidConfig(msg)) => assert!(msg.contains("mac_latency")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_cwp_lane_efficiency() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.3, 1.5] {
+            let c = AcceleratorConfig {
+                cwp_lane_efficiency: bad,
+                ..AcceleratorConfig::default()
+            };
+            match c.validate() {
+                Err(SparseError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("cwp_lane_efficiency"), "msg: {msg}")
+                }
+                other => panic!("expected InvalidConfig for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn initiation_interval_follows_pipelining() {
+        let mut c = AcceleratorConfig {
+            mac_latency: 4,
+            ..AcceleratorConfig::default()
+        };
+        assert_eq!(c.mac_initiation_interval(), 4);
+        c.mac_pipelined = true;
+        assert_eq!(c.mac_initiation_interval(), 1);
     }
 
     #[test]

@@ -22,13 +22,19 @@ use crate::stats::SimReport;
 /// let mut report = SimReport::empty();
 /// report.cycles = 1_000;
 /// report.mac_cycles = 500;
+/// report.mac_lane_ops = 500 * 16;
 /// let estimate = EnergyModel::default().estimate(&report);
 /// assert!(estimate.total_uj() > 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
-    /// Energy per 16-lane MAC operation (one 64-byte vector op).
-    pub pj_per_mac_op: f64,
+    /// Energy per single-lane 32-bit MAC. The PE term multiplies this by
+    /// [`SimReport::mac_lane_ops`], so per-lane operand gating — which
+    /// suppresses lane events for short rows — lowers energy without
+    /// touching timing. Without gating `mac_lane_ops` is exactly
+    /// `issue slots × lanes` and the term reduces to the seed's
+    /// 16 pJ-per-vector-op model at the default configuration.
+    pub pj_per_lane_mac: f64,
     /// Energy per partial-output merge addition.
     pub pj_per_merge_op: f64,
     /// Energy per DMB access (64-byte read or write, hit or fill).
@@ -44,7 +50,7 @@ pub struct EnergyModel {
 impl Default for EnergyModel {
     fn default() -> Self {
         EnergyModel {
-            pj_per_mac_op: 16.0,   // 16 lanes x ~1 pJ per 32-bit FMA @40nm
+            pj_per_lane_mac: 1.0,  // ~1 pJ per 32-bit FMA @40nm
             pj_per_merge_op: 16.0, // adder pass over one 64-byte line
             pj_per_dmb_access: 6.0,
             pj_per_lsq_op: 1.0,
@@ -82,7 +88,7 @@ impl EnergyModel {
         let lsq_ops = report.lsq.loads + report.lsq.stores;
         let pj_to_uj = 1e-6;
         EnergyReport {
-            pe_uj: (report.mac_cycles as f64 * self.pj_per_mac_op
+            pe_uj: (report.mac_lane_ops as f64 * self.pj_per_lane_mac
                 + report.merge_cycles as f64 * self.pj_per_merge_op)
                 * pj_to_uj,
             buffer_uj: (dmb_accesses as f64 * self.pj_per_dmb_access
@@ -103,6 +109,7 @@ mod tests {
         let mut r = SimReport::empty();
         r.cycles = 1_000;
         r.mac_cycles = 500;
+        r.mac_lane_ops = 500 * 16;
         r.merge_cycles = 100;
         r.dmb_hits.read_hits = 200;
         r.dmb_hits.read_misses = 50;
@@ -133,6 +140,18 @@ mod tests {
     fn zero_report_zero_energy() {
         let e = EnergyModel::default().estimate(&SimReport::empty());
         assert_eq!(e.total_uj(), 0.0);
+    }
+
+    #[test]
+    fn gated_lane_events_lower_pe_energy() {
+        // Same timing, fewer lane events (a gated run of short rows): the
+        // PE term must track the lane counter, not the cycle counter.
+        let full = EnergyModel::default().estimate(&report());
+        let mut r = report();
+        r.mac_lane_ops = 500 * 4; // rows occupied only 4 of 16 lanes
+        let gated = EnergyModel::default().estimate(&r);
+        assert!(gated.pe_uj < full.pe_uj);
+        assert_eq!(gated.static_uj, full.static_uj);
     }
 
     #[test]

@@ -161,9 +161,14 @@ pub fn run_cwp(m: &mut Machine, start: u64, job: &CwpJob<'_>, out: &mut Dense) -
                     now = now.max(e) + 1;
                     entry_ready = entry_ready.max(now);
                 }
-                let op_cycles = cnt.div_ceil(effective_lanes).max(1);
-                let done =
-                    m.pe.execute_mac(entry_ready.max(dense_line_ready), op_cycles);
+                // Row-parallel scalar MACs: without gating the configured
+                // effective lanes model AWB-GCN's imbalance; with gating the
+                // occupancy is exact and the lane efficiency is derived.
+                let done = m.pe.execute_scalar_macs(
+                    entry_ready.max(dense_line_ready),
+                    cnt,
+                    effective_lanes,
+                );
                 end = end.max(done);
             }
             m.absorb_smq(&mut smq);

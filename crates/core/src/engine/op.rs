@@ -91,6 +91,17 @@ pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: Numeri
     let dense_lines = mem.lines_per_row(job.dense.cols());
     let out_lines = mem.lines_per_row(out.cols());
     let line_bytes = (mem.line_bytes * out_lines) as u64;
+    // Engine-level row packing (see rwp.rs): entries of one column share the
+    // stationary dense row, so with the flexible VRF (lane gating) enabled
+    // and the vector wider than the output row, `pack` of them co-issue as a
+    // single packed operation. Without it `pack == 1` and the seed's
+    // per-entry path runs bit-identically.
+    let width = out.cols();
+    let pack = if m.pe.gating() {
+        (m.pe.lanes() / width.max(1)).max(1)
+    } else {
+        1
+    };
 
     let sparse = job.sparse;
     let rows = sparse.rows();
@@ -208,66 +219,125 @@ pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: Numeri
                 dense_ready = dense_ready.max(m.load_line(now, addr, AccessPattern::Sequential));
             }
 
-            for e in begin..idx {
-                let r_local = sparse.row_idx()[e] as usize;
-                let v = sparse.values()[e];
-                let entry = smq
-                    .next_entry(now, &mut m.dram)
-                    .expect("stream sized to the tile nnz");
-                now = now.max(entry) + 1;
-                let mult_done = m.pe.execute_mac(now.max(dense_ready), out_lines as u64);
-                out.axpy_row(r_local + job.out_row_offset, v, job.dense.row(g));
+            let mut group = begin;
+            while group < idx {
+                let group_end = (group + pack).min(idx);
+                // Decode every entry of the group before the single issue:
+                // all packed operands must be ready when the slot fires.
+                let mut ready = now;
+                for _ in group..group_end {
+                    let entry = smq
+                        .next_entry(now, &mut m.dram)
+                        .expect("stream sized to the tile nnz");
+                    now = now.max(entry) + 1;
+                    ready = ready.max(now);
+                }
+                ready = ready.max(dense_ready);
+                let mult_done = if pack == 1 {
+                    m.pe.execute_row_mac(ready, width)
+                } else {
+                    m.pe.execute_packed_mac(ready, (group_end - group) as u64, width)
+                };
+                for e in group..group_end {
+                    let r_local = sparse.row_idx()[e] as usize;
+                    let v = sparse.values()[e];
+                    out.axpy_row(r_local + job.out_row_offset, v, job.dense.row(g));
 
-                let tile_r = r_local - lo;
-                let first_touch = !touched[tile_r];
-                touched[tile_r] = true;
-                m.partials.writes += out_lines as u64;
+                    let tile_r = r_local - lo;
+                    let first_touch = !touched[tile_r];
+                    touched[tile_r] = true;
+                    m.partials.writes += out_lines as u64;
 
-                let global_row = r_local + job.out_row_offset;
-                match job.merge {
-                    MergePolicy::NearMemory => {
-                        let mut done = mult_done;
-                        for chunk in 0..out_lines {
-                            let addr = row_line(job.out_kind, global_row, out_lines, chunk);
-                            let drained = m.lsq.store(done, addr, done);
-                            // The store does not touch the DMB, so the write's
-                            // hit flag equals residency before this iteration.
-                            let w = m.dmb.write(
-                                drained,
-                                addr,
-                                &mut m.dram,
-                                true,
-                                AccessPattern::Random,
-                            );
-                            done = w.ready;
-                            if !first_touch {
-                                if w.hit {
-                                    m.dmb.record_accumulator_merge();
-                                } else {
-                                    // Partial spilled earlier: merge through
-                                    // DRAM (read old value back).
-                                    m.partials.dram_merges += 1;
-                                    let rb = m.dram.read(
-                                        done,
-                                        job.out_kind,
-                                        mem.line_bytes as u64,
-                                        AccessPattern::Random,
-                                    );
-                                    done = done.max(rb);
-                                    m.dmb.record_accumulator_merge();
+                    let global_row = r_local + job.out_row_offset;
+                    match job.merge {
+                        MergePolicy::NearMemory => {
+                            let mut done = mult_done;
+                            for chunk in 0..out_lines {
+                                let addr = row_line(job.out_kind, global_row, out_lines, chunk);
+                                let drained = m.lsq.store(done, addr, done);
+                                // The store does not touch the DMB, so the write's
+                                // hit flag equals residency before this iteration.
+                                let w = m.dmb.write(
+                                    drained,
+                                    addr,
+                                    &mut m.dram,
+                                    true,
+                                    AccessPattern::Random,
+                                );
+                                done = w.ready;
+                                if !first_touch {
+                                    if w.hit {
+                                        m.dmb.record_accumulator_merge();
+                                    } else {
+                                        // Partial spilled earlier: merge through
+                                        // DRAM (read old value back).
+                                        m.partials.dram_merges += 1;
+                                        let rb = m.dram.read(
+                                            done,
+                                            job.out_kind,
+                                            mem.line_bytes as u64,
+                                            AccessPattern::Random,
+                                        );
+                                        done = done.max(rb);
+                                        m.dmb.record_accumulator_merge();
+                                    }
                                 }
                             }
-                        }
-                        end = end.max(done);
-                        if first_touch {
-                            live_partial_bytes += line_bytes;
-                        }
-                    }
-                    MergePolicy::PeReadModifyWrite => {
-                        let mut done = mult_done;
-                        for chunk in 0..out_lines {
-                            let addr = row_line(job.out_kind, global_row, out_lines, chunk);
+                            end = end.max(done);
                             if first_touch {
+                                live_partial_bytes += line_bytes;
+                            }
+                        }
+                        MergePolicy::PeReadModifyWrite => {
+                            let mut done = mult_done;
+                            for chunk in 0..out_lines {
+                                let addr = row_line(job.out_kind, global_row, out_lines, chunk);
+                                if first_touch {
+                                    let drained = m.lsq.store(done, addr, done);
+                                    let w = m.dmb.write(
+                                        drained,
+                                        addr,
+                                        &mut m.dram,
+                                        true,
+                                        AccessPattern::Random,
+                                    );
+                                    done = w.ready;
+                                } else {
+                                    // Read-modify-write through the PE adder; the
+                                    // LSQ forwards from a still-queued partial
+                                    // store to the same address (paper §IV-B).
+                                    let (ready, resident) =
+                                        m.load_line_resident(done, addr, AccessPattern::Random);
+                                    if !resident {
+                                        m.partials.dram_merges += 1;
+                                    }
+                                    let add = m.pe.execute_merge(ready, 1);
+                                    let drained = m.lsq.store(add, addr, add);
+                                    let w = m.dmb.write(
+                                        drained,
+                                        addr,
+                                        &mut m.dram,
+                                        true,
+                                        AccessPattern::Random,
+                                    );
+                                    done = w.ready;
+                                }
+                            }
+                            end = end.max(done);
+                            if first_touch {
+                                live_partial_bytes += line_bytes;
+                            }
+                        }
+                        MergePolicy::Materialize => {
+                            // Every partial product occupies fresh log space;
+                            // the DMB spills overflow to DRAM by itself.
+                            let mut done = mult_done;
+                            for chunk in 0..out_lines {
+                                let addr =
+                                    hymm_mem::LineAddr::new(job.out_kind, materialize_serial);
+                                materialize_serial += 1;
+                                log.push((tile_r, addr.index));
+                                let _ = chunk;
                                 let drained = m.lsq.store(done, addr, done);
                                 let w = m.dmb.write(
                                     drained,
@@ -277,56 +347,14 @@ pub fn run_op_sink(m: &mut Machine, start: u64, job: &OpJob<'_>, mut out: Numeri
                                     AccessPattern::Random,
                                 );
                                 done = w.ready;
-                            } else {
-                                // Read-modify-write through the PE adder; the
-                                // LSQ forwards from a still-queued partial
-                                // store to the same address (paper §IV-B).
-                                let (ready, resident) =
-                                    m.load_line_resident(done, addr, AccessPattern::Random);
-                                if !resident {
-                                    m.partials.dram_merges += 1;
-                                }
-                                let add = m.pe.execute_merge(ready, 1);
-                                let drained = m.lsq.store(add, addr, add);
-                                let w = m.dmb.write(
-                                    drained,
-                                    addr,
-                                    &mut m.dram,
-                                    true,
-                                    AccessPattern::Random,
-                                );
-                                done = w.ready;
                             }
-                        }
-                        end = end.max(done);
-                        if first_touch {
+                            end = end.max(done);
                             live_partial_bytes += line_bytes;
                         }
                     }
-                    MergePolicy::Materialize => {
-                        // Every partial product occupies fresh log space;
-                        // the DMB spills overflow to DRAM by itself.
-                        let mut done = mult_done;
-                        for chunk in 0..out_lines {
-                            let addr = hymm_mem::LineAddr::new(job.out_kind, materialize_serial);
-                            materialize_serial += 1;
-                            log.push((tile_r, addr.index));
-                            let _ = chunk;
-                            let drained = m.lsq.store(done, addr, done);
-                            let w = m.dmb.write(
-                                drained,
-                                addr,
-                                &mut m.dram,
-                                true,
-                                AccessPattern::Random,
-                            );
-                            done = w.ready;
-                        }
-                        end = end.max(done);
-                        live_partial_bytes += line_bytes;
-                    }
+                    m.partials.peak_bytes = m.partials.peak_bytes.max(live_partial_bytes);
                 }
-                m.partials.peak_bytes = m.partials.peak_bytes.max(live_partial_bytes);
+                group = group_end;
             }
         }
 

@@ -111,12 +111,27 @@ pub fn run_rwp_sink(
     let mut end = start;
     let mut window: VecDeque<u64> = VecDeque::with_capacity(mlp);
 
+    // Engine-level row packing: with the flexible VRF (lane gating) enabled
+    // and the vector wider than the output row, `pack` consecutive non-zeros
+    // of the same sparse row co-issue as one packed operation (each scaling
+    // its own copy of the row slot). Without the flexible VRF operands
+    // cannot share a slot, so `pack == 1` and the loop below is the seed's
+    // per-entry path, bit-identically.
+    let width = out.cols();
+    let pack = if m.pe.gating() {
+        (m.pe.lanes() / width.max(1)).max(1) as u64
+    } else {
+        1
+    };
+
     for r in 0..job.sparse.rows() {
         let (cols, vals) = job.sparse.row(r);
         if cols.is_empty() {
             continue;
         }
         let mut row_done = issue;
+        let mut batch_ready = 0u64;
+        let mut batch_rows = 0u64;
         for (i, (&c, &v)) in cols.iter().zip(vals).enumerate() {
             let entry = smq
                 .next_entry(issue, &mut m.dram)
@@ -144,9 +159,32 @@ pub fn run_rwp_sink(
                 let addr = row_line(job.dense_kind, g, dense_lines, chunk);
                 ready = ready.max(m.load_line(issue, addr, AccessPattern::Random));
             }
-            let done = m.pe.execute_mac(ready, out_lines as u64);
-            window.push_back(done);
             out.axpy_row(r + job.out_row_offset, v, job.dense.row(g));
+            if pack == 1 {
+                let done = m.pe.execute_row_mac(ready, width);
+                window.push_back(done);
+                row_done = done;
+            } else {
+                // Decode/load per entry, issue per batch: all operands of a
+                // packed group must be ready before the single slot fires.
+                batch_ready = batch_ready.max(ready);
+                batch_rows += 1;
+                if batch_rows == pack {
+                    let done = m.pe.execute_packed_mac(batch_ready, batch_rows, width);
+                    for _ in 0..batch_rows {
+                        window.push_back(done);
+                    }
+                    row_done = done;
+                    batch_rows = 0;
+                    batch_ready = 0;
+                }
+            }
+        }
+        if batch_rows > 0 {
+            let done = m.pe.execute_packed_mac(batch_ready, batch_rows, width);
+            for _ in 0..batch_rows {
+                window.push_back(done);
+            }
             row_done = done;
         }
         // Store the finished output row.

@@ -82,7 +82,7 @@ impl Machine {
             dram: Dram::new(&config.mem),
             dmb: Dmb::new(&config.mem),
             lsq: Lsq::new(&config.mem),
-            pe: PeArray::new(config.num_pes),
+            pe: PeArray::from_config(config),
             config: config.clone(),
             partials: PartialStats::default(),
             phases: Vec::new(),
@@ -413,6 +413,9 @@ impl Machine {
             cycles,
             mac_cycles: self.pe.mac_cycles(),
             merge_cycles: self.pe.merge_cycles(),
+            mac_ops: self.pe.mac_ops(),
+            merge_ops: self.pe.merge_ops(),
+            mac_lane_ops: self.pe.mac_lane_ops(),
             dram: self.dram.into_stats(),
             dmb_hits: self.dmb.hit_stats(),
             dmb_evictions: self.dmb.evictions(),

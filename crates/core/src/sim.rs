@@ -79,7 +79,9 @@ pub fn run_gcn_layer(
 /// # Errors
 ///
 /// Returns [`SparseError::ShapeMismatch`] if the operand shapes are
-/// inconsistent.
+/// inconsistent, or [`SparseError::InvalidConfig`] if
+/// [`AcceleratorConfig::validate`] rejects the configuration (zero PEs,
+/// zero MAC latency, NaN/out-of-range CWP lane efficiency).
 pub fn run_gcn_layer_prepared(
     config: &AcceleratorConfig,
     dataflow: Dataflow,
@@ -88,6 +90,7 @@ pub fn run_gcn_layer_prepared(
     w: &Dense,
     memo: Option<(&CombinationMemo, usize)>,
 ) -> Result<LayerOutcome, SparseError> {
+    config.validate()?;
     let adj = prep.adj();
     let n = adj.rows();
     if adj.cols() != n || x.rows() != n || x.cols() != w.rows() {
@@ -370,6 +373,47 @@ mod tests {
     fn reference(adj: &Coo, x: &Coo, w: &Dense) -> Dense {
         let xw = spdemm::row_wise_product(&Csr::from_coo(x), w);
         spdemm::row_wise_product(&Csr::from_coo(adj), &xw)
+    }
+
+    #[test]
+    fn invalid_configs_error_instead_of_panicking() {
+        // Regression: num_pes == 0 used to panic inside PeArray::new, and a
+        // NaN cwp_lane_efficiency asserted deep inside run_cwp. Both must
+        // surface as SparseError::InvalidConfig through the sim entry point.
+        let (adj, x, w) = fixture(8, 6, 16);
+        for (mutate, what) in [
+            (
+                Box::new(|c: &mut AcceleratorConfig| c.num_pes = 0)
+                    as Box<dyn Fn(&mut AcceleratorConfig)>,
+                "num_pes",
+            ),
+            (
+                Box::new(|c: &mut AcceleratorConfig| c.mac_latency = 0),
+                "mac_latency",
+            ),
+            (
+                Box::new(|c: &mut AcceleratorConfig| c.cwp_lane_efficiency = f64::NAN),
+                "cwp_lane_efficiency",
+            ),
+        ] {
+            let mut config = AcceleratorConfig::default();
+            mutate(&mut config);
+            for df in Dataflow::EXTENDED {
+                match run_gcn_layer(&config, df, &adj, &x, &w) {
+                    Err(SparseError::InvalidConfig(msg)) => {
+                        assert!(
+                            msg.contains(what),
+                            "{}: unexpected message {msg}",
+                            df.label()
+                        )
+                    }
+                    other => panic!(
+                        "{} with bad {what}: expected InvalidConfig, got {other:?}",
+                        df.label()
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -199,6 +199,15 @@ pub struct SimReport {
     /// Partial-output merge cycles executed in the PE array (zero when the
     /// near-memory accumulator does the merging).
     pub merge_cycles: u64,
+    /// Logical MAC operations (one per sparse row operation); invariant
+    /// across PE lane count, latency and pipelining.
+    pub mac_ops: u64,
+    /// Merge operations executed in the PE array.
+    pub merge_ops: u64,
+    /// Lane-level multiply events — the PE energy proxy. With per-lane
+    /// gating only occupied lanes count; without it every issue slot
+    /// charges all lanes.
+    pub mac_lane_ops: u64,
     /// DRAM traffic broken down by matrix kind (Fig. 11).
     pub dram: TrafficStats,
     /// DMB hit/miss counters (Fig. 9).
@@ -233,6 +242,9 @@ impl SimReport {
             cycles: 0,
             mac_cycles: 0,
             merge_cycles: 0,
+            mac_ops: 0,
+            merge_ops: 0,
+            mac_lane_ops: 0,
             dram: TrafficStats::new(),
             dmb_hits: HitStats::default(),
             dmb_evictions: 0,
@@ -275,6 +287,9 @@ impl SimReport {
         self.cycles += other.cycles;
         self.mac_cycles += other.mac_cycles;
         self.merge_cycles += other.merge_cycles;
+        self.mac_ops += other.mac_ops;
+        self.merge_ops += other.merge_ops;
+        self.mac_lane_ops += other.mac_lane_ops;
         self.dram.merge(&other.dram);
         self.dmb_hits.merge(&other.dmb_hits);
         self.dmb_evictions += other.dmb_evictions;

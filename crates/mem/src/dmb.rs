@@ -847,6 +847,13 @@ pub struct Dmb {
     /// Open phase span of the event-driven core, `None` on the generic
     /// (stepped) path.
     span: Option<Box<SpanState>>,
+    /// Parked state of the last closed span, reused by the next
+    /// [`Dmb::begin_span`] so the per-phase span allocations (recency rings,
+    /// untracked and snapshot scratch) amortise across a run instead of
+    /// being paid per phase (DESIGN §11.4's span-mode overhead).
+    span_spare: Option<Box<SpanState>>,
+    /// Retired per-range line tables, capacity preserved for reuse.
+    span_line_pool: Vec<Vec<SpanLine>>,
     /// Event counters drained from closed spans, collected by the machine.
     events: EventStats,
 }
@@ -901,6 +908,8 @@ impl Dmb {
             port_ts: 0,
             port_track: Track::DmbRead,
             span: None,
+            span_spare: None,
+            span_line_pool: Vec::new(),
             events: EventStats::default(),
         }
     }
@@ -1747,27 +1756,51 @@ impl Dmb {
                 }
             }
         }
-        let mut span = SpanState {
-            ranges: ranges
-                .iter()
-                .map(|r| SpanRangeState {
-                    kind: r.kind,
-                    base: r.base,
-                    len: r.len,
-                    lines: Vec::new(),
-                })
-                .collect(),
-            untracked: Vec::new(),
-            classes: Default::default(),
-            len: self.lines.len,
-            snapshot_tracked: Vec::new(),
-            armed: false,
-            scheduled: 0,
-            coalesced: 0,
-            entry_read_port: self.read_port_free,
-            entry_write_port: self.write_port_free,
-            grants: 0,
-        };
+        // Reuse the last closed span's containers (recycled empty, capacity
+        // preserved) rather than reallocating the whole working set per
+        // phase.
+        let mut span = self.span_spare.take().unwrap_or_else(|| {
+            Box::new(SpanState {
+                ranges: Vec::new(),
+                untracked: Vec::new(),
+                classes: Default::default(),
+                len: 0,
+                snapshot_tracked: Vec::new(),
+                armed: false,
+                scheduled: 0,
+                coalesced: 0,
+                entry_read_port: 0,
+                entry_write_port: 0,
+                grants: 0,
+            })
+        });
+        debug_assert!(
+            span.ranges.is_empty()
+                && span.untracked.is_empty()
+                && span.snapshot_tracked.is_empty()
+                && span
+                    .classes
+                    .iter()
+                    .all(|c| c.ring.is_empty() && c.carryover.is_empty()),
+            "recycled span scratch must be empty"
+        );
+        for r in ranges {
+            let lines = self.span_line_pool.pop().unwrap_or_default();
+            debug_assert!(lines.is_empty(), "pooled line table must be empty");
+            span.ranges.push(SpanRangeState {
+                kind: r.kind,
+                base: r.base,
+                len: r.len,
+                lines,
+            });
+        }
+        span.len = self.lines.len;
+        span.armed = false;
+        span.scheduled = 0;
+        span.coalesced = 0;
+        span.entry_read_port = self.read_port_free;
+        span.entry_write_port = self.write_port_free;
+        span.grants = 0;
         // Snapshot: walk each class list oldest to newest, so ring order
         // equals real recency order.
         for class in 0..3 {
@@ -1775,6 +1808,7 @@ impl Dmb {
             while idx != NIL {
                 let slot = &self.lines.slots[idx as usize];
                 if slot.prefetched {
+                    self.recycle_span(span);
                     return false;
                 }
                 let entry = match span.locate(slot.addr) {
@@ -1812,8 +1846,26 @@ impl Dmb {
                 idx = slot.next;
             }
         }
-        self.span = Some(Box::new(span));
+        self.span = Some(span);
         true
+    }
+
+    /// Clears a span's containers (keeping their capacity) and parks the
+    /// whole state for the next [`Dmb::begin_span`].
+    fn recycle_span(&mut self, mut span: Box<SpanState>) {
+        for r in span.ranges.iter_mut() {
+            let mut lines = std::mem::take(&mut r.lines);
+            lines.clear();
+            self.span_line_pool.push(lines);
+        }
+        span.ranges.clear();
+        span.untracked.clear();
+        span.snapshot_tracked.clear();
+        for c in span.classes.iter_mut() {
+            c.ring.clear();
+            c.carryover.clear();
+        }
+        self.span_spare = Some(span);
     }
 
     /// Closes the open span (no-op without one), materialising the exact
@@ -1823,8 +1875,9 @@ impl Dmb {
     /// final recency order. Event counters accumulate for
     /// [`Dmb::take_events`].
     pub fn end_span(&mut self) {
-        let Some(span) = self.span.take() else { return };
-        let mut span = *span;
+        let Some(mut span) = self.span.take() else {
+            return;
+        };
         // Arming is exactly the marker → recency-order conversion the
         // materialisation walk below needs; a never-pressured span pays it
         // once, here.
@@ -1905,6 +1958,7 @@ impl Dmb {
             self.lines.check();
             self.check_mshr_tracking();
         }
+        self.recycle_span(span);
     }
 
     /// Drains the event counters accumulated by closed spans.
@@ -3815,6 +3869,37 @@ mod span_tests {
         assert!(!dmb_b.span_active());
         assert_eq!(dmb_a.hit_stats(), dmb_b.hit_stats());
         assert_eq!(dram_a.stats(), dram_b.stats());
+    }
+
+    #[test]
+    fn span_scratch_is_recycled_across_spans() {
+        let cfg = small_config(16, 4);
+        let mut dram = Dram::new(&cfg);
+        let mut dmb = Dmb::new(&cfg);
+        let w = |base, len| SpanRange {
+            kind: MatrixKind::Weight,
+            base,
+            len,
+        };
+        assert!(dmb.begin_span(&[w(0, 8)]));
+        for i in 0..8 {
+            let a = LineAddr::new(MatrixKind::Weight, i);
+            dmb.read(i, a, &mut dram, AccessPattern::Sequential);
+        }
+        dmb.end_span();
+        assert!(dmb.span_spare.is_some(), "closed span must park its state");
+        assert_eq!(dmb.span_line_pool.len(), 1);
+
+        // The next span consumes the parked scratch; a two-range span pulls
+        // one pooled line table and allocates the second.
+        assert!(dmb.begin_span(&[w(0, 4), w(8, 4)]));
+        assert!(dmb.span_spare.is_none());
+        assert!(dmb.span_line_pool.is_empty());
+        let a = LineAddr::new(MatrixKind::Weight, 2);
+        let hit = dmb.read(100, a, &mut dram, AccessPattern::Sequential);
+        assert!(hit.hit, "lines from the first span stay resident");
+        dmb.end_span();
+        assert_eq!(dmb.span_line_pool.len(), 2);
     }
 
     #[test]

@@ -143,4 +143,90 @@ proptest! {
         prop_assert!(r.dram_bytes() > 0);
         prop_assert!(r.alu_utilization() <= 1.0);
     }
+
+    #[test]
+    fn lane_gating_is_timing_neutral_on_full_width_rows(
+        adj in square_coo(24, 80),
+        seed in 0u64..1000,
+    ) {
+        // When every MAC row fills the 16-lane vector width, the flexible
+        // VRF has nothing to gate or pack, so gating must be a no-op: same
+        // timing, same stalls, same traffic. CWP's lane efficiency is
+        // pinned to 1.0 in both configs (under gating it is derived, so an
+        // imbalance discount below 1.0 would legitimately differ); its
+        // ragged scalar groups still make the energy proxy diverge, so
+        // `mac_lane_ops` is excluded from the comparison.
+        let n = adj.rows();
+        let x = hymm::graph::features::sparse_features(n, 8, 0.6, seed);
+        let model = GcnModel::two_layer(8, 16, 16, seed);
+        let plain = AcceleratorConfig {
+            cwp_lane_efficiency: 1.0,
+            ..AcceleratorConfig::default()
+        };
+        let gated = AcceleratorConfig {
+            lane_gating: true,
+            ..plain.clone()
+        };
+        for df in Dataflow::EXTENDED {
+            let mut a = run_inference(&plain, df, &adj, &x, &model)
+                .expect("shapes consistent")
+                .report;
+            let mut b = run_inference(&gated, df, &adj, &x, &model)
+                .expect("shapes consistent")
+                .report;
+            a.mac_lane_ops = 0;
+            b.mac_lane_ops = 0;
+            prop_assert_eq!(a, b, "gating changed timing for {}", df.label());
+        }
+    }
+}
+
+/// Logical MAC work is invariant under the PE timing knobs, and port
+/// occupancy scales exactly with the initiation interval: a pipelined
+/// deep MAC (II = 1) occupies the port like the latency-1 default, an
+/// unpipelined one multiplies occupancy by its latency. All four dataflows,
+/// audited (the `pe-issue-accounting` invariants run at every phase
+/// boundary).
+#[test]
+fn mac_accounting_is_consistent_across_pipelining() {
+    let adj = hymm::graph::generator::preferential_attachment(60, 240, 3);
+    let x = hymm::graph::features::sparse_features(60, 8, 0.6, 3);
+    // An output width of 5 keeps ragged rows in the mix.
+    let model = GcnModel::two_layer(8, 16, 5, 3);
+    let mk = |latency, pipelined| AcceleratorConfig {
+        audit: true,
+        mac_latency: latency,
+        mac_pipelined: pipelined,
+        ..AcceleratorConfig::default()
+    };
+    for df in Dataflow::EXTENDED {
+        let run = |config: &AcceleratorConfig| {
+            run_inference(config, df, &adj, &x, &model)
+                .expect("shapes consistent")
+                .report
+        };
+        let base = run(&mk(1, false));
+        let pipelined = run(&mk(4, true));
+        let deep = run(&mk(4, false));
+        let label = df.label();
+        assert!(base.mac_ops > 0, "{label}: no MAC work simulated");
+        assert_eq!(
+            base.mac_ops, pipelined.mac_ops,
+            "{label}: ops not invariant"
+        );
+        assert_eq!(base.mac_ops, deep.mac_ops, "{label}: ops not invariant");
+        assert_eq!(
+            pipelined.mac_cycles, base.mac_cycles,
+            "{label}: II=1 pipe must occupy the port like latency 1"
+        );
+        assert_eq!(
+            deep.mac_cycles,
+            4 * base.mac_cycles,
+            "{label}: unpipelined latency 4 must quadruple occupancy"
+        );
+        assert!(
+            pipelined.cycles >= base.cycles,
+            "{label}: extra drain latency cannot make the run faster"
+        );
+    }
 }
