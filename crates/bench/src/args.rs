@@ -1,13 +1,13 @@
 //! Minimal command-line conventions shared by every experiment binary.
 
-use hymm_core::config::SchedulerKind;
+use hymm_core::config::{Preset, SchedulerKind};
 use hymm_graph::datasets::Dataset;
 use hymm_mem::PrefetchPolicy;
 use std::fmt;
 
 /// Usage string printed by `--help` and alongside argument errors.
 pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,YP] [--threads N] \
-     [--audit] [--stalls] [--scheduler stepped|event] \
+     [--audit] [--stalls] [--scheduler stepped|event] [--preset default|tuned] \
      [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
      [--prefetch-mshr-cap K] [--pe-lanes N] [--mac-latency N] \
      [--mac-pipeline] [--lane-gating]";
@@ -18,9 +18,22 @@ pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,
 pub struct ArgError(String);
 
 impl ArgError {
-    fn new(msg: impl Into<String>) -> ArgError {
+    pub(crate) fn new(msg: impl Into<String>) -> ArgError {
         ArgError(msg.into())
     }
+}
+
+/// Parses a `CR,AP,...` dataset-abbreviation list (shared by `--datasets`
+/// here and in the `dse` binary's argument parser).
+pub(crate) fn parse_dataset_list(v: &str) -> Result<Vec<Dataset>, ArgError> {
+    v.split(',')
+        .map(|abbr| {
+            Dataset::ALL
+                .into_iter()
+                .find(|d| d.abbrev().eq_ignore_ascii_case(abbr.trim()))
+                .ok_or_else(|| ArgError::new(format!("unknown dataset {abbr:?}")))
+        })
+        .collect()
 }
 
 impl fmt::Display for ArgError {
@@ -49,9 +62,14 @@ pub struct BenchArgs {
     /// Which simulation core to run (`event` by default; `stepped` keeps
     /// the legacy per-access walk — reports are bit-identical either way).
     pub scheduler: SchedulerKind,
-    /// Hardware-prefetch policy on the DMB miss path (`off` keeps timing
+    /// Named configuration preset applied before every individual knob
+    /// override (`default` reproduces Table III; `tuned` is the best
+    /// iso-area-budget configuration found by the `dse` binary).
+    pub preset: Preset,
+    /// Hardware-prefetch policy override on the DMB miss path (`None` =
+    /// whatever the preset/config default says; `off` keeps timing
     /// bit-identical to a build without the prefetcher).
-    pub prefetch: PrefetchPolicy,
+    pub prefetch: Option<PrefetchPolicy>,
     /// Prefetch degree override (`None` = the `MemConfig` default).
     pub prefetch_degree: Option<usize>,
     /// Prefetch MSHR occupancy cap override (`None` = the `MemConfig`
@@ -79,7 +97,8 @@ impl Default for BenchArgs {
             audit: false,
             stalls: false,
             scheduler: SchedulerKind::Event,
-            prefetch: PrefetchPolicy::Off,
+            preset: Preset::Default,
+            prefetch: None,
             prefetch_degree: None,
             prefetch_mshr_cap: None,
             pe_lanes: None,
@@ -120,15 +139,7 @@ impl BenchArgs {
                     let v = it
                         .next()
                         .ok_or_else(|| ArgError::new("--datasets needs a CR,AP,... list"))?;
-                    out.datasets = v
-                        .split(',')
-                        .map(|abbr| {
-                            Dataset::ALL
-                                .into_iter()
-                                .find(|d| d.abbrev().eq_ignore_ascii_case(abbr.trim()))
-                                .ok_or_else(|| ArgError::new(format!("unknown dataset {abbr:?}")))
-                        })
-                        .collect::<Result<Vec<Dataset>, ArgError>>()?;
+                    out.datasets = parse_dataset_list(&v)?;
                 }
                 "--threads" => {
                     let v = it
@@ -148,15 +159,23 @@ impl BenchArgs {
                         ArgError::new(format!("unknown scheduler {v:?} (stepped, event)"))
                     })?;
                 }
+                "--preset" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--preset needs a preset name"))?;
+                    out.preset = Preset::parse(&v).ok_or_else(|| {
+                        ArgError::new(format!("unknown preset {v:?} (default, tuned)"))
+                    })?;
+                }
                 "--prefetch" => {
                     let v = it
                         .next()
                         .ok_or_else(|| ArgError::new("--prefetch needs a policy name"))?;
-                    out.prefetch = PrefetchPolicy::parse(&v).ok_or_else(|| {
+                    out.prefetch = Some(PrefetchPolicy::parse(&v).ok_or_else(|| {
                         ArgError::new(format!(
                             "unknown prefetch policy {v:?} (off, next-line, smq-stream)"
                         ))
-                    })?;
+                    })?);
                 }
                 "--prefetch-degree" => {
                     let v = it
@@ -232,15 +251,35 @@ impl BenchArgs {
     }
 
     /// Applies the `--prefetch*` options onto a memory configuration,
-    /// leaving unset overrides at the config's own defaults.
+    /// leaving unset overrides at the config's (or active preset's) own
+    /// defaults.
     pub fn apply_prefetch(&self, mem: &mut hymm_mem::MemConfig) {
-        mem.prefetch = self.prefetch;
+        if let Some(p) = self.prefetch {
+            mem.prefetch = p;
+        }
         if let Some(d) = self.prefetch_degree {
             mem.prefetch_degree = d;
         }
         if let Some(k) = self.prefetch_mshr_cap {
             mem.prefetch_mshr_cap = k;
         }
+    }
+
+    /// Builds the full accelerator configuration these arguments describe:
+    /// the preset applied over Table III, then every individual knob
+    /// override on top (so explicit flags always win), plus the audit and
+    /// scheduler selections. Shared by the suite runner and the standalone
+    /// binaries so `--preset tuned` means the same thing everywhere.
+    pub fn accelerator_config(&self) -> hymm_core::config::AcceleratorConfig {
+        let mut config = hymm_core::config::AcceleratorConfig {
+            audit: self.audit,
+            scheduler: self.scheduler,
+            ..hymm_core::config::AcceleratorConfig::default()
+        };
+        self.preset.apply(&mut config);
+        self.apply_prefetch(&mut config.mem);
+        self.apply_pe(&mut config);
+        config
     }
 
     /// Applies the `--pe-lanes`, `--mac-latency`, `--mac-pipeline` and
@@ -387,9 +426,9 @@ mod tests {
     }
 
     #[test]
-    fn prefetch_defaults_to_off_with_no_overrides() {
+    fn prefetch_defaults_to_unset_with_no_overrides() {
         let a = parse(&[]).unwrap();
-        assert_eq!(a.prefetch, PrefetchPolicy::Off);
+        assert_eq!(a.prefetch, None);
         assert_eq!(a.prefetch_degree, None);
         assert_eq!(a.prefetch_mshr_cap, None);
     }
@@ -398,7 +437,7 @@ mod tests {
     fn parses_each_prefetch_policy() {
         for policy in PrefetchPolicy::ALL {
             let a = parse(&["--prefetch", policy.label()]).unwrap();
-            assert_eq!(a.prefetch, policy);
+            assert_eq!(a.prefetch, Some(policy));
         }
     }
 
@@ -491,11 +530,37 @@ mod tests {
             .apply_prefetch(&mut mem);
         assert_eq!(mem.prefetch, PrefetchPolicy::SmqStream);
         assert_eq!((mem.prefetch_degree, mem.prefetch_mshr_cap), defaults);
+        // An unset --prefetch leaves the policy alone (so a preset's choice
+        // survives) while degree/cap overrides still land.
         parse(&["--prefetch-degree", "3", "--prefetch-mshr-cap", "2"])
             .unwrap()
             .apply_prefetch(&mut mem);
-        assert_eq!(mem.prefetch, PrefetchPolicy::Off);
+        assert_eq!(mem.prefetch, PrefetchPolicy::SmqStream);
         assert_eq!(mem.prefetch_degree, 3);
         assert_eq!(mem.prefetch_mshr_cap, 2);
+    }
+
+    #[test]
+    fn preset_defaults_to_table_iii_and_parses_tuned() {
+        assert_eq!(parse(&[]).unwrap().preset, Preset::Default);
+        assert_eq!(parse(&["--preset", "tuned"]).unwrap().preset, Preset::Tuned);
+        let e = parse(&["--preset", "mystery"]).unwrap_err();
+        assert!(e.to_string().contains("unknown preset"), "{e}");
+    }
+
+    #[test]
+    fn accelerator_config_applies_preset_under_explicit_flags() {
+        // Preset alone: the tuned configuration lands as-is.
+        let tuned = parse(&["--preset", "tuned"]).unwrap().accelerator_config();
+        let mut expect = hymm_core::config::AcceleratorConfig::default();
+        Preset::Tuned.apply(&mut expect);
+        assert_eq!(tuned, expect);
+        assert!(tuned.validate().is_ok());
+        // Explicit flags win over the preset's choices.
+        let overridden = parse(&["--preset", "tuned", "--prefetch", "off", "--pe-lanes", "16"])
+            .unwrap()
+            .accelerator_config();
+        assert_eq!(overridden.mem.prefetch, PrefetchPolicy::Off);
+        assert_eq!(overridden.num_pes, 16);
     }
 }

@@ -54,6 +54,9 @@ fn main() {
     for mshr in [4usize, 16, 32, 64] {
         let mut cfg = AcceleratorConfig::default();
         cfg.mem.mshr_count = mshr;
+        // Keep the (prefetch-off, timing-inert) cap under the swept pool so
+        // the configuration validates at every grid point.
+        cfg.mem.prefetch_mshr_cap = cfg.mem.prefetch_mshr_cap.min(mshr - 1);
         jobs.push(("MSHR count", mshr.to_string(), cfg));
     }
     for class in [true, false] {

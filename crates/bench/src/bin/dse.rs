@@ -1,0 +1,28 @@
+//! `dse` — stall-guided design-space exploration over the accelerator's
+//! configuration surface (see `hymm_bench::dse`).
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin dse -- \
+//!     [--scale N] [--screen-scale N] [--datasets CR,AP] [--threads N] \
+//!     [--audit] [--eta N] [--area-budget F] [--space tiny|default] \
+//!     [--max-candidates N]
+//! ```
+//!
+//! Prints the per-dataflow Pareto fronts over (suite cycles, area) with
+//! energy alongside, the pruning/memo counters, and the winning
+//! configuration — the one the bench binaries' `--preset tuned` applies.
+
+use hymm_bench::dse::{run, DseArgs, DSE_USAGE};
+
+fn main() {
+    let args = match DseArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{DSE_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = run(&args);
+    println!("{}", outcome.render());
+}

@@ -19,7 +19,9 @@
 //! every run, divided by the serial wall-clock) so the perf trajectory
 //! stays comparable across PRs even when the suite's composition changes.
 
-use hymm_bench::{pe_sweep, pool, run_dataset_with, run_suite, BenchArgs, DatasetResults};
+use hymm_bench::{dse, pe_sweep, pool, run_dataset_with, run_suite, BenchArgs, DatasetResults};
+use hymm_core::area::estimate_area;
+use hymm_core::config::{AcceleratorConfig, Preset};
 use hymm_core::stats::StallBreakdown;
 use hymm_graph::datasets::Dataset;
 use hymm_mem::PrefetchPolicy;
@@ -148,7 +150,7 @@ fn main() {
                 scale: Some(300),
                 datasets: vec![Dataset::Cora],
                 threads: 1,
-                prefetch: policy,
+                prefetch: Some(policy),
                 ..BenchArgs::default()
             };
             let t0 = Instant::now();
@@ -186,6 +188,84 @@ fn main() {
         "{{ \"dataset\": \"CR\", \"scale\": 300, \"dataflow\": \"OP\", {} }}",
         prefetch_impact.join(", ")
     );
+
+    // Tuned-preset before/after at a fixed reference point — the paper's
+    // three dataflows on CR+AP at --scale 300, Table III default versus
+    // `--preset tuned` — recording the measured speedup the DSE's winning
+    // configuration delivers, alongside its area cost. Cycle counts are
+    // deterministic, so one pass per preset suffices.
+    eprintln!("[perf_report] tuned preset before/after (CR,AP --scale 300) ...");
+    let mut preset_combined = Vec::new();
+    let tuned_sections: Vec<String> = Preset::ALL
+        .into_iter()
+        .map(|preset| {
+            let preset_args = BenchArgs {
+                scale: Some(300),
+                datasets: vec![Dataset::Cora, Dataset::AmazonPhoto],
+                threads: 1,
+                preset,
+                ..BenchArgs::default()
+            };
+            let results = run_suite(&preset_args);
+            let totals: Vec<(String, u64)> = ["OP", "RWP", "HyMM"]
+                .iter()
+                .map(|label| {
+                    let cycles = results
+                        .iter()
+                        .map(|d| {
+                            d.run(label)
+                                .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+                                .report
+                                .cycles
+                        })
+                        .sum();
+                    (label.to_string(), cycles)
+                })
+                .collect();
+            let (op_miss, op_cycles) = results.iter().fold((0u64, 0u64), |(m, c), d| {
+                let r = &d
+                    .run("OP")
+                    .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))
+                    .report;
+                (m + r.stalls.dmb_miss, c + r.cycles)
+            });
+            let combined: u64 = totals.iter().map(|(_, c)| c).sum();
+            preset_combined.push(combined);
+            let mut config = AcceleratorConfig::default();
+            preset.apply(&mut config);
+            let cycles_json: Vec<String> = totals
+                .iter()
+                .map(|(label, c)| format!("\"{label}\": {c}"))
+                .collect();
+            format!(
+                "\"{}\": {{ \"cycles\": {{ {} }}, \"combined_cycles\": {combined}, \
+                 \"op_dmb_miss_share\": {:.4}, \"area_7nm\": {:.4} }}",
+                preset.label(),
+                cycles_json.join(", "),
+                op_miss as f64 / op_cycles.max(1) as f64,
+                estimate_area(&config).total_7nm(),
+            )
+        })
+        .collect();
+    let tuned_impact = format!(
+        "{{ \"datasets\": [\"CR\", \"AP\"], \"scale\": 300, {}, \"tuned_speedup\": {:.4} }}",
+        tuned_sections.join(", "),
+        preset_combined[0] as f64 / preset_combined[1].max(1) as f64,
+    );
+
+    // A small reference DSE run (tiny space) so the explorer's Pareto
+    // fronts and pruning counters land in the committed report; the full
+    // default-space search is a manual `dse` invocation.
+    eprintln!("[perf_report] dse reference run (tiny space, CR --scale 300) ...");
+    let dse_json = dse::run(&dse::DseArgs {
+        scale: 300,
+        screen_scale: 100,
+        datasets: vec![Dataset::Cora],
+        threads: 1,
+        space: dse::SpaceKind::Tiny,
+        ..dse::DseArgs::default()
+    })
+    .to_json();
 
     // PE sweep over the same suite configuration, with lane gating on so
     // the recorded table shows where the flexible VRF moves the mac-bound
@@ -227,7 +307,7 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"scheduler\": \"{}\",\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"events_scheduled\": {},\n  \"events_coalesced\": {},\n  \"cycles_skipped\": {},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"pe_sweep\": {pe_sweep_json},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"suite\": \"hymm-bench run_suite\",\n  \"scale\": {},\n  \"datasets\": [{}],\n  \"host_parallelism\": {},\n  \"reps\": {REPS},\n  \"scheduler\": \"{}\",\n  \"serial_threads\": 1,\n  \"serial_seconds\": {serial_s:.3},\n  \"per_dataset_serial_seconds\": {{ {} }},\n  \"sim_cycles_total\": {sim_cycles_total},\n  \"sim_cycles_per_second\": {sim_cycles_per_second:.3e},\n  \"events_scheduled\": {},\n  \"events_coalesced\": {},\n  \"cycles_skipped\": {},\n  \"stall_cycles\": {{ {} }},\n  \"prefetch_impact\": {prefetch_impact},\n  \"tuned_preset\": {tuned_impact},\n  \"dse\": {dse_json},\n  \"pe_sweep\": {pe_sweep_json},\n  \"baseline_serial_seconds\": {baseline},\n  \"serial_speedup_vs_baseline\": {vs_baseline},\n  \"parallel_threads\": {threads},\n  \"parallel_seconds\": {parallel_s:.3},\n  \"parallel_speedup\": {parallel_speedup:.3},\n  \"identical_results\": {identical}\n}}\n",
         args.scale.map_or("null".to_string(), |n| n.to_string()),
         datasets.join(", "),
         pool::default_threads(),

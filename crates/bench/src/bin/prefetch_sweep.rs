@@ -27,7 +27,7 @@ fn main() {
         .map(|policy| {
             eprintln!("[prefetch_sweep] policy {} ...", policy.label());
             let args = BenchArgs {
-                prefetch: policy,
+                prefetch: Some(policy),
                 ..base.clone()
             };
             (policy, run_suite(&args))

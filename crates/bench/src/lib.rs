@@ -31,6 +31,7 @@
 //! | `all_experiments` | everything above, one shared simulation pass |
 
 pub mod args;
+pub mod dse;
 pub mod export;
 pub mod figures;
 pub mod pe_sweep;

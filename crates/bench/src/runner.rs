@@ -141,13 +141,7 @@ fn prepare_dataset(dataset: Dataset, args: &BenchArgs) -> PreparedDataset {
     let degrees = DegreeDistribution::measure(&workload.adjacency);
 
     let sorted = degree_sort(&workload.adjacency).expect("adjacency is square");
-    let mut config = AcceleratorConfig {
-        audit: args.audit,
-        scheduler: args.scheduler,
-        ..AcceleratorConfig::default()
-    };
-    args.apply_prefetch(&mut config.mem);
-    args.apply_pe(&mut config);
+    let config = args.accelerator_config();
     let tiling = TilingConfig {
         threshold_fraction: config.tiling_fraction,
         dmb_capacity_rows: Some(config.dmb_capacity_rows(spec.layer_dim)),
@@ -326,7 +320,7 @@ mod tests {
             datasets: vec![Dataset::Cora],
             threads: 1,
             audit: true,
-            prefetch: hymm_mem::PrefetchPolicy::SmqStream,
+            prefetch: Some(hymm_mem::PrefetchPolicy::SmqStream),
             ..BenchArgs::default()
         };
         let results = run_suite(&args);

@@ -28,6 +28,7 @@ fn histogram_shapes_match_golden() {
     config.mem.trace = true;
     config.mem.dmb_bytes = 2048;
     config.mem.mshr_count = 4;
+    config.mem.prefetch_mshr_cap = 2;
 
     let report = run_inference(&config, Dataflow::Outer, &adj, &x, &model)
         .unwrap()

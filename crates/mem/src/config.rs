@@ -1,6 +1,7 @@
 //! Memory-subsystem configuration.
 
 use crate::prefetch::PrefetchPolicy;
+use hymm_sparse::SparseError;
 
 /// Configuration of the off-chip memory and all on-chip buffers, defaulting
 /// to the paper's Table III parameters at a 1 GHz accelerator clock.
@@ -88,6 +89,52 @@ impl Default for MemConfig {
 }
 
 impl MemConfig {
+    /// Validates the memory-side parameters, returning
+    /// [`SparseError::InvalidConfig`] for values that would otherwise panic
+    /// deep inside construction or silently corrupt the line math:
+    ///
+    /// - `line_bytes == 0` (every capacity below divides by it);
+    /// - `dmb_bytes` zero or not a multiple of `line_bytes` (the line table
+    ///   is sized in whole lines — a ragged buffer would silently truncate);
+    /// - `mshr_count == 0` (the DMB cannot admit a single miss);
+    /// - `lsq_entries == 0` (no load could ever be queued);
+    /// - `prefetch_mshr_cap >= mshr_count` (the demand-priority contract
+    ///   reserves at least one MSHR for demand misses; the DMB used to clamp
+    ///   this silently, which configuration generators cannot observe).
+    ///
+    /// Config generators — the DSE in particular — rely on this instead of
+    /// re-checking knob combinations themselves.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.line_bytes == 0 {
+            return Err(SparseError::InvalidConfig(
+                "line_bytes must be at least 1".to_string(),
+            ));
+        }
+        if self.dmb_bytes == 0 || !self.dmb_bytes.is_multiple_of(self.line_bytes) {
+            return Err(SparseError::InvalidConfig(format!(
+                "dmb_bytes must be a positive multiple of line_bytes ({}), got {}",
+                self.line_bytes, self.dmb_bytes
+            )));
+        }
+        if self.mshr_count == 0 {
+            return Err(SparseError::InvalidConfig(
+                "mshr_count must be at least 1".to_string(),
+            ));
+        }
+        if self.lsq_entries == 0 {
+            return Err(SparseError::InvalidConfig(
+                "lsq_entries must be at least 1".to_string(),
+            ));
+        }
+        if self.prefetch_mshr_cap >= self.mshr_count {
+            return Err(SparseError::InvalidConfig(format!(
+                "prefetch_mshr_cap ({}) must leave at least one of the {} MSHRs for demand misses",
+                self.prefetch_mshr_cap, self.mshr_count
+            )));
+        }
+        Ok(())
+    }
+
     /// Number of 64-byte lines the DMB can hold.
     pub fn dmb_lines(&self) -> usize {
         self.dmb_bytes / self.line_bytes
@@ -135,6 +182,74 @@ mod tests {
             c.prefetch_mshr_cap < c.mshr_count,
             "the prefetch cap must leave MSHRs for demand misses"
         );
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(MemConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_ragged_or_zero_dmb() {
+        for (dmb, line) in [(0usize, 64usize), (100, 64), (256, 0)] {
+            let c = MemConfig {
+                dmb_bytes: dmb,
+                line_bytes: line,
+                ..MemConfig::default()
+            };
+            match c.validate() {
+                Err(SparseError::InvalidConfig(msg)) => {
+                    assert!(
+                        msg.contains("dmb_bytes") || msg.contains("line_bytes"),
+                        "msg: {msg}"
+                    )
+                }
+                other => panic!("expected InvalidConfig for dmb={dmb} line={line}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_mshrs_and_lsq_entries() {
+        for (mshr, lsq, want) in [(0usize, 128usize, "mshr_count"), (32, 0, "lsq_entries")] {
+            let c = MemConfig {
+                mshr_count: mshr,
+                lsq_entries: lsq,
+                ..MemConfig::default()
+            };
+            match c.validate() {
+                Err(SparseError::InvalidConfig(msg)) => assert!(msg.contains(want), "msg: {msg}"),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_prefetch_cap_that_starves_demand() {
+        // cap == mshr_count and cap > mshr_count both leave no demand MSHR.
+        for cap in [4usize, 9] {
+            let c = MemConfig {
+                mshr_count: 4,
+                prefetch_mshr_cap: cap,
+                ..MemConfig::default()
+            };
+            match c.validate() {
+                Err(SparseError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("prefetch_mshr_cap"), "msg: {msg}")
+                }
+                other => panic!("expected InvalidConfig for cap {cap}, got {other:?}"),
+            }
+        }
+        // cap strictly below the MSHR count is fine, including zero (which
+        // simply disables speculative occupancy).
+        for cap in [0usize, 3] {
+            let c = MemConfig {
+                mshr_count: 4,
+                prefetch_mshr_cap: cap,
+                ..MemConfig::default()
+            };
+            assert!(c.validate().is_ok(), "cap {cap} should validate");
+        }
     }
 
     #[test]

@@ -222,6 +222,12 @@ fn main() {
     let mut config = AcceleratorConfig::default();
     config.mem.dmb_bytes = opt.dmb_kb * 1024;
     config.mem.mshr_count = opt.mshrs;
+    // A small --mshrs value must still leave a demand MSHR below the
+    // (prefetch-off, timing-inert) speculative cap or validation rejects it.
+    config.mem.prefetch_mshr_cap = config
+        .mem
+        .prefetch_mshr_cap
+        .min(opt.mshrs.saturating_sub(1));
     config.lsq_forwarding = opt.forwarding;
     config.scheduler = opt.scheduler;
     config.tiling_fraction = opt.tiling;

@@ -149,6 +149,7 @@ fn tiny_buffer_configuration_is_still_exact() {
     config.mem = hymm_mem::MemConfig {
         dmb_bytes: 4 * 1024,
         mshr_count: 2,
+        prefetch_mshr_cap: 1,
         lsq_entries: 8,
         ..config.mem
     };

@@ -120,6 +120,9 @@ fn timing_golden_tiny_dmb_evictions() {
     let mut config = AcceleratorConfig::default();
     config.mem.dmb_bytes = 2048;
     config.mem.mshr_count = 4;
+    // Demand-priority validation requires the (inert, prefetch-off) cap to
+    // stay below the shrunken MSHR pool.
+    config.mem.prefetch_mshr_cap = 2;
     let got = fingerprint(&config, &adj, &x, &model);
     assert!(
         got.iter()
