@@ -10,7 +10,8 @@ pub const USAGE: &str = "usage: <bin> [--scale N] [--datasets CR,AP,AC,CS,PH,FR,
      [--audit] [--stalls] [--scheduler stepped|event] [--preset default|tuned] \
      [--prefetch off|next-line|smq-stream] [--prefetch-degree N] \
      [--prefetch-mshr-cap K] [--pe-lanes N] [--mac-latency N] \
-     [--mac-pipeline] [--lane-gating]";
+     [--mac-pipeline] [--lane-gating] [--metrics-interval CYCLES] \
+     [--quiet] [-v|--verbose]";
 
 /// A malformed command line. Binaries print this (plus [`USAGE`]) and exit
 /// with status 2.
@@ -86,6 +87,14 @@ pub struct BenchArgs {
     /// Per-lane operand gating (flexible VRF): short rows charge only
     /// occupied lanes' energy and may be packed several to an issue slot.
     pub lane_gating: bool,
+    /// Interval-sampled telemetry: sample component gauges every this many
+    /// cycles into `SimReport::metrics` (`None` = off, the pinned
+    /// bit-identical default).
+    pub metrics_interval: Option<u64>,
+    /// Silence progress output (`--quiet`); errors still print.
+    pub quiet: bool,
+    /// Enable diagnostic detail (`-v`/`--verbose`).
+    pub verbose: bool,
 }
 
 impl Default for BenchArgs {
@@ -105,6 +114,9 @@ impl Default for BenchArgs {
             mac_latency: None,
             mac_pipeline: false,
             lane_gating: false,
+            metrics_interval: None,
+            quiet: false,
+            verbose: false,
         }
     }
 }
@@ -227,6 +239,22 @@ impl BenchArgs {
                 }
                 "--mac-pipeline" => out.mac_pipeline = true,
                 "--lane-gating" => out.lane_gating = true,
+                "--metrics-interval" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::new("--metrics-interval needs a cycle count"))?;
+                    let n: u64 = v.parse().map_err(|_| {
+                        ArgError::new(format!(
+                            "--metrics-interval needs a positive integer, got {v:?}"
+                        ))
+                    })?;
+                    if n == 0 {
+                        return Err(ArgError::new("--metrics-interval must be at least 1"));
+                    }
+                    out.metrics_interval = Some(n);
+                }
+                "--quiet" => out.quiet = true,
+                "-v" | "--verbose" => out.verbose = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -238,15 +266,36 @@ impl BenchArgs {
                 }
             }
         }
+        if out.quiet && out.verbose {
+            return Err(ArgError::new(
+                "--quiet and --verbose are mutually exclusive",
+            ));
+        }
         Ok(out)
     }
 
     /// Parses from the process arguments; on a malformed command line prints
-    /// the error plus [`USAGE`] to stderr and exits with status 2.
+    /// the error plus [`USAGE`] to stderr and exits with status 2. Also
+    /// applies the `--quiet`/`--verbose` selection to the process-wide
+    /// logger (see [`crate::log`]).
     pub fn from_env() -> BenchArgs {
         match BenchArgs::parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                crate::log::set_level(args.log_level());
+                args
+            }
             Err(e) => exit_usage(&e),
+        }
+    }
+
+    /// Logger level implied by the `--quiet`/`--verbose` flags.
+    pub fn log_level(&self) -> crate::log::Level {
+        if self.quiet {
+            crate::log::Level::Quiet
+        } else if self.verbose {
+            crate::log::Level::Verbose
+        } else {
+            crate::log::Level::Progress
         }
     }
 
@@ -279,6 +328,12 @@ impl BenchArgs {
         self.preset.apply(&mut config);
         self.apply_prefetch(&mut config.mem);
         self.apply_pe(&mut config);
+        if let Some(every) = self.metrics_interval {
+            config.metrics = Some(hymm_mem::metrics::MetricsConfig {
+                sample_every: every,
+                ..hymm_mem::metrics::MetricsConfig::default()
+            });
+        }
         config
     }
 
@@ -538,6 +593,44 @@ mod tests {
         assert_eq!(mem.prefetch, PrefetchPolicy::SmqStream);
         assert_eq!(mem.prefetch_degree, 3);
         assert_eq!(mem.prefetch_mshr_cap, 2);
+    }
+
+    #[test]
+    fn metrics_interval_defaults_off_and_parses() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.metrics_interval, None);
+        assert_eq!(a.accelerator_config().metrics, None);
+        let a = parse(&["--metrics-interval", "2048"]).unwrap();
+        assert_eq!(a.metrics_interval, Some(2048));
+        let config = a.accelerator_config();
+        let m = config.metrics.expect("sampling enabled");
+        assert_eq!(m.sample_every, 2048);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_or_negative_metrics_interval() {
+        // Zero at parse time, negative via the unsigned grammar; both land
+        // before any config is built, matching the PR 7/8 knob pattern
+        // (AcceleratorConfig::validate rejects the same values with
+        // SparseError::InvalidConfig for non-CLI construction).
+        let e = parse(&["--metrics-interval", "0"]).unwrap_err();
+        assert!(e.to_string().contains("at least 1"), "{e}");
+        let e = parse(&["--metrics-interval", "-5"]).unwrap_err();
+        assert!(e.to_string().contains("positive integer"), "{e}");
+        let e = parse(&["--metrics-interval"]).unwrap_err();
+        assert!(e.to_string().contains("needs a cycle count"), "{e}");
+    }
+
+    #[test]
+    fn log_flags_parse_and_map_to_levels() {
+        use crate::log::Level;
+        assert_eq!(parse(&[]).unwrap().log_level(), Level::Progress);
+        assert_eq!(parse(&["--quiet"]).unwrap().log_level(), Level::Quiet);
+        assert_eq!(parse(&["-v"]).unwrap().log_level(), Level::Verbose);
+        assert_eq!(parse(&["--verbose"]).unwrap().log_level(), Level::Verbose);
+        let e = parse(&["--quiet", "-v"]).unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
     }
 
     #[test]

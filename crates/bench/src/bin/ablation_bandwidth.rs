@@ -42,7 +42,7 @@ fn main() {
 
     let settings = [(1usize, 32u64), (1, 64), (2, 64), (4, 64)];
     for (channels, bpc) in settings {
-        eprintln!("[ablation] {channels} x {bpc} B/cyc ...");
+        hymm_bench::progress!("[ablation] {channels} x {bpc} B/cyc ...");
     }
     // One job per (bandwidth setting, dataflow); setting-major order lets
     // the rows below read each setting's three reports consecutively.

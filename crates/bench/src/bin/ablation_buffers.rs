@@ -78,7 +78,7 @@ fn main() {
     }
 
     for (knob, setting, _) in &jobs {
-        eprintln!("[ablation] {knob}: {setting} ...");
+        hymm_bench::progress!("[ablation] {knob}: {setting} ...");
     }
     let reports = pool::map_indexed(args.worker_threads(), &jobs, |_, (_, _, cfg)| {
         simulate(cfg, &w)

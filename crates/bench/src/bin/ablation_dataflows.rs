@@ -30,7 +30,7 @@ fn main() {
     let energy = EnergyModel::default();
 
     for d in &args.datasets {
-        eprintln!("[ablation] {} ...", d.name());
+        hymm_bench::progress!("[ablation] {} ...", d.name());
     }
     // Synthesise and prepare each dataset once; the four dataflow jobs
     // share the preparation immutably instead of re-normalising per run.

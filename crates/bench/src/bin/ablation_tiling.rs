@@ -34,7 +34,7 @@ fn main() {
 
     let percents = [0u32, 5, 10, 15, 20, 30, 50, 75, 100];
     for percent in percents {
-        eprintln!("[ablation] fraction {percent}% ...");
+        hymm_bench::progress!("[ablation] fraction {percent}% ...");
     }
     let reports = pool::map_indexed(args.worker_threads(), &percents, |_, &percent| {
         let cfg = AcceleratorConfig {

@@ -19,7 +19,7 @@ fn main() {
     if let Some(dir) = &csv_dir {
         export::write_csvs(&results, dir)
             .unwrap_or_else(|e| hymm_bench::args::exit_fatal(&format!("csv export: {e}")));
-        eprintln!("[hymm-bench] wrote CSV files to {}", dir.display());
+        hymm_bench::progress!("[hymm-bench] wrote CSV files to {}", dir.display());
     }
     let fallible = |r: Result<String, runner::MissingRunError>| {
         r.unwrap_or_else(|e| hymm_bench::args::exit_fatal(&e))

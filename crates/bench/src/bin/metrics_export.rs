@@ -1,0 +1,134 @@
+//! Exports interval-sampled telemetry for a suite run: Prometheus text
+//! exposition plus a JSON time-series sidecar.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin metrics_export -- \
+//!     [--scale N] [--datasets CR,AP] [--metrics-interval CYCLES] \
+//!     [--out BASENAME] [--check] [other hymm-bench options]
+//! ```
+//!
+//! Runs the standard suite with metrics sampling forced on (default
+//! interval when `--metrics-interval` is not given) and writes two files:
+//!
+//! - `<out>.prom` — end-of-run totals and per-interval DMB hit-rate
+//!   histograms in Prometheus text exposition format 0.0.4, one labelled
+//!   series per (dataset, dataflow) run — scrape-ready for `hymm-serve`;
+//! - `<out>.json` — the full per-interval time series of every run
+//!   (stall-class deltas, DMB/MSHR/LSQ occupancy, DRAM busy fractions,
+//!   PE utilisation, prefetch counters).
+//!
+//! `--check` re-reads both files: the JSON through the dependency-free
+//! validator ([`metrics_json::validate_metrics_json`]), the Prometheus text
+//! for exposition-format `# TYPE` headers, and — when the ring never
+//! overflowed — asserts each run's per-interval stall deltas sum exactly to
+//! its end-of-run waterfall totals. The CI smoke step runs with it on.
+
+use hymm_bench::{metrics_json, BenchArgs};
+use hymm_core::metrics::{registry_from_report, MetricsData, MetricsRegistry};
+use std::io::Write as _;
+use std::process::exit;
+
+fn main() {
+    // Split off the bin-local options; everything else is standard
+    // hymm-bench argument syntax handled by `BenchArgs::parse`.
+    let mut out_base = "METRICS".to_string();
+    let mut check = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut env = std::env::args().skip(1);
+    while let Some(arg) = env.next() {
+        match arg.as_str() {
+            "--out" => match env.next() {
+                Some(v) => out_base = v,
+                None => {
+                    eprintln!("error: --out needs a value");
+                    exit(2);
+                }
+            },
+            "--check" => check = true,
+            _ => rest.push(arg),
+        }
+    }
+    let mut args = match BenchArgs::parse(rest) {
+        Ok(args) => args,
+        Err(e) => hymm_bench::args::exit_usage(&e),
+    };
+    hymm_bench::log::set_level(args.log_level());
+    // Telemetry is the whole point of this binary: force sampling on.
+    args.metrics_interval
+        .get_or_insert(hymm_mem::MetricsConfig::default().sample_every);
+
+    let results = hymm_bench::run_suite(&args);
+
+    let mut reg = MetricsRegistry::new();
+    let mut series: Vec<(String, MetricsData)> = Vec::new();
+    for d in &results {
+        for run in &d.runs {
+            let label = format!("{}/{}", d.spec.dataset.abbrev(), run.label);
+            registry_from_report(&mut reg, &label, &run.report);
+            let data = run
+                .report
+                .metrics
+                .as_deref()
+                .cloned()
+                .expect("metrics sampling was forced on, so every report carries series");
+            series.push((label, data));
+        }
+    }
+
+    let prom = reg.render_prometheus();
+    let prom_path = format!("{out_base}.prom");
+    let mut f = std::fs::File::create(&prom_path).expect("create .prom output");
+    f.write_all(prom.as_bytes()).expect("write .prom output");
+
+    let borrowed: Vec<(String, &MetricsData)> =
+        series.iter().map(|(l, d)| (l.clone(), d)).collect();
+    let json = metrics_json::metrics_json(&borrowed);
+    let json_path = format!("{out_base}.json");
+    let mut f = std::fs::File::create(&json_path).expect("create .json output");
+    f.write_all(json.as_bytes()).expect("write .json output");
+
+    let samples: usize = series.iter().map(|(_, d)| d.samples.len()).sum();
+    println!(
+        "wrote {prom_path} ({} bytes) and {json_path} ({} bytes): {} runs, {samples} samples",
+        prom.len(),
+        json.len(),
+        series.len()
+    );
+
+    if check {
+        match metrics_json::validate_metrics_json(&json) {
+            Ok(n) => println!("validated: {n} samples, all with ts + 8 stall classes"),
+            Err(e) => {
+                eprintln!("error: written metrics JSON failed validation: {e}");
+                exit(1);
+            }
+        }
+        if !prom.contains("# TYPE ") || !prom.contains("hymm_cycles_total") {
+            eprintln!("error: written Prometheus text is missing TYPE headers");
+            exit(1);
+        }
+        // Accounting: per-interval stall deltas must telescope back to the
+        // end-of-run waterfall exactly (unless the ring overflowed, in
+        // which case the series is declaredly inexact).
+        let runs_flat: Vec<_> = results.iter().flat_map(|d| d.runs.iter()).collect();
+        for (run, (label, data)) in runs_flat.iter().zip(&series) {
+            if data.dropped > 0 {
+                println!(
+                    "note: {label} dropped {} samples; sums are inexact",
+                    data.dropped
+                );
+                continue;
+            }
+            let sums = data.stall_sums();
+            let want = run.report.stalls.as_array().map(|v| v as i64);
+            if sums != want {
+                eprintln!(
+                    "error: {label}: per-interval stall deltas {sums:?} do not sum to \
+                     the report waterfall {want:?}"
+                );
+                exit(1);
+            }
+        }
+        println!("accounting: per-interval stall deltas sum to the report waterfalls");
+    }
+}

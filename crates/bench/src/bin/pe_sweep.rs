@@ -32,7 +32,7 @@ fn main() {
 
     // Differential pin: the grid's 16x1 point must reproduce the default
     // PE bit-for-bit, even with gating or pipelining requested.
-    eprintln!("[pe_sweep] checking 16x1 grid point against the default PE ...");
+    hymm_bench::progress!("[pe_sweep] checking 16x1 grid point against the default PE ...");
     let reference = run_suite(&BenchArgs {
         pe_lanes: None,
         mac_latency: None,
@@ -43,7 +43,7 @@ fn main() {
     if !results_match(&rows[base_idx].results, &reference) {
         exit_fatal(&"16x1 grid point diverged from the default PE configuration");
     }
-    eprintln!("[pe_sweep] baseline identical to default: ok");
+    hymm_bench::progress!("[pe_sweep] baseline identical to default: ok");
 
     println!("{}", pe_sweep::render(&rows));
 }

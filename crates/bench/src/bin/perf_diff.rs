@@ -1,0 +1,75 @@
+//! Compares two `BENCH_host.json` reports and fails on perf regressions.
+//!
+//! ```text
+//! cargo run --release -p hymm-bench --bin perf_diff -- \
+//!     BASELINE.json CANDIDATE.json \
+//!     [--tol-seconds PCT] [--tol-cycles PCT] [--tol-throughput PCT]
+//! ```
+//!
+//! Prints a per-field table (see [`perf_diff::diff_reports`] for the field
+//! families and their regression directions) and exits non-zero when any
+//! field moves beyond its family tolerance in the regressing direction —
+//! the CI perf gate runs this against the committed baseline report.
+//!
+//! Exit status: 0 clean, 1 regression detected, 2 usage/IO/parse error.
+
+use hymm_bench::perf_diff::{self, Tolerances};
+use std::process::exit;
+
+const USAGE: &str = "usage: perf_diff BASELINE.json CANDIDATE.json [options]
+
+Options:
+  --tol-seconds PCT     allowed wall-clock increase, percent (default 50)
+  --tol-cycles PCT      allowed simulated-cycle increase, percent (default 5)
+  --tol-throughput PCT  allowed throughput decrease, percent (default 50)
+  --help                show this help
+";
+
+fn main() {
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        exit(2);
+    };
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut pct = |name: &str| -> f64 {
+            let v = args
+                .next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a percentage")));
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("{name} needs a number, got {v:?}")))
+        };
+        match arg.as_str() {
+            "--tol-seconds" => tol.seconds_pct = pct("--tol-seconds"),
+            "--tol-cycles" => tol.cycles_pct = pct("--tol-cycles"),
+            "--tol-throughput" => tol.throughput_pct = pct("--tol-throughput"),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            other if other.starts_with("--") => fail(&format!("unknown argument {other:?}")),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        fail("expected exactly two report paths");
+    }
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+    };
+    let (base, new) = (read(&paths[0]), read(&paths[1]));
+
+    match perf_diff::diff_reports(&base, &new, tol) {
+        Ok(diff) => {
+            print!("{}", diff.render_table());
+            if diff.has_regression() {
+                eprintln!("perf_diff: REGRESSION — candidate exceeds tolerance");
+                exit(1);
+            }
+            println!("perf_diff: ok");
+        }
+        Err(e) => fail(&e),
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
     let args = BenchArgs::from_env();
     let threads = args.worker_threads();
 
-    eprintln!("[perf_report] serial pass (--threads 1, best of {REPS}) ...");
+    hymm_bench::progress!("[perf_report] serial pass (--threads 1, best of {REPS}) ...");
     let (serial_results, mut per_dataset_s, mut serial_s) = serial_pass(&args);
     for _ in 1..REPS {
         let (results, per, total) = serial_pass(&args);
@@ -81,7 +81,7 @@ fn main() {
         }
     }
 
-    eprintln!("[perf_report] parallel pass (--threads {threads}, best of {REPS}) ...");
+    hymm_bench::progress!("[perf_report] parallel pass (--threads {threads}, best of {REPS}) ...");
     // Both passes run un-audited so the two timings stay comparable.
     let parallel_args = BenchArgs {
         threads,
@@ -142,7 +142,9 @@ fn main() {
     // requested suite configuration. Like the suite passes, each policy
     // runs [`REPS`] times with the minimum wall-clock reported (the cycle
     // counts and stall shares are deterministic and asserted so per rep).
-    eprintln!("[perf_report] prefetch before/after (OP on CR --scale 300, best of {REPS}) ...");
+    hymm_bench::progress!(
+        "[perf_report] prefetch before/after (OP on CR --scale 300, best of {REPS}) ..."
+    );
     let prefetch_impact: Vec<String> = [PrefetchPolicy::Off, PrefetchPolicy::SmqStream]
         .into_iter()
         .map(|policy| {
@@ -194,7 +196,7 @@ fn main() {
     // `--preset tuned` — recording the measured speedup the DSE's winning
     // configuration delivers, alongside its area cost. Cycle counts are
     // deterministic, so one pass per preset suffices.
-    eprintln!("[perf_report] tuned preset before/after (CR,AP --scale 300) ...");
+    hymm_bench::progress!("[perf_report] tuned preset before/after (CR,AP --scale 300) ...");
     let mut preset_combined = Vec::new();
     let tuned_sections: Vec<String> = Preset::ALL
         .into_iter()
@@ -256,7 +258,7 @@ fn main() {
     // A small reference DSE run (tiny space) so the explorer's Pareto
     // fronts and pruning counters land in the committed report; the full
     // default-space search is a manual `dse` invocation.
-    eprintln!("[perf_report] dse reference run (tiny space, CR --scale 300) ...");
+    hymm_bench::progress!("[perf_report] dse reference run (tiny space, CR --scale 300) ...");
     let dse_json = dse::run(&dse::DseArgs {
         scale: 300,
         screen_scale: 100,
@@ -271,7 +273,7 @@ fn main() {
     // the recorded table shows where the flexible VRF moves the mac-bound
     // wall (the 16x1 row is bit-identical to the default PE at the suite's
     // uniform layer width of 16; `pe_sweep`'s own binary asserts that).
-    eprintln!("[perf_report] PE sweep (lanes x latency, gated) ...");
+    hymm_bench::progress!("[perf_report] PE sweep (lanes x latency, gated) ...");
     let pe_args = BenchArgs {
         audit: false,
         lane_gating: true,

@@ -25,7 +25,7 @@ fn main() {
     let sweeps: Vec<(PrefetchPolicy, _)> = PrefetchPolicy::ALL
         .into_iter()
         .map(|policy| {
-            eprintln!("[prefetch_sweep] policy {} ...", policy.label());
+            hymm_bench::progress!("[prefetch_sweep] policy {} ...", policy.label());
             let args = BenchArgs {
                 prefetch: Some(policy),
                 ..base.clone()

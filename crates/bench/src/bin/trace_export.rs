@@ -113,7 +113,7 @@ fn main() {
         Some(n) => opts.dataset.spec().scaled(n),
         None => opts.dataset.spec(),
     };
-    eprintln!(
+    hymm_bench::progress!(
         "[trace_export] synthesising {} ({} nodes) ...",
         spec.dataset.name(),
         spec.nodes
@@ -127,7 +127,7 @@ fn main() {
 
     let mut runs: Vec<(String, TraceData)> = Vec::new();
     for df in &opts.dataflows {
-        eprintln!("[trace_export] simulating {} ...", df.label());
+        hymm_bench::progress!("[trace_export] simulating {} ...", df.label());
         let outcome = run_inference(
             &config,
             *df,
@@ -153,7 +153,7 @@ fn main() {
                 )
             })
             .unwrap_or_default();
-        eprintln!(
+        hymm_bench::progress!(
             "[trace_export]   {}: {} cycles, {} events ({} dropped), top stall class: {top}",
             df.label(),
             report.cycles,

@@ -662,7 +662,7 @@ pub fn run(args: &DseArgs) -> DseOutcome {
         .expect("generate always retains the incumbent");
 
     let mut eval = Evaluator::new(args.threads, args.audit);
-    eprintln!(
+    crate::progress!(
         "[dse] space {}: {} grid points, {} in budget ({} over {:.2}x budget = {:.3} mm2, {} invalid)",
         args.space.label(),
         gen.grid,
@@ -675,7 +675,7 @@ pub fn run(args: &DseArgs) -> DseOutcome {
 
     // Rung 0: the incumbent at full scale anchors the stall ceilings and
     // the speedup denominator.
-    eprintln!("[dse] incumbent at full scale {} ...", args.scale);
+    crate::progress!("[dse] incumbent at full scale {} ...", args.scale);
     let full_data = prepare_eval(&args.datasets, args.scale);
     let incumbent_full = eval.evaluate(
         std::slice::from_ref(&candidates[incumbent_idx]),
@@ -688,7 +688,7 @@ pub fn run(args: &DseArgs) -> DseOutcome {
         .collect();
 
     // Rung 1: screen everything small.
-    eprintln!(
+    crate::progress!(
         "[dse] screening {} candidates at scale {} ...",
         candidates.len(),
         args.screen_scale
@@ -729,7 +729,7 @@ pub fn run(args: &DseArgs) -> DseOutcome {
         // Free: its full-scale results are already memoised.
         promoted.push(incumbent_idx);
     }
-    eprintln!(
+    crate::progress!(
         "[dse] stall-cut {stall_cut}; promoting {} of {} survivors to scale {} ...",
         promoted.len(),
         survivors.len(),

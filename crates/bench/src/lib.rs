@@ -34,7 +34,10 @@ pub mod args;
 pub mod dse;
 pub mod export;
 pub mod figures;
+pub mod log;
+pub mod metrics_json;
 pub mod pe_sweep;
+pub mod perf_diff;
 pub mod pool;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,92 @@
+//! A tiny leveled stderr logger shared by every bench binary.
+//!
+//! The bench bins used to `eprintln!` progress lines unconditionally;
+//! routing them through one level gate makes the output controllable —
+//! `--quiet` silences progress for scripted/CI invocations (and, later,
+//! server mode), `-v`/`--verbose` opens up diagnostic detail — without
+//! touching the *default* output, which stays exactly what it was.
+//! Error-path messages (usage errors, fatal failures) are deliberately
+//! not routed through here: they always print.
+//!
+//! Levels are a process-wide atomic so the pool workers and the runner
+//! share one setting with no plumbing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, ordered: a message prints when its level is at or
+/// below the configured one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Errors only (`--quiet`).
+    Quiet = 0,
+    /// Progress lines — the historical default output.
+    Progress = 1,
+    /// Extra diagnostic detail (`-v` / `--verbose`).
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Progress as u8);
+
+/// Sets the process-wide verbosity.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current process-wide verbosity.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Progress,
+        _ => Level::Verbose,
+    }
+}
+
+/// Whether a message at `at` should print.
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Prints a progress line to stderr unless `--quiet` was given. Same
+/// calling convention as `eprintln!`.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Progress) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a diagnostic line to stderr only under `-v`/`--verbose`.
+#[macro_export]
+macro_rules! verbose {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Verbose) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test owns the global level (tests run concurrently; splitting
+    // these across #[test] fns would race on the atomic).
+    #[test]
+    fn level_gate_orders_quiet_progress_verbose() {
+        let original = level();
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Progress));
+        assert!(!enabled(Level::Verbose));
+        set_level(Level::Progress);
+        assert!(enabled(Level::Progress));
+        assert!(!enabled(Level::Verbose));
+        set_level(Level::Verbose);
+        assert!(enabled(Level::Progress));
+        assert!(enabled(Level::Verbose));
+        set_level(original);
+        assert_eq!(level(), original);
+    }
+}

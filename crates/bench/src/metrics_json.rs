@@ -1,0 +1,249 @@
+//! JSON sidecar export of interval-sampled telemetry.
+//!
+//! [`metrics_json`] serialises one or more labelled
+//! [`MetricsData`](hymm_core::metrics::MetricsData) series (one per
+//! dataflow run, produced by `--metrics-interval`) into a single
+//! self-describing JSON document: a `runs` array where every run carries
+//! its sampling interval, drop counter and a `series` array of per-interval
+//! samples. Stall deltas are keyed by class name (the same eight names as
+//! [`StallBreakdown::CLASSES`](hymm_core::stats::StallBreakdown::CLASSES))
+//! so downstream tooling never has to know the array order.
+//!
+//! [`validate_metrics_json`] mirrors `trace_json::validate_chrome_trace`:
+//! a dependency-free reader used by the CI smoke check that parses the
+//! whole document and verifies every sample carries a finite numeric `ts`
+//! and all eight stall classes.
+
+use crate::trace_json::{parse_json, Json};
+use hymm_core::metrics::MetricsData;
+use hymm_core::stats::StallBreakdown;
+use std::fmt::Write as _;
+
+/// Renders a float for JSON embedding; non-finite values (which the sampler
+/// never produces, but a corrupted ring could) degrade to `0`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Serialises labelled metrics series into one JSON document.
+///
+/// Every `(label, data)` pair becomes one entry of the top-level `runs`
+/// array. Per-channel DRAM busy fractions are truncated to the channels the
+/// run actually sampled (`dram_channels`).
+pub fn metrics_json(runs: &[(String, &MetricsData)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"format\": \"hymm-metrics-v1\",\n  \"stall_classes\": [");
+    let classes: Vec<String> = StallBreakdown::CLASSES
+        .iter()
+        .map(|c| format!("\"{c}\""))
+        .collect();
+    out.push_str(&classes.join(", "));
+    out.push_str("],\n  \"runs\": [\n");
+    for (i, (label, data)) in runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"sample_every\": {}, \"dropped\": {}, \"series\": [",
+            crate::trace_json::esc(label),
+            data.sample_every,
+            data.dropped
+        );
+        for (j, s) in data.samples.iter().enumerate() {
+            let stalls: Vec<String> = StallBreakdown::CLASSES
+                .iter()
+                .zip(s.stalls)
+                .map(|(name, v)| format!("\"{name}\": {v}"))
+                .collect();
+            let busy: Vec<String> = s
+                .dram_busy_frac
+                .iter()
+                .take(s.dram_channels as usize)
+                .map(|&f| num(f as f64))
+                .collect();
+            let kinds: Vec<String> = s.dmb_kind_occupancy.iter().map(u32::to_string).collect();
+            let _ = writeln!(
+                out,
+                "      {{\"ts\": {}, \"stalls\": {{{}}}, \
+                 \"dmb_hit_rate\": {}, \"dmb_fills\": {}, \"dmb_occupancy\": {}, \
+                 \"dmb_kind_occupancy\": [{}], \"mshr_occupancy\": {}, \
+                 \"dram_busy_frac\": [{}], \"dram_bytes_per_cycle\": {}, \
+                 \"lsq_depth\": {}, \"pe_issues\": {}, \"pe_lane_util\": {}, \
+                 \"prefetch\": {{\"issued\": {}, \"useful\": {}, \"late\": {}}}}}{}",
+                s.ts,
+                stalls.join(", "),
+                num(s.dmb_hit_rate as f64),
+                s.dmb_fills,
+                s.dmb_occupancy,
+                kinds.join(","),
+                s.mshr_occupancy,
+                busy.join(","),
+                num(s.dram_bytes_per_cycle as f64),
+                s.lsq_depth,
+                s.pe_issues,
+                num(s.pe_lane_util as f64),
+                s.prefetch_issued,
+                s.prefetch_useful,
+                s.prefetch_late,
+                if j + 1 < data.samples.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "    ]}}{}", if i + 1 < runs.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a metrics sidecar document: the JSON must parse completely,
+/// carry a `runs` array, and every sample of every run must be an object
+/// with a finite numeric `ts` and a `stalls` object holding a numeric entry
+/// for all eight stall classes. Returns the total sample count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn validate_metrics_json(src: &str) -> Result<usize, String> {
+    let doc = parse_json(src)?;
+    let Some(Json::Arr(runs)) = doc.get("runs") else {
+        return Err("missing top-level \"runs\" array".into());
+    };
+    let mut total = 0usize;
+    for (r, run) in runs.iter().enumerate() {
+        let label = match run.get("label") {
+            Some(Json::Str(l)) if !l.is_empty() => l.clone(),
+            other => return Err(format!("run {r}: bad \"label\" field: {other:?}")),
+        };
+        match run.get("sample_every") {
+            Some(Json::Num(n)) if *n >= 1.0 => {}
+            other => return Err(format!("{label}: bad \"sample_every\" field: {other:?}")),
+        }
+        let Some(Json::Arr(series)) = run.get("series") else {
+            return Err(format!("{label}: missing \"series\" array"));
+        };
+        for (i, s) in series.iter().enumerate() {
+            match s.get("ts") {
+                Some(Json::Num(_)) => {}
+                other => return Err(format!("{label} sample {i}: bad \"ts\" field: {other:?}")),
+            }
+            let Some(stalls @ Json::Obj(_)) = s.get("stalls") else {
+                return Err(format!("{label} sample {i}: missing \"stalls\" object"));
+            };
+            for class in StallBreakdown::CLASSES {
+                match stalls.get(class) {
+                    Some(Json::Num(_)) => {}
+                    other => {
+                        return Err(format!(
+                            "{label} sample {i}: bad stall class {class:?}: {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        total += series.len();
+    }
+    Ok(total)
+}
+
+/// Sums the per-interval stall deltas of one parsed run back into class
+/// order — the accounting check the `metrics_export --check` mode runs
+/// against the end-of-run waterfall.
+pub fn stall_sums_of(src: &str, label: &str) -> Result<[i64; 8], String> {
+    let doc = parse_json(src)?;
+    let Some(Json::Arr(runs)) = doc.get("runs") else {
+        return Err("missing top-level \"runs\" array".into());
+    };
+    let run = runs
+        .iter()
+        .find(|r| matches!(r.get("label"), Some(Json::Str(l)) if l == label))
+        .ok_or_else(|| format!("no run labelled {label:?}"))?;
+    let Some(Json::Arr(series)) = run.get("series") else {
+        return Err(format!("{label}: missing \"series\" array"));
+    };
+    let mut sums = [0i64; 8];
+    for s in series {
+        let stalls = s
+            .get("stalls")
+            .ok_or_else(|| format!("{label}: sample without \"stalls\""))?;
+        for (k, class) in StallBreakdown::CLASSES.iter().enumerate() {
+            match stalls.get(class) {
+                Some(Json::Num(v)) => sums[k] += *v as i64,
+                other => return Err(format!("{label}: bad stall class {class:?}: {other:?}")),
+            }
+        }
+    }
+    Ok(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymm_core::metrics::MetricsSample;
+
+    fn sample_data() -> MetricsData {
+        let mut d = MetricsData::new(64);
+        d.samples.push(MetricsSample {
+            ts: 64,
+            stalls: [5, 0, 3, 0, 1, 0, 0, 7],
+            dmb_hit_rate: 0.75,
+            dmb_fills: 2,
+            dram_channels: 2,
+            dram_busy_frac: [0.5, 0.25, 0.0, 0.0],
+            ..MetricsSample::default()
+        });
+        d.samples.push(MetricsSample {
+            ts: 128,
+            stalls: [1, 0, -2, 0, 0, 0, 0, 4],
+            dram_channels: 2,
+            ..MetricsSample::default()
+        });
+        d
+    }
+
+    #[test]
+    fn exported_metrics_validate_and_carry_every_class() {
+        let data = sample_data();
+        let json = metrics_json(&[("CR/HyMM".into(), &data)]);
+        assert_eq!(validate_metrics_json(&json), Ok(2), "{json}");
+        for needle in [
+            "hymm-metrics-v1",
+            "\"sample_every\": 64",
+            "\"dmb-miss\": 3",
+            "\"dmb-miss\": -2",
+            "\"idle\": 7",
+            "\"dmb_hit_rate\": 0.75",
+            "\"dram_busy_frac\": [0.5,0.25]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn stall_sums_match_the_series() {
+        let data = sample_data();
+        let json = metrics_json(&[("CR/HyMM".into(), &data)]);
+        assert_eq!(
+            stall_sums_of(&json, "CR/HyMM"),
+            Ok([6, 0, 1, 0, 1, 0, 0, 11])
+        );
+        assert!(stall_sums_of(&json, "AP/OP").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_metrics_json("{").is_err());
+        assert!(validate_metrics_json("{\"x\": 1}").is_err());
+        // missing one stall class
+        let json = "{\"runs\":[{\"label\":\"x\",\"sample_every\":64,\"series\":[\
+                    {\"ts\":64,\"stalls\":{\"mac\":1}}]}]}";
+        let e = validate_metrics_json(json).unwrap_err();
+        assert!(e.contains("merge"), "{e}");
+        // sample_every of zero is never written
+        let json = "{\"runs\":[{\"label\":\"x\",\"sample_every\":0,\"series\":[]}]}";
+        assert!(validate_metrics_json(json).is_err());
+        // empty series is legal (run shorter than one interval, metrics off)
+        let json = "{\"runs\":[{\"label\":\"x\",\"sample_every\":64,\"series\":[]}]}";
+        assert_eq!(validate_metrics_json(json), Ok(0));
+    }
+}

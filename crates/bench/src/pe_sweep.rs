@@ -86,7 +86,7 @@ pub fn sweep(base: &BenchArgs) -> Result<Vec<PeSweepRow>, MissingRunError> {
     let mut rows = Vec::with_capacity(LANES.len() * LATENCIES.len());
     for lanes in LANES {
         for latency in LATENCIES {
-            eprintln!(
+            crate::progress!(
                 "[pe_sweep] {lanes} lanes, latency {latency}{}{} ...",
                 if base.mac_pipeline { ", pipelined" } else { "" },
                 if base.lane_gating { ", gated" } else { "" },

@@ -1,0 +1,383 @@
+//! Noise-aware comparison of two `BENCH_host.json` reports — the perf
+//! regression gate.
+//!
+//! [`diff_reports`] extracts the comparable fields from two reports written
+//! by the `perf_report` binary and classifies every delta into one of three
+//! metric families, each with its own percentage tolerance:
+//!
+//! - **seconds** (lower is better, noisy): `serial_seconds`,
+//!   `parallel_seconds` and every `per_dataset_serial_seconds` entry. Wall
+//!   clock on a shared host jitters even with min-of-5 sampling, so this
+//!   family's tolerance should stay generous.
+//! - **throughput** (higher is better, noisy): `sim_cycles_per_second`.
+//! - **cycles** (lower is better, deterministic): `sim_cycles_total` and
+//!   the per-dataflow `stall_cycles` totals. These are exact simulator
+//!   outputs; any drift is a real behaviour change, so the tolerance can
+//!   be tight — it exists only to absorb deliberate config/suite changes
+//!   that land with a re-baselined report.
+//!
+//! A field present in only one report is reported as `skipped` (reports
+//! from different code generations legitimately differ in shape) and never
+//! fails the gate; only a tolerance-exceeding move in the regressing
+//! direction does. The `perf_diff` binary renders the table and exits
+//! non-zero when [`PerfDiff::has_regression`] holds.
+
+use crate::trace_json::{parse_json, Json};
+use std::fmt::Write as _;
+
+/// Metric family, deciding the tolerance and the regressing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Wall-clock seconds; lower is better, host-noisy.
+    Seconds,
+    /// Simulated cycles; lower is better, deterministic.
+    Cycles,
+    /// Simulated cycles per wall-clock second; higher is better, noisy.
+    Throughput,
+}
+
+impl Family {
+    /// Stable label used in the rendered table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Seconds => "seconds",
+            Family::Cycles => "cycles",
+            Family::Throughput => "throughput",
+        }
+    }
+}
+
+/// Per-family percentage tolerances. A move is a regression only when it
+/// exceeds the family's tolerance in the regressing direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed increase in the seconds family, percent.
+    pub seconds_pct: f64,
+    /// Allowed increase in the cycles family, percent.
+    pub cycles_pct: f64,
+    /// Allowed decrease in the throughput family, percent.
+    pub throughput_pct: f64,
+}
+
+impl Default for Tolerances {
+    /// Generous defaults for shared-host CI: wall-clock families absorb
+    /// 50% of noise, the deterministic cycles family 5%.
+    fn default() -> Self {
+        Tolerances {
+            seconds_pct: 50.0,
+            cycles_pct: 5.0,
+            throughput_pct: 50.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance applying to one family.
+    pub fn for_family(&self, family: Family) -> f64 {
+        match family {
+            Family::Seconds => self.seconds_pct,
+            Family::Cycles => self.cycles_pct,
+            Family::Throughput => self.throughput_pct,
+        }
+    }
+
+    /// Rejects negative or non-finite tolerances.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending value.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("--tol-seconds", self.seconds_pct),
+            ("--tol-cycles", self.cycles_pct),
+            ("--tol-throughput", self.throughput_pct),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be a non-negative percentage, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One compared field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDiff {
+    /// Dotted field path (`serial_seconds`, `stall_cycles.HyMM`, ...).
+    pub name: String,
+    /// Which tolerance / direction applies.
+    pub family: Family,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed percent change relative to the baseline (`0` when the
+    /// baseline is zero and the candidate is too).
+    pub change_pct: f64,
+    /// Whether the move exceeds the family tolerance in the regressing
+    /// direction.
+    pub regressed: bool,
+}
+
+/// Result of comparing two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// Every field present in both reports, in extraction order.
+    pub fields: Vec<FieldDiff>,
+    /// Fields present in only one report (shape drift), never failing.
+    pub skipped: Vec<String>,
+    /// The tolerances the verdicts were computed with.
+    pub tolerances: Tolerances,
+}
+
+impl PerfDiff {
+    /// True when any compared field regressed beyond its tolerance.
+    pub fn has_regression(&self) -> bool {
+        self.fields.iter().any(|f| f.regressed)
+    }
+
+    /// Renders the comparison as an aligned plain-text table, regressions
+    /// marked with `REGRESSED`, plus a skipped-fields footer.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<36} {:<11} {:>14} {:>14} {:>9}  verdict",
+            "field", "family", "baseline", "candidate", "delta%"
+        );
+        for f in &self.fields {
+            let tol = self.tolerances.for_family(f.family);
+            let verdict = if f.regressed {
+                format!("REGRESSED (tol {tol}%)")
+            } else {
+                "ok".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<36} {:<11} {:>14.3} {:>14.3} {:>+9.2}  {verdict}",
+                f.name,
+                f.family.label(),
+                f.base,
+                f.new,
+                f.change_pct
+            );
+        }
+        for name in &self.skipped {
+            let _ = writeln!(out, "{name:<36} skipped (present in only one report)");
+        }
+        out
+    }
+}
+
+/// The comparable fields of one parsed report: `(path, family, value)`.
+fn extract(doc: &Json) -> Vec<(String, Family, f64)> {
+    let mut out = Vec::new();
+    let mut scalar = |name: &str, family: Family| {
+        if let Some(Json::Num(v)) = doc.get(name) {
+            out.push((name.to_string(), family, *v));
+        }
+    };
+    scalar("serial_seconds", Family::Seconds);
+    scalar("parallel_seconds", Family::Seconds);
+    scalar("sim_cycles_total", Family::Cycles);
+    scalar("sim_cycles_per_second", Family::Throughput);
+    if let Some(Json::Obj(per)) = doc.get("per_dataset_serial_seconds") {
+        for (ds, v) in per {
+            if let Json::Num(v) = v {
+                out.push((
+                    format!("per_dataset_serial_seconds.{ds}"),
+                    Family::Seconds,
+                    *v,
+                ));
+            }
+        }
+    }
+    if let Some(Json::Obj(per_dataflow)) = doc.get("stall_cycles") {
+        for (dataflow, classes) in per_dataflow {
+            let Json::Obj(classes) = classes else {
+                continue;
+            };
+            let total: f64 = classes
+                .iter()
+                .filter_map(|(_, v)| match v {
+                    Json::Num(v) => Some(*v),
+                    _ => None,
+                })
+                .sum();
+            out.push((format!("stall_cycles.{dataflow}"), Family::Cycles, total));
+        }
+    }
+    out
+}
+
+/// Percent change of `new` relative to `base`, `0` when both are zero and
+/// `±inf`-free (a zero baseline with a nonzero candidate reports 100%).
+fn pct(base: f64, new: f64) -> f64 {
+    if base != 0.0 {
+        100.0 * (new - base) / base
+    } else if new == 0.0 {
+        0.0
+    } else {
+        100.0 * new.signum()
+    }
+}
+
+/// Compares two `BENCH_host.json` documents.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct in either
+/// document, or of invalid tolerances.
+pub fn diff_reports(base_src: &str, new_src: &str, tol: Tolerances) -> Result<PerfDiff, String> {
+    tol.validate()?;
+    let base = parse_json(base_src).map_err(|e| format!("baseline: {e}"))?;
+    let new = parse_json(new_src).map_err(|e| format!("candidate: {e}"))?;
+    let base_fields = extract(&base);
+    let new_fields = extract(&new);
+
+    let mut fields = Vec::new();
+    let mut skipped = Vec::new();
+    for (name, family, base_v) in &base_fields {
+        let Some((_, _, new_v)) = new_fields.iter().find(|(n, _, _)| n == name) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        let change_pct = pct(*base_v, *new_v);
+        // Seconds/cycles regress upward, throughput downward.
+        let adverse = match family {
+            Family::Seconds | Family::Cycles => change_pct,
+            Family::Throughput => -change_pct,
+        };
+        fields.push(FieldDiff {
+            name: name.clone(),
+            family: *family,
+            base: *base_v,
+            new: *new_v,
+            change_pct,
+            regressed: adverse > tol.for_family(*family),
+        });
+    }
+    for (name, _, _) in &new_fields {
+        if !base_fields.iter().any(|(n, _, _)| n == name) {
+            skipped.push(name.clone());
+        }
+    }
+    Ok(PerfDiff {
+        fields,
+        skipped,
+        tolerances: tol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serial: f64, cycles: u64, throughput: f64, hymm_stalls: u64) -> String {
+        format!(
+            "{{\"serial_seconds\": {serial}, \"parallel_seconds\": {serial}, \
+             \"sim_cycles_total\": {cycles}, \"sim_cycles_per_second\": {throughput}, \
+             \"per_dataset_serial_seconds\": {{\"CR\": {serial}}}, \
+             \"stall_cycles\": {{\"HyMM\": {{\"mac\": {hymm_stalls}, \"idle\": 5}}}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(0.3, 1_000_000, 3.0e6, 100);
+        let d = diff_reports(&a, &a, Tolerances::default()).unwrap();
+        assert!(!d.has_regression(), "{}", d.render_table());
+        assert_eq!(d.fields.len(), 6);
+        assert!(d.skipped.is_empty());
+        let stall = d
+            .fields
+            .iter()
+            .find(|f| f.name == "stall_cycles.HyMM")
+            .unwrap();
+        assert_eq!(stall.base, 105.0, "class totals are summed per dataflow");
+    }
+
+    #[test]
+    fn noise_within_tolerance_is_not_a_regression() {
+        let a = report(0.30, 1_000_000, 3.0e6, 100);
+        // 20% slower wall clock, cycles identical: inside the 50% default.
+        let b = report(0.36, 1_000_000, 2.5e6, 100);
+        let d = diff_reports(&a, &b, Tolerances::default()).unwrap();
+        assert!(!d.has_regression(), "{}", d.render_table());
+    }
+
+    #[test]
+    fn cycle_growth_beyond_tolerance_regresses() {
+        let a = report(0.30, 1_000_000, 3.0e6, 100);
+        let b = report(0.30, 1_100_000, 3.0e6, 100);
+        let d = diff_reports(&a, &b, Tolerances::default()).unwrap();
+        assert!(d.has_regression());
+        let f = d
+            .fields
+            .iter()
+            .find(|f| f.name == "sim_cycles_total")
+            .unwrap();
+        assert!(f.regressed);
+        assert!((f.change_pct - 10.0).abs() < 1e-9);
+        assert!(
+            d.render_table().contains("REGRESSED"),
+            "{}",
+            d.render_table()
+        );
+    }
+
+    #[test]
+    fn throughput_regresses_downward_not_upward() {
+        let a = report(0.30, 1_000_000, 3.0e6, 100);
+        let faster = report(0.30, 1_000_000, 9.0e6, 100);
+        let d = diff_reports(&a, &faster, Tolerances::default()).unwrap();
+        assert!(
+            !d.has_regression(),
+            "an improvement must never fail the gate"
+        );
+        let slower = report(0.30, 1_000_000, 1.0e6, 100);
+        let d = diff_reports(&a, &slower, Tolerances::default()).unwrap();
+        assert!(d.has_regression());
+    }
+
+    #[test]
+    fn cycle_improvements_pass_even_when_large() {
+        let a = report(0.30, 1_000_000, 3.0e6, 100);
+        let b = report(0.05, 400_000, 8.0e6, 10);
+        let d = diff_reports(&a, &b, Tolerances::default()).unwrap();
+        assert!(!d.has_regression(), "{}", d.render_table());
+    }
+
+    #[test]
+    fn shape_drift_is_skipped_not_failed() {
+        let a = report(0.3, 1_000_000, 3.0e6, 100);
+        let b = "{\"serial_seconds\": 0.3, \"sim_cycles_total\": 1000000}";
+        let d = diff_reports(&a, b, Tolerances::default()).unwrap();
+        assert!(!d.has_regression());
+        assert!(d.skipped.iter().any(|s| s == "sim_cycles_per_second"));
+        assert!(d.render_table().contains("skipped"), "{}", d.render_table());
+    }
+
+    #[test]
+    fn invalid_tolerances_are_rejected() {
+        let a = report(0.3, 1, 1.0, 1);
+        let bad = Tolerances {
+            cycles_pct: -1.0,
+            ..Tolerances::default()
+        };
+        let e = diff_reports(&a, &a, bad).unwrap_err();
+        assert!(e.contains("--tol-cycles"), "{e}");
+        assert!(e.contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn zero_baseline_handles_divide() {
+        let a = "{\"serial_seconds\": 0}";
+        let b = "{\"serial_seconds\": 0.1}";
+        let d = diff_reports(a, b, Tolerances::default()).unwrap();
+        assert_eq!(d.fields[0].change_pct, 100.0);
+        assert!(d.fields[0].regressed);
+        let d = diff_reports(a, a, Tolerances::default()).unwrap();
+        assert!(!d.has_regression());
+    }
+}

@@ -244,7 +244,7 @@ pub fn run_dataset_with(dataset: Dataset, args: &BenchArgs) -> DatasetResults {
 pub fn run_suite(args: &BenchArgs) -> Vec<DatasetResults> {
     let threads = args.worker_threads();
     for d in &args.datasets {
-        eprintln!("[hymm-bench] simulating {} ...", d.name());
+        crate::progress!("[hymm-bench] simulating {} ...", d.name());
     }
     let preps = pool::map_indexed(threads, &args.datasets, |_, &d| prepare_dataset(d, args));
 

@@ -74,7 +74,7 @@ fn lsq_label(op: LsqOpKind) -> &'static str {
 }
 
 /// Escapes a string for embedding inside a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -566,9 +566,10 @@ pub fn diff_table(a: &TraceSummary, b: &TraceSummary) -> String {
 // ---------------------------------------------------------------------------
 // Validating JSON reader (CI smoke check).
 
-/// A parsed JSON value.
+/// A parsed JSON value. Shared with the metrics sidecar validator and the
+/// perf-regression gate (`crate::metrics_json`, `crate::perf_diff`).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -578,7 +579,7 @@ enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -756,7 +757,7 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses a full JSON document.
-fn parse_json(src: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(src: &str) -> Result<Json, String> {
     let mut p = Parser {
         b: src.as_bytes(),
         i: 0,

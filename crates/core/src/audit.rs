@@ -382,6 +382,24 @@ pub fn check_report(r: &SimReport) -> Vec<AuditViolation> {
             ),
         });
     }
+    // Telescoping contract of the interval sampler: per-class sums over the
+    // series equal the report waterfall exactly — unless the ring
+    // overflowed, in which case dropped samples took their deltas with
+    // them and the series is declaredly inexact.
+    if let Some(m) = r.metrics.as_deref() {
+        if m.dropped == 0 {
+            let sums = m.stall_sums();
+            let want = r.stalls.as_array();
+            if sums != want.map(|v| v as i64) {
+                out.push(AuditViolation {
+                    invariant: "metrics-accounting",
+                    details: format!(
+                        "per-interval stall sums {sums:?} != report waterfall {want:?}"
+                    ),
+                });
+            }
+        }
+    }
     out
 }
 

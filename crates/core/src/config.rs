@@ -144,6 +144,11 @@ pub struct AcceleratorConfig {
     /// Which simulation core advances time (bit-identical results either
     /// way; `Event` additionally enables span-mode fast paths in the DMB).
     pub scheduler: SchedulerKind,
+    /// Interval-sampled telemetry (see [`crate::metrics`]). `None` (the
+    /// default) is pinned bit-identical to a build without the subsystem;
+    /// `Some` leaves every cycle count unchanged and adds a bounded
+    /// time series to [`crate::stats::SimReport::metrics`].
+    pub metrics: Option<hymm_mem::metrics::MetricsConfig>,
 }
 
 impl Default for AcceleratorConfig {
@@ -163,6 +168,7 @@ impl Default for AcceleratorConfig {
             cwp_lane_efficiency: 0.8,
             audit: false,
             scheduler: SchedulerKind::Event,
+            metrics: None,
         }
     }
 }
@@ -195,6 +201,18 @@ impl AcceleratorConfig {
             return Err(SparseError::InvalidConfig(format!(
                 "cwp_lane_efficiency must be a finite value in (0, 1], got {e}"
             )));
+        }
+        if let Some(m) = &self.metrics {
+            if m.sample_every == 0 {
+                return Err(SparseError::InvalidConfig(
+                    "metrics sample_every must be at least 1 cycle".to_string(),
+                ));
+            }
+            if m.capacity == 0 {
+                return Err(SparseError::InvalidConfig(
+                    "metrics capacity must be at least 1 sample".to_string(),
+                ));
+            }
         }
         Ok(())
     }
@@ -231,8 +249,9 @@ impl AcceleratorConfig {
     /// — the identity the DSE memoises evaluations by.
     ///
     /// Host-observability knobs are deliberately excluded: `audit`,
-    /// `scheduler`, `mem.trace` and `mem.trace_capacity` are pinned
-    /// bit-identical by the audit/scheduler-equivalence/trace tests, so two
+    /// `scheduler`, `metrics`, `mem.trace` and `mem.trace_capacity` are
+    /// pinned cycle-identical by the audit/scheduler-equivalence/trace/
+    /// metrics tests, so two
     /// configs differing only there produce the same [`crate::stats::SimReport`]
     /// and may legitimately share a memo entry. Everything that can move a
     /// cycle or a byte is folded in (floats by IEEE bit pattern, enums by
@@ -498,17 +517,44 @@ mod tests {
 
     #[test]
     fn content_hash_ignores_host_observability_knobs() {
-        // audit / scheduler / tracing are pinned bit-identical, so two
-        // configs differing only there share a memo entry by design.
+        // audit / scheduler / tracing / metrics are pinned
+        // cycle-identical, so two configs differing only there share a
+        // memo entry by design.
         let base = AcceleratorConfig::default();
         let mut host = AcceleratorConfig {
             audit: true,
             scheduler: SchedulerKind::Stepped,
+            metrics: Some(hymm_mem::metrics::MetricsConfig {
+                sample_every: 512,
+                capacity: 64,
+            }),
             ..base.clone()
         };
         host.mem.trace = true;
         host.mem.trace_capacity = 16;
         assert_eq!(base.content_hash(), host.content_hash());
+    }
+
+    #[test]
+    fn rejects_degenerate_metrics_config() {
+        for (every, cap, want) in [(0u64, 64usize, "sample_every"), (64, 0, "capacity")] {
+            let c = AcceleratorConfig {
+                metrics: Some(hymm_mem::metrics::MetricsConfig {
+                    sample_every: every,
+                    capacity: cap,
+                }),
+                ..AcceleratorConfig::default()
+            };
+            match c.validate() {
+                Err(SparseError::InvalidConfig(msg)) => assert!(msg.contains(want), "msg: {msg}"),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        let c = AcceleratorConfig {
+            metrics: Some(hymm_mem::metrics::MetricsConfig::default()),
+            ..AcceleratorConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

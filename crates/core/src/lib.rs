@@ -45,6 +45,7 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 pub mod machine;
+pub mod metrics;
 pub mod pe;
 pub mod prepared;
 pub mod sim;

@@ -35,6 +35,7 @@ pub mod config;
 pub mod dmb;
 pub mod dram;
 pub mod lsq;
+pub mod metrics;
 pub mod prefetch;
 pub mod smq;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use config::MemConfig;
 pub use dmb::{Dmb, EventStats, SpanRange};
 pub use dram::Dram;
 pub use lsq::Lsq;
+pub use metrics::{MetricKind, MetricsConfig, MetricsData, MetricsRegistry, MetricsSample};
 pub use prefetch::{PrefetchDrop, PrefetchPolicy, PrefetchStats};
 pub use smq::SmqStream;
 pub use stats::TrafficStats;
