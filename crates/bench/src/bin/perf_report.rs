@@ -322,6 +322,21 @@ fn main() {
     );
 
     let path = "BENCH_host.json";
+    // The `serve` section is produced by a separate tool (`loadgen
+    // --bench-out`, which needs a live hymm-serve); regenerating the suite
+    // numbers must not silently drop it, so an existing section is carried
+    // over verbatim.
+    let json = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| hymm_bench::json::parse_json(&old).ok())
+        .and_then(|doc| doc.get("serve").map(hymm_bench::json::Json::render))
+    {
+        Some(serve) => json.replace(
+            "  \"identical_results\":",
+            &format!("  \"serve\": {serve},\n  \"identical_results\":"),
+        ),
+        None => json,
+    };
     let mut f = std::fs::File::create(path).expect("create BENCH_host.json");
     f.write_all(json.as_bytes()).expect("write BENCH_host.json");
     println!("{json}");

@@ -1,0 +1,388 @@
+//! Dependency-free JSON support shared across the workspace.
+//!
+//! The workspace has no crates.io access, so every JSON producer and
+//! consumer — the Chrome-trace writer/validator ([`crate::trace_json`]),
+//! the metrics sidecar checker ([`crate::metrics_json`]), the
+//! perf-regression gate ([`crate::perf_diff`]) and the `hymm-serve`
+//! request/response protocol — funnels through this one hand-rolled
+//! reader/writer instead of growing per-module dialects.
+//!
+//! The reader is strict where it matters for round-tripping (complete
+//! documents only, finite numbers, no raw control characters in strings)
+//! and deliberately small: numbers are `f64`, objects preserve insertion
+//! order in a `Vec` so rendering is deterministic.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field lookup on an object; `None` for missing keys and non-objects.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value of this node, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value of this node, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value of this node, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Replaces the value under `key` (or appends the pair) on an object.
+    /// No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(fields) = self {
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => fields.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// Renders the value back to compact JSON (`"key": value` with a space
+    /// after each colon, matching the hand-written style of BENCH_host.json
+    /// so spliced sections stay greppable).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => out.push_str(&fmt_num(*n)),
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", esc(s));
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": ", esc(k));
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Formats a number the way the hand-written exporters do: integral values
+/// without a decimal point, everything else via the shortest round-trip
+/// `f64` representation.
+pub fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while matches!(
+            self.b.get(self.i),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            // Surrogates outside the BMP are not produced by
+                            // the writer; map them to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => {
+                    // Copy the contiguous run of plain characters in one
+                    // slice (the input is a &str, so any span that stops at
+                    // an ASCII delimiter is on a char boundary).
+                    let start = self.i;
+                    while matches!(self.b.get(self.i), Some(&c) if c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.i += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a full JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct, with its byte
+/// offset.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let src = r#"{"a": 1, "b": [true, null, "x\"y"], "c": {"d": 0.5, "e": -3}}"#;
+        let doc = parse_json(src).unwrap();
+        let rendered = doc.render();
+        assert_eq!(parse_json(&rendered).unwrap(), doc);
+        // Integral numbers render without a decimal point.
+        assert!(rendered.contains("\"a\": 1,"), "{rendered}");
+        assert!(rendered.contains("\"d\": 0.5"), "{rendered}");
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse_json(r#"{"n": 2.5, "s": "hi", "b": false}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.get("n").and_then(Json::as_str), None);
+    }
+
+    #[test]
+    fn set_replaces_and_appends() {
+        let mut doc = parse_json(r#"{"a": 1}"#).unwrap();
+        doc.set("a", Json::Num(2.0));
+        doc.set("b", Json::Str("new".into()));
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("new"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "1 2",
+            "\"unterminated",
+            "{\"a\": inf}",
+            "nul",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn fmt_num_styles() {
+        assert_eq!(fmt_num(9619767.0), "9619767");
+        assert_eq!(fmt_num(-3.0), "-3");
+        assert_eq!(fmt_num(0.343), "0.343");
+        assert_eq!(fmt_num(2.806e7), "28060000");
+    }
+}

@@ -34,6 +34,7 @@ pub mod args;
 pub mod dse;
 pub mod export;
 pub mod figures;
+pub mod json;
 pub mod log;
 pub mod metrics_json;
 pub mod pe_sweep;

@@ -14,7 +14,7 @@
 //! whole document and verifies every sample carries a finite numeric `ts`
 //! and all eight stall classes.
 
-use crate::trace_json::{parse_json, Json};
+use crate::json::{parse_json, Json};
 use hymm_core::metrics::MetricsData;
 use hymm_core::stats::StallBreakdown;
 use std::fmt::Write as _;
@@ -47,7 +47,7 @@ pub fn metrics_json(runs: &[(String, &MetricsData)]) -> String {
         let _ = writeln!(
             out,
             "    {{\"label\": \"{}\", \"sample_every\": {}, \"dropped\": {}, \"series\": [",
-            crate::trace_json::esc(label),
+            crate::json::esc(label),
             data.sample_every,
             data.dropped
         );

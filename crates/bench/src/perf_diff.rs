@@ -6,10 +6,12 @@
 //! metric families, each with its own percentage tolerance:
 //!
 //! - **seconds** (lower is better, noisy): `serial_seconds`,
-//!   `parallel_seconds` and every `per_dataset_serial_seconds` entry. Wall
-//!   clock on a shared host jitters even with min-of-5 sampling, so this
-//!   family's tolerance should stay generous.
-//! - **throughput** (higher is better, noisy): `sim_cycles_per_second`.
+//!   `parallel_seconds`, every `per_dataset_serial_seconds` entry and the
+//!   `serve` section's latency quantiles (`serve.p50_ms` …
+//!   `serve.warm_ms`). Wall clock on a shared host jitters even with
+//!   min-of-5 sampling, so this family's tolerance should stay generous.
+//! - **throughput** (higher is better, noisy): `sim_cycles_per_second`
+//!   and `serve.throughput_rps`.
 //! - **cycles** (lower is better, deterministic): `sim_cycles_total` and
 //!   the per-dataflow `stall_cycles` totals. These are exact simulator
 //!   outputs; any drift is a real behaviour change, so the tolerance can
@@ -22,7 +24,7 @@
 //! direction does. The `perf_diff` binary renders the table and exits
 //! non-zero when [`PerfDiff::has_regression`] holds.
 
-use crate::trace_json::{parse_json, Json};
+use crate::json::{parse_json, Json};
 use std::fmt::Write as _;
 
 /// Metric family, deciding the tolerance and the regressing direction.
@@ -190,6 +192,22 @@ fn extract(doc: &Json) -> Vec<(String, Family, f64)> {
                     *v,
                 ));
             }
+        }
+    }
+    if let Some(serve) = doc.get("serve") {
+        // The hymm-serve load-generator section: latencies are wall clock
+        // (noisy, generous tolerance via the seconds family), throughput
+        // likewise. Counters (cache hits, coalesces) are workload-shape
+        // facts, not performance, and are deliberately not compared.
+        for name in [
+            "p50_ms", "p95_ms", "p99_ms", "mean_ms", "cold_ms", "warm_ms",
+        ] {
+            if let Some(Json::Num(v)) = serve.get(name) {
+                out.push((format!("serve.{name}"), Family::Seconds, *v));
+            }
+        }
+        if let Some(Json::Num(v)) = serve.get("throughput_rps") {
+            out.push(("serve.throughput_rps".to_string(), Family::Throughput, *v));
         }
     }
     if let Some(Json::Obj(per_dataflow)) = doc.get("stall_cycles") {
@@ -368,6 +386,49 @@ mod tests {
         let e = diff_reports(&a, &a, bad).unwrap_err();
         assert!(e.contains("--tol-cycles"), "{e}");
         assert!(e.contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn serve_section_compares_latency_and_throughput_only() {
+        let serve = |p50: f64, rps: f64| {
+            format!(
+                "{{\"serial_seconds\": 0.3, \"serve\": {{\"mode\": \"closed\", \
+                 \"p50_ms\": {p50}, \"p95_ms\": {p50}, \"cold_ms\": 40.0, \
+                 \"warm_ms\": 8.0, \"throughput_rps\": {rps}, \"cache_hits\": 28}}}}"
+            )
+        };
+        let a = serve(10.0, 25.0);
+        let d = diff_reports(&a, &a, Tolerances::default()).unwrap();
+        let names: Vec<&str> = d.fields.iter().map(|f| f.name.as_str()).collect();
+        for expected in [
+            "serve.p50_ms",
+            "serve.cold_ms",
+            "serve.warm_ms",
+            "serve.throughput_rps",
+        ] {
+            assert!(names.contains(&expected), "{names:?}");
+        }
+        assert!(
+            !names.iter().any(|n| n.contains("cache_hits")),
+            "counters are not perf-compared: {names:?}"
+        );
+        // 20% slower p50 and 20% lower rps: inside the noisy-family defaults.
+        let b = serve(12.0, 20.0);
+        let d = diff_reports(&a, &b, Tolerances::default()).unwrap();
+        assert!(!d.has_regression(), "{}", d.render_table());
+        // A 4x latency blow-up regresses.
+        let bad = serve(40.0, 25.0);
+        let d = diff_reports(&a, &bad, Tolerances::default()).unwrap();
+        assert!(d.has_regression());
+        // A baseline without the section skips cleanly.
+        let old = "{\"serial_seconds\": 0.3}";
+        let d = diff_reports(old, &a, Tolerances::default()).unwrap();
+        assert!(!d.has_regression());
+        assert!(
+            d.skipped.iter().any(|s| s == "serve.p50_ms"),
+            "{:?}",
+            d.skipped
+        );
     }
 
     #[test]

@@ -40,6 +40,36 @@ impl Dataflow {
             Dataflow::ColumnWise => "CWP",
         }
     }
+
+    /// Parses a table label (case-insensitive). The inverse of
+    /// [`Dataflow::label`].
+    pub fn parse(s: &str) -> Option<Dataflow> {
+        Dataflow::EXTENDED
+            .into_iter()
+            .find(|d| d.label().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Folds pre-hashed words into one FNV-1a digest, tagged by position.
+///
+/// The composition half of the content-hash scheme: subsystems hash their
+/// own state ([`AcceleratorConfig::content_hash`] for the architectural
+/// knobs, `DatasetSpec::content_hash` in `hymm-graph` for the workload) and
+/// callers that need a joint key — such as the `hymm-serve` request
+/// dedupe/cache — combine the digests with this instead of inventing
+/// another mixing function. Word order matters.
+pub fn combine_hashes(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut byte = |b: u8| {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (i, w) in words.iter().enumerate() {
+        byte(i as u8);
+        for b in w.to_le_bytes() {
+            byte(b);
+        }
+    }
+    h
 }
 
 /// Which simulation core advances time.
@@ -533,6 +563,26 @@ mod tests {
         host.mem.trace = true;
         host.mem.trace_capacity = 16;
         assert_eq!(base.content_hash(), host.content_hash());
+    }
+
+    #[test]
+    fn dataflow_parse_round_trips() {
+        for d in Dataflow::EXTENDED {
+            assert_eq!(Dataflow::parse(d.label()), Some(d));
+            assert_eq!(Dataflow::parse(&d.label().to_lowercase()), Some(d));
+        }
+        assert_eq!(Dataflow::parse("nope"), None);
+    }
+
+    #[test]
+    fn combine_hashes_is_order_and_value_sensitive() {
+        let a = combine_hashes(&[1, 2, 3]);
+        assert_eq!(a, combine_hashes(&[1, 2, 3]));
+        assert_ne!(a, combine_hashes(&[3, 2, 1]));
+        assert_ne!(a, combine_hashes(&[1, 2]));
+        assert_ne!(a, combine_hashes(&[1, 2, 4]));
+        // A zero word still advances the state (tag byte per position).
+        assert_ne!(combine_hashes(&[0]), combine_hashes(&[0, 0]));
     }
 
     #[test]

@@ -62,6 +62,14 @@ impl Dataset {
         }
     }
 
+    /// Looks a dataset up by its two-letter abbreviation
+    /// (case-insensitive). The inverse of [`Dataset::abbrev`].
+    pub fn from_abbrev(abbrev: &str) -> Option<Dataset> {
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.abbrev().eq_ignore_ascii_case(abbrev))
+    }
+
     /// Full dataset name as printed in Table II.
     pub fn name(&self) -> &'static str {
         match self {
@@ -210,6 +218,35 @@ impl DatasetSpec {
         (tag as u64) << 32 | self.nodes as u64
     }
 
+    /// FNV-1a digest of every field that determines the synthesised
+    /// workload. Two specs with equal hashes produce identical adjacency
+    /// and feature matrices (synthesis is seeded purely from these fields),
+    /// so the hash is a sound sharing key for prepared graph state — the
+    /// graph-spec half of the `hymm-serve` cache key, composed with
+    /// `AcceleratorConfig::content_hash` on the request side.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |tag: u8, word: u64| {
+            for byte in std::iter::once(tag).chain(word.to_le_bytes()) {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        };
+        let dataset_tag = Dataset::ALL
+            .iter()
+            .position(|d| *d == self.dataset)
+            .expect("dataset listed in Dataset::ALL") as u64;
+        mix(0x01, dataset_tag);
+        mix(0x02, self.nodes as u64);
+        mix(0x03, self.edges as u64);
+        mix(0x04, self.adjacency_sparsity.to_bits());
+        mix(0x05, self.feature_sparsity.to_bits());
+        mix(0x06, self.feature_len as u64);
+        mix(0x07, self.layer_dim as u64);
+        h
+    }
+
     /// Synthesises the workload: a power-law adjacency matrix with
     /// `edges` stored non-zeros and a sparse feature matrix.
     pub fn synthesize(&self) -> Workload {
@@ -267,6 +304,33 @@ mod tests {
         for d in Dataset::ALL {
             assert!(seen.insert(d.abbrev()));
         }
+    }
+
+    #[test]
+    fn from_abbrev_round_trips() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_abbrev(d.abbrev()), Some(d));
+            assert_eq!(Dataset::from_abbrev(&d.abbrev().to_lowercase()), Some(d));
+        }
+        assert_eq!(Dataset::from_abbrev("ZZ"), None);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_specs() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Dataset::ALL {
+            assert!(seen.insert(d.spec().content_hash()), "collision on {d:?}");
+        }
+        // Stable across calls, sensitive to every workload-determining field.
+        let base = Dataset::Cora.spec();
+        assert_eq!(base.content_hash(), base.content_hash());
+        assert_ne!(base.content_hash(), base.scaled(500).content_hash());
+        let mut fat = base;
+        fat.feature_len += 1;
+        assert_ne!(base.content_hash(), fat.content_hash());
+        let mut dense = base;
+        dense.feature_sparsity -= 0.01;
+        assert_ne!(base.content_hash(), dense.content_hash());
     }
 
     #[test]

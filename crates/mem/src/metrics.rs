@@ -464,6 +464,125 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// Validates a Prometheus text-exposition (0.0.4) document of the dialect
+/// [`MetricsRegistry::render_prometheus`] emits. Used by the CI smoke
+/// checks and the `hymm-serve` load generator to verify `/metrics`
+/// scrapes without a real Prometheus in the loop.
+///
+/// Checks: every `# TYPE` declares a known type with a well-formed name;
+/// every sample line refers to a previously declared family (histograms
+/// via their `_bucket`/`_sum`/`_count` expansions, which must carry the
+/// right suffix for the declared type); label blocks are well-formed
+/// `key="value"` lists; values are finite numbers. Returns the number of
+/// declared families.
+///
+/// # Errors
+///
+/// Returns `"line N: <problem>"` for the first offending line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut families: Vec<(String, &str)> = Vec::new();
+    let fail = |ln: usize, msg: String| Err(format!("line {}: {msg}", ln + 1));
+    for (ln, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let (keyword, name) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return fail(ln, format!("bad metric name {name:?} in HELP"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = match parts.next() {
+                        Some(k @ ("counter" | "gauge" | "histogram")) => k,
+                        other => return fail(ln, format!("bad metric type {other:?}")),
+                    };
+                    if !valid_metric_name(name) {
+                        return fail(ln, format!("bad metric name {name:?} in TYPE"));
+                    }
+                    if families.iter().any(|(n, _)| n == name) {
+                        return fail(ln, format!("duplicate TYPE for {name}"));
+                    }
+                    families.push((name.to_string(), kind));
+                }
+                other => return fail(ln, format!("unknown comment keyword {other:?}")),
+            }
+            continue;
+        }
+        // Sample line: `name[{labels}] value`.
+        let (series, value) = match line.rfind(' ') {
+            Some(sp) => (&line[..sp], &line[sp + 1..]),
+            None => return fail(ln, "sample line without a value".into()),
+        };
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => {}
+            _ => return fail(ln, format!("bad sample value {value:?}")),
+        }
+        let (name, labels) = match series.find('{') {
+            Some(open) => {
+                let Some(body) = series[open + 1..].strip_suffix('}') else {
+                    return fail(ln, "unclosed label block".into());
+                };
+                (&series[..open], body)
+            }
+            None => (series, ""),
+        };
+        if !labels.is_empty() {
+            validate_labels(labels).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        }
+        let family = families.iter().find_map(|(n, kind)| {
+            let suffix_ok = match *kind {
+                "histogram" => name
+                    .strip_prefix(n.as_str())
+                    .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count")),
+                _ => name == n,
+            };
+            suffix_ok.then_some(*kind)
+        });
+        match family {
+            None => return fail(ln, format!("sample {name:?} has no TYPE declaration")),
+            Some("histogram") if name.ends_with("_bucket") && !labels.contains("le=") => {
+                return fail(ln, format!("bucket sample {name:?} missing le label"));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(families.len())
+}
+
+/// Validates a `key="value",...` label block (no escapes — the registry
+/// writer never emits them).
+fn validate_labels(mut body: &str) -> Result<(), String> {
+    loop {
+        let Some(eq) = body.find('=') else {
+            return Err(format!("label without '=' in {body:?}"));
+        };
+        let key = &body[..eq];
+        let key_ok = key
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()));
+        if key.is_empty() || !key_ok {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let rest = body[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {key} value not quoted"))?;
+        let Some(close) = rest.find('"') else {
+            return Err(format!("label {key} value unterminated"));
+        };
+        body = &rest[close + 1..];
+        match body.strip_prefix(',') {
+            Some(next) => body = next,
+            None if body.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label {key}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +675,51 @@ mod tests {
         reg.register("a_total", "a", MetricKind::Counter);
         reg.register("a_total", "a again", MetricKind::Counter);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn validate_prometheus_accepts_own_rendering() {
+        let mut reg = MetricsRegistry::new();
+        reg.register("hymm_cycles_total", "total cycles", MetricKind::Counter);
+        reg.add("hymm_cycles_total", "run=\"CR/HyMM\"", 1234.0);
+        reg.register("hymm_dmb_hit_rate", "hit rate", MetricKind::Gauge);
+        reg.set("hymm_dmb_hit_rate", "", 0.75);
+        reg.register_histogram("hymm_interval_hit_rate", "per-interval", &[0.5, 0.9]);
+        reg.observe("hymm_interval_hit_rate", "run=\"CR/HyMM\"", 0.4);
+        let families = validate_prometheus(&reg.render_prometheus()).unwrap();
+        assert_eq!(families, 3);
+    }
+
+    #[test]
+    fn validate_prometheus_rejects_malformed_documents() {
+        for (doc, want) in [
+            ("hymm_x 1\n", "no TYPE"),
+            ("# TYPE hymm_x summary\nhymm_x 1\n", "bad metric type"),
+            (
+                "# TYPE hymm_x gauge\nhymm_x notanumber\n",
+                "bad sample value",
+            ),
+            (
+                "# TYPE hymm_x gauge\nhymm_x{run=\"a\" 1\n",
+                "unclosed label",
+            ),
+            (
+                "# TYPE hymm_x gauge\nhymm_x{9bad=\"a\"} 1\n",
+                "bad label name",
+            ),
+            (
+                "# TYPE hymm_x gauge\n# TYPE hymm_x gauge\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# TYPE hymm_h histogram\nhymm_h_bucket{run=\"a\"} 1\n",
+                "missing le",
+            ),
+            ("# TYPE hymm_h histogram\nhymm_h 1\n", "no TYPE"),
+        ] {
+            let err = validate_prometheus(doc).unwrap_err();
+            assert!(err.contains(want), "doc {doc:?} gave {err:?}");
+        }
     }
 
     #[test]

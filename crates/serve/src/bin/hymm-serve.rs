@@ -1,0 +1,140 @@
+//! The `hymm-serve` binary: a long-lived simulation server.
+//!
+//! ```text
+//! hymm-serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!            [--read-timeout-ms N] [--max-body-bytes N] [--audit]
+//!            [--port-file PATH] [--quiet | -v]
+//! ```
+//!
+//! Binds (port 0 supported — the resolved address goes to stderr and, with
+//! `--port-file`, to a file scripts can poll), serves until SIGTERM/ctrl-c
+//! or `POST /shutdown`, then drains in-flight requests and exits 0.
+
+use hymm_bench::progress;
+use hymm_serve::server::{ServeConfig, Server};
+use std::time::Duration;
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Registers SIGINT (2) and SIGTERM (15) to set a flag the main loop
+    /// polls — the handler itself is async-signal-safe (one atomic store).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hymm-serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]\n\
+         \x20                 [--read-timeout-ms N] [--max-body-bytes N] [--audit]\n\
+         \x20                 [--port-file PATH] [--quiet | -v]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags() -> (ServeConfig, Option<String>) {
+    let mut config = ServeConfig::default();
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_num(&value("--workers"), "--workers"),
+            "--cache-capacity" => {
+                config.cache_capacity = parse_num(&value("--cache-capacity"), "--cache-capacity");
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_num(
+                    &value("--read-timeout-ms"),
+                    "--read-timeout-ms",
+                ) as u64);
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = parse_num(&value("--max-body-bytes"), "--max-body-bytes");
+            }
+            "--audit" => config.audit = true,
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--quiet" => hymm_bench::log::set_level(hymm_bench::log::Level::Quiet),
+            "-v" | "--verbose" => hymm_bench::log::set_level(hymm_bench::log::Level::Verbose),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    (config, port_file)
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a non-negative integer, got {s:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let (config, port_file) = parse_flags();
+    sig::install();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hymm-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    progress!("hymm-serve: listening on {addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("hymm-serve: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    while !sig::requested() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    progress!("hymm-serve: draining");
+    let stats = server.shutdown();
+    progress!(
+        "hymm-serve: done — {} requests, {} simulations, {} coalesced, cache {}h/{}m/{}e",
+        stats.requests,
+        stats.simulations,
+        stats.dedupe_coalesced,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+    );
+}

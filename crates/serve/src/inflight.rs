@@ -1,0 +1,183 @@
+//! In-flight request deduplication.
+//!
+//! Identical requests (equal [`crate::proto::SimRequest::key`]) that
+//! overlap in time coalesce onto one **leader**: the first arrival
+//! computes, later arrivals (**joiners**) block on the slot and receive a
+//! clone of the leader's `Arc`-shared result — one simulation, N
+//! byte-identical responses. The window is the computation itself: once
+//! the leader publishes and unregisters, a later identical request elects
+//! a new leader (responses are never cached, only prepared state is — see
+//! [`crate::cache`]).
+//!
+//! A panicking leader publishes an error instead of wedging its joiners.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Slot<T> {
+    result: Mutex<Option<Result<T, String>>>,
+    ready: Condvar,
+}
+
+/// The dedupe table; `T` is the shared result type (cheaply cloneable —
+/// the server uses `Arc`ed response bytes).
+pub struct Inflight<T> {
+    slots: Mutex<HashMap<u64, Arc<Slot<T>>>>,
+    coalesced: AtomicU64,
+}
+
+impl<T: Clone> Inflight<T> {
+    /// An empty table.
+    pub fn new() -> Inflight<T> {
+        Inflight {
+            slots: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, unless an identical computation is
+    /// already in flight — then blocks and returns the leader's result.
+    /// The boolean is `true` when this call coalesced onto a leader.
+    pub fn run(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<T, String>,
+    ) -> (Result<T, String>, bool) {
+        let slot = {
+            let mut slots = self.slots.lock().expect("inflight table poisoned");
+            if let Some(slot) = slots.get(&key) {
+                let slot = Arc::clone(slot);
+                drop(slots);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut result = slot.result.lock().expect("inflight slot poisoned");
+                while result.is_none() {
+                    result = slot.ready.wait(result).expect("inflight slot poisoned");
+                }
+                return (result.clone().expect("loop exits on Some"), true);
+            }
+            let slot = Arc::new(Slot {
+                result: Mutex::new(None),
+                ready: Condvar::new(),
+            });
+            slots.insert(key, Arc::clone(&slot));
+            slot
+        };
+        // Leader: compute outside every lock so distinct keys run in
+        // parallel; convert panics into an error so joiners never hang.
+        let result = catch_unwind(AssertUnwindSafe(compute))
+            .unwrap_or_else(|_| Err("simulation worker panicked".to_string()));
+        *slot.result.lock().expect("inflight slot poisoned") = Some(result.clone());
+        slot.ready.notify_all();
+        self.slots
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(&key);
+        (result, false)
+    }
+
+    /// Computations currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("inflight table poisoned").len()
+    }
+
+    /// Whether no computation is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total joiners served by a leader's result so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> Default for Inflight<T> {
+    fn default() -> Self {
+        Inflight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Spin until the leader has registered (bounded).
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("condition not reached within 2s");
+    }
+
+    #[test]
+    fn joiners_coalesce_onto_one_computation() {
+        let table: Arc<Inflight<Arc<String>>> = Arc::new(Inflight::new());
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let computations = Arc::new(AtomicU64::new(0));
+
+        let results: Vec<(Arc<String>, bool)> = std::thread::scope(|scope| {
+            let leader = {
+                let table = Arc::clone(&table);
+                let computations = Arc::clone(&computations);
+                scope.spawn(move || {
+                    let (r, coalesced) = table.run(7, || {
+                        computations.fetch_add(1, Ordering::Relaxed);
+                        release_rx.recv().expect("release signal");
+                        Ok(Arc::new("result".to_string()))
+                    });
+                    (r.unwrap(), coalesced)
+                })
+            };
+            wait_until(|| table.len() == 1);
+            let joiners: Vec<_> = (0..3)
+                .map(|_| {
+                    let table = Arc::clone(&table);
+                    scope.spawn(move || {
+                        let (r, coalesced) =
+                            table.run(7, || unreachable!("joiner must not compute"));
+                        (r.unwrap(), coalesced)
+                    })
+                })
+                .collect();
+            wait_until(|| table.coalesced() == 3);
+            release_tx.send(()).unwrap();
+            let mut out = vec![leader.join().unwrap()];
+            out.extend(joiners.into_iter().map(|j| j.join().unwrap()));
+            out
+        });
+
+        assert_eq!(computations.load(Ordering::Relaxed), 1);
+        assert_eq!(results.iter().filter(|(_, c)| *c).count(), 3);
+        for (r, _) in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0].0, r), "joiners share leader bytes");
+        }
+        assert!(table.is_empty(), "slot unregistered after completion");
+    }
+
+    #[test]
+    fn sequential_identical_requests_recompute() {
+        let table: Inflight<u32> = Inflight::new();
+        let (a, ca) = table.run(1, || Ok(10));
+        let (b, cb) = table.run(1, || Ok(20));
+        assert_eq!((a.unwrap(), ca), (10, false));
+        assert_eq!((b.unwrap(), cb), (20, false), "no response caching");
+        assert_eq!(table.coalesced(), 0);
+    }
+
+    #[test]
+    fn leader_error_and_panic_propagate_to_joiners() {
+        let table: Inflight<u32> = Inflight::new();
+        let (r, _) = table.run(2, || Err("boom".to_string()));
+        assert_eq!(r.unwrap_err(), "boom");
+        let (r, _) = table.run(3, || panic!("blew up"));
+        assert!(r.unwrap_err().contains("panicked"));
+        assert!(table.is_empty(), "panicking leader still unregisters");
+    }
+}

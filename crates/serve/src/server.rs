@@ -1,0 +1,613 @@
+//! The long-lived simulation server.
+//!
+//! One listener thread accepts connections and queues them onto `workers`
+//! connection-handler threads (bounded concurrency; the queue depth is
+//! exported as a gauge). Each connection is served keep-alive with a
+//! per-connection read timeout, so a stalled client costs one worker at
+//! most `read_timeout` before the worker moves on.
+//!
+//! Endpoints:
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /simulate` | one simulation request (see [`crate::proto`]) |
+//! | `POST /simulate_batch` | array of requests, deduped then fanned over [`hymm_bench::pool`] |
+//! | `GET /metrics` | Prometheus text: server counters + per-run `SimReport` families |
+//! | `GET /stats` | the server counters as JSON |
+//! | `GET /healthz` | liveness probe |
+//! | `POST /shutdown` | graceful drain (same path as SIGTERM) |
+//!
+//! Graceful shutdown: the flag flips, a self-connection unblocks the
+//! accept loop, the listener stops and closes the queue, and every worker
+//! finishes the connections already accepted — no response that was owed
+//! is dropped. Binding port 0 is fully supported (tests and the
+//! `--port-file` handshake rely on it); `TcpListener::bind` sets
+//! `SO_REUSEADDR` on Unix, so an immediate rebind of a just-drained
+//! address works.
+
+use crate::cache::{CacheStats, PreparedCache};
+use crate::http::{self, HttpError, Request, Response};
+use crate::inflight::Inflight;
+use crate::proto::{self, SimRequest};
+use hymm_bench::json::parse_json;
+use hymm_bench::pool;
+use hymm_core::config::Dataflow;
+use hymm_core::metrics::registry_from_report;
+use hymm_core::stats::SimReport;
+use hymm_gcn::run_inference_prepared;
+use hymm_mem::metrics::MetricsRegistry;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-handler threads (also the `/simulate_batch` fan-out
+    /// width). 0 = host parallelism.
+    pub workers: usize,
+    /// Prepared-graph LRU capacity.
+    pub cache_capacity: usize,
+    /// Per-connection read timeout: an idle or stalled client releases its
+    /// worker after this long.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    /// Force invariant auditing onto every simulation.
+    pub audit: bool,
+    /// Retained `(dataset/dataflow)` report labels for `/metrics`.
+    pub report_labels: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            cache_capacity: 8,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 64 * 1024,
+            audit: false,
+            report_labels: 32,
+        }
+    }
+}
+
+/// Monotonic server counters, all exported on `/stats` and `/metrics`.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    simulate_requests: AtomicU64,
+    simulations: AtomicU64,
+    batch_requests: AtomicU64,
+    http_errors: AtomicU64,
+    queue_depth: AtomicU64,
+    sim_micros: AtomicU64,
+}
+
+/// Shared server state.
+pub struct Core {
+    config: ServeConfig,
+    resolved_workers: usize,
+    cache: PreparedCache,
+    inflight: Inflight<(Arc<String>, bool)>,
+    counters: Counters,
+    /// Last report per `(dataset/dataflow)` label, feeding `/metrics`.
+    reports: Mutex<Vec<(String, SimReport)>>,
+    shutdown: AtomicBool,
+    addr: OnceLock<SocketAddr>,
+}
+
+/// A point-in-time copy of every counter, for `/stats` and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// HTTP requests routed (any endpoint).
+    pub requests: u64,
+    /// `/simulate` requests accepted, batch items included.
+    pub simulate_requests: u64,
+    /// Simulations actually executed (leaders only).
+    pub simulations: u64,
+    /// Requests that coalesced onto an in-flight leader.
+    pub dedupe_coalesced: u64,
+    /// `/simulate_batch` calls.
+    pub batch_requests: u64,
+    /// 4xx/5xx responses.
+    pub http_errors: u64,
+    /// Accepted connections waiting for a worker.
+    pub queue_depth: u64,
+    /// Simulate computations currently running.
+    pub inflight: u64,
+    /// Total seconds spent simulating.
+    pub sim_seconds: f64,
+    /// Prepared-graph cache counters.
+    pub cache: CacheStats,
+}
+
+impl Core {
+    fn new(config: ServeConfig) -> Core {
+        let resolved_workers = if config.workers == 0 {
+            pool::default_threads()
+        } else {
+            config.workers
+        };
+        Core {
+            cache: PreparedCache::new(config.cache_capacity),
+            inflight: Inflight::new(),
+            counters: Counters::default(),
+            reports: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            addr: OnceLock::new(),
+            resolved_workers,
+            config,
+        }
+    }
+
+    /// Whether a graceful shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: flips the flag and pokes the accept loop
+    /// awake with a throwaway self-connection. Idempotent.
+    pub fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            if let Some(addr) = self.addr.get() {
+                drop(TcpStream::connect_timeout(addr, Duration::from_secs(1)));
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            simulate_requests: c.simulate_requests.load(Ordering::Relaxed),
+            simulations: c.simulations.load(Ordering::Relaxed),
+            dedupe_coalesced: self.inflight.coalesced(),
+            batch_requests: c.batch_requests.load(Ordering::Relaxed),
+            http_errors: c.http_errors.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            inflight: self.inflight.len() as u64,
+            sim_seconds: c.sim_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Runs one simulation end to end (cache lookup, inference, report
+    /// retention) and renders the response body. Called only as an
+    /// [`Inflight`] leader.
+    fn simulate(&self, req: &SimRequest) -> Result<(Arc<String>, bool), String> {
+        let started = Instant::now();
+        let (entry, cache_hit) = self.cache.get_or_prepare(&req.spec);
+        let memo = (req.dataflow == Dataflow::Hybrid).then(|| entry.memo(&req.config));
+        let outcome = run_inference_prepared(
+            &req.config,
+            req.dataflow,
+            entry.prep(),
+            entry.features(),
+            entry.model(),
+            memo.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .sim_micros
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.retain_report(
+            format!("{}/{}", req.spec.dataset.abbrev(), req.label),
+            outcome.report.clone(),
+        );
+        Ok((
+            Arc::new(proto::render_response(req, &outcome.report)),
+            cache_hit,
+        ))
+    }
+
+    fn retain_report(&self, label: String, report: SimReport) {
+        let mut reports = self.reports.lock().expect("report table poisoned");
+        match reports.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, slot)) => *slot = report,
+            None => {
+                reports.push((label, report));
+                if reports.len() > self.config.report_labels.max(1) {
+                    reports.remove(0);
+                }
+            }
+        }
+    }
+
+    fn render_metrics(&self) -> String {
+        use hymm_mem::metrics::MetricKind::{Counter, Gauge};
+        let s = self.stats();
+        let mut reg = MetricsRegistry::new();
+        let scalars: [(&str, &str, hymm_mem::metrics::MetricKind, f64); 11] = [
+            (
+                "hymm_serve_requests_total",
+                "HTTP requests routed",
+                Counter,
+                s.requests as f64,
+            ),
+            (
+                "hymm_serve_simulate_requests_total",
+                "simulate requests accepted (batch items included)",
+                Counter,
+                s.simulate_requests as f64,
+            ),
+            (
+                "hymm_serve_simulations_total",
+                "simulations executed (dedupe leaders)",
+                Counter,
+                s.simulations as f64,
+            ),
+            (
+                "hymm_serve_dedupe_coalesced_total",
+                "requests coalesced onto an in-flight leader",
+                Counter,
+                s.dedupe_coalesced as f64,
+            ),
+            (
+                "hymm_serve_prepared_cache_hits_total",
+                "prepared-graph cache hits",
+                Counter,
+                s.cache.hits as f64,
+            ),
+            (
+                "hymm_serve_prepared_cache_misses_total",
+                "prepared-graph cache misses",
+                Counter,
+                s.cache.misses as f64,
+            ),
+            (
+                "hymm_serve_prepared_cache_evictions_total",
+                "prepared-graph cache evictions",
+                Counter,
+                s.cache.evictions as f64,
+            ),
+            (
+                "hymm_serve_prepared_cache_entries",
+                "prepared graphs resident",
+                Gauge,
+                s.cache.entries as f64,
+            ),
+            (
+                "hymm_serve_queue_depth",
+                "accepted connections waiting for a worker",
+                Gauge,
+                s.queue_depth as f64,
+            ),
+            (
+                "hymm_serve_inflight",
+                "simulate computations currently running",
+                Gauge,
+                s.inflight as f64,
+            ),
+            (
+                "hymm_serve_sim_seconds_total",
+                "total time spent simulating",
+                Counter,
+                s.sim_seconds,
+            ),
+        ];
+        for (name, help, kind, value) in scalars {
+            reg.register(name, help, kind);
+            reg.set(name, "", value);
+        }
+        for (label, report) in self.reports.lock().expect("report table poisoned").iter() {
+            registry_from_report(&mut reg, label, report);
+        }
+        reg.render_prometheus()
+    }
+
+    fn stats_json(&self) -> String {
+        let s = self.stats();
+        format!(
+            concat!(
+                "{{\"requests_total\": {}, \"simulate_requests_total\": {}, ",
+                "\"simulations_total\": {}, \"dedupe_coalesced_total\": {}, ",
+                "\"batch_requests_total\": {}, \"http_errors_total\": {}, ",
+                "\"prepared_cache_hits_total\": {}, \"prepared_cache_misses_total\": {}, ",
+                "\"prepared_cache_evictions_total\": {}, \"prepared_cache_entries\": {}, ",
+                "\"queue_depth\": {}, \"inflight\": {}, \"sim_seconds_total\": {}, ",
+                "\"workers\": {}, \"cache_capacity\": {}}}\n"
+            ),
+            s.requests,
+            s.simulate_requests,
+            s.simulations,
+            s.dedupe_coalesced,
+            s.batch_requests,
+            s.http_errors,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.evictions,
+            s.cache.entries,
+            s.queue_depth,
+            s.inflight,
+            hymm_bench::json::fmt_num(s.sim_seconds),
+            self.resolved_workers,
+            self.config.cache_capacity.max(1),
+        )
+    }
+}
+
+/// Parses, keys, dedupes and runs one simulate body; returns the response
+/// body and the cache-disposition header value.
+fn simulate_one(core: &Core, req: &SimRequest) -> Result<(Arc<String>, &'static str), String> {
+    core.counters
+        .simulate_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let (result, coalesced) = core.inflight.run(req.key(), || core.simulate(req));
+    let (body, cache_hit) = result?;
+    let disposition = if coalesced {
+        "coalesced"
+    } else if cache_hit {
+        "hit"
+    } else {
+        "miss"
+    };
+    Ok((body, disposition))
+}
+
+fn parse_body(core: &Core, req: &Request) -> Result<hymm_bench::json::Json, String> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    let _ = core;
+    parse_json(text)
+}
+
+fn handle_simulate(core: &Core, req: &Request) -> Response {
+    let parsed =
+        parse_body(core, req).and_then(|doc| proto::parse_request(&doc, core.config.audit));
+    let sim_req = match parsed {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+    match simulate_one(core, &sim_req) {
+        Ok((body, disposition)) => {
+            let mut resp = Response::json(body.as_str().to_string());
+            resp.extra_headers
+                .push(("x-hymm-cache".to_string(), disposition.to_string()));
+            resp
+        }
+        Err(e) => Response::error(500, &e),
+    }
+}
+
+fn handle_batch(core: &Core, req: &Request) -> Response {
+    let docs = match parse_body(core, req) {
+        Ok(hymm_bench::json::Json::Arr(items)) if !items.is_empty() => items,
+        Ok(_) => return Response::error(400, "batch body must be a non-empty JSON array"),
+        Err(e) => return Response::error(400, &e),
+    };
+    core.counters.batch_requests.fetch_add(1, Ordering::Relaxed);
+    let mut requests = Vec::with_capacity(docs.len());
+    for (i, doc) in docs.iter().enumerate() {
+        match proto::parse_request(doc, core.config.audit) {
+            Ok(r) => requests.push(r),
+            Err(e) => return Response::error(400, &format!("batch item {i}: {e}")),
+        }
+    }
+    // In-batch dedupe: simulate each distinct key once, then fan the
+    // unique set over the worker pool (deterministic input-order results).
+    let mut unique: Vec<&SimRequest> = Vec::new();
+    let mut assignment = Vec::with_capacity(requests.len());
+    for r in &requests {
+        let key = r.key();
+        match unique.iter().position(|u| u.key() == key) {
+            Some(pos) => assignment.push(pos),
+            None => {
+                unique.push(r);
+                assignment.push(unique.len() - 1);
+            }
+        }
+    }
+    let results = pool::map_indexed(core.resolved_workers, &unique, |_, r| simulate_one(core, r));
+    let mut bodies = Vec::with_capacity(unique.len());
+    for result in results {
+        match result {
+            Ok((body, _)) => bodies.push(body),
+            Err(e) => return Response::error(500, &e),
+        }
+    }
+    let mut out = String::from("[");
+    for (i, &slot) in assignment.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(bodies[slot].trim_end());
+    }
+    out.push_str("]\n");
+    let mut resp = Response::json(out);
+    resp.extra_headers.push((
+        "x-hymm-batch".to_string(),
+        format!("items={};unique={}", requests.len(), unique.len()),
+    ));
+    resp
+}
+
+fn route(core: &Core, req: &Request) -> Response {
+    core.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let path = req.path.split('?').next().unwrap_or("");
+    let resp = match (req.method.as_str(), path) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/stats") => Response::json(core.stats_json()),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: core.render_metrics().into_bytes(),
+        },
+        ("POST", "/simulate") => handle_simulate(core, req),
+        ("POST", "/simulate_batch") => handle_batch(core, req),
+        ("POST", "/shutdown") => {
+            core.request_shutdown();
+            Response::text(200, "draining\n")
+        }
+        (_, "/healthz" | "/stats" | "/metrics" | "/simulate" | "/simulate_batch" | "/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    };
+    if resp.status >= 400 {
+        core.counters.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    resp
+}
+
+/// Serves one connection until the peer closes, errors, times out, stops
+/// asking for keep-alive, or the server drains.
+fn handle_connection(core: &Core, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, core.config.max_body_bytes) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                // Answer the request we owe, then close if draining.
+                let keep = req.keep_alive && !core.shutdown_requested();
+                let resp = route(core, &req);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(HttpError::Malformed(m)) => {
+                core.counters.http_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(400, &m).write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::BodyTooLarge(_)) => {
+                core.counters.http_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(413, "request body too large").write_to(&mut writer, false);
+                break;
+            }
+            // Socket errors, including the per-connection read timeout: a
+            // stalled client releases this worker here.
+            Err(HttpError::Io(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(core: &Arc<Core>, queue: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let rx = queue.lock().expect("connection queue poisoned");
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            break; // listener gone and queue drained: exit
+        };
+        core.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        handle_connection(core, stream);
+    }
+}
+
+fn accept_loop(core: &Arc<Core>, listener: &TcpListener, tx: Sender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Enqueue first (so a connection accepted concurrently with
+                // the shutdown request is still served), then stop.
+                let draining = core.shutdown_requested();
+                core.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+                if draining {
+                    break;
+                }
+            }
+            Err(_) => {
+                if core.shutdown_requested() {
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping the sender closes the queue; workers drain and exit.
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`].
+pub struct Server {
+    core: Arc<Core>,
+    threads: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds and starts the server threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (bad address, port in use).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let core = Arc::new(Core::new(config));
+        core.addr.set(addr).expect("fresh core");
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let queue = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(core.resolved_workers + 1);
+        for i in 0..core.resolved_workers {
+            let core = Arc::clone(&core);
+            let queue = Arc::clone(&queue);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hymm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &queue))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("hymm-serve-accept".to_string())
+                    .spawn(move || accept_loop(&core, &listener, tx))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server {
+            core,
+            threads,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state — stats and shutdown control.
+    pub fn core(&self) -> &Arc<Core> {
+        &self.core
+    }
+
+    /// Whether a drain has been requested (by signal, `/shutdown`, or
+    /// [`Server::shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.core.shutdown_requested()
+    }
+
+    /// Graceful shutdown: requests the drain (idempotent) and joins every
+    /// thread — returns once all accepted connections have been answered.
+    pub fn shutdown(self) -> ServerStats {
+        self.core.request_shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.core.stats()
+    }
+}
